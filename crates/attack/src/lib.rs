@@ -1,0 +1,31 @@
+//! De-randomization attacker models.
+//!
+//! The paper's attacker (§2.1, §4.2) works in two phases: phase 1 probes
+//! for the randomization key (every wrong guess crashes the serving child
+//! and is observed as a closed connection; the forking daemon obligingly
+//! restarts it), and phase 2 uses the recovered key to land the real
+//! exploit — in our model, a correct guess compromises the node directly.
+//!
+//! * [`scan`] — key-scan strategies: sequential and permuted
+//!   without-replacement scans (SO attackers), fresh uniform guessing (PO
+//!   attackers, where yesterday's eliminations are worthless).
+//! * [`pacing`] — probe budgeting against proxy detection: given the
+//!   proxies' suspicion policy, how fast can an attacker probe without
+//!   ever being flagged? This is the operational meaning of κ.
+//! * [`attacker`] — orchestrated attackers that drive a
+//!   [`fortress_core::system::Stack`] one unit time-step at a time:
+//!   [`attacker::DirectAttacker`] for the 1-tier classes, and
+//!   [`attacker::FortressAttacker`] which simultaneously probes proxies
+//!   directly, servers indirectly (paced), and servers at full rate from
+//!   any compromised proxy (the launch pad).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacker;
+pub mod pacing;
+pub mod scan;
+
+pub use attacker::{AttackReport, DirectAttacker, FortressAttacker};
+pub use pacing::Pacer;
+pub use scan::{KeyScanner, ScanStrategy};

@@ -1,0 +1,64 @@
+//! ABL-PROBE / ABL-P / ABL-NP / ABL-ENT — the ablation sweeps from
+//! DESIGN.md §4: probe-model flip, generalized re-randomization period
+//! (Markov chains), proxy-fleet sizing and key-entropy scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortress_bench::{ablation_entropy, ablation_fleet, ablation_period, ablation_probe_model};
+use fortress_markov::{LaunchPad, PeriodChainSpec, SystemKind};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+
+    group.bench_function("probe_model_flip", |b| {
+        b.iter(|| ablation_probe_model(2))
+    });
+
+    for period in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("period_chain_solve", period),
+            &period,
+            |b, &period| {
+                b.iter(|| {
+                    PeriodChainSpec {
+                        kind: SystemKind::S2Fortress { kappa: 0.5 },
+                        alpha: 1e-2,
+                        period,
+                        launch_pad: LaunchPad::NextStep,
+                    }
+                    .expected_lifetime()
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    group.bench_function("period_table", |b| {
+        b.iter(|| ablation_period(1e-2, &[1, 2, 4, 8, 16]))
+    });
+
+    group.bench_function("fleet_table", |b| {
+        b.iter(|| ablation_fleet(1e-3, 0.1, &[1, 2, 3, 4, 5, 6]))
+    });
+
+    group.bench_function("entropy_table", |b| {
+        b.iter(|| ablation_entropy(64.0, &[12, 14, 16, 20, 24]))
+    });
+
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to regenerate figures
+/// and guard against regressions, not to resolve microsecond deltas.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! FIG1 — regenerates Figure 1 (expected lifetime comparison).
+//!
+//! Benchmarks both halves of the pipeline: the analytic sweep over the α
+//! grid, and the event-driven Monte-Carlo estimator at the extreme ends
+//! of the grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortress_bench::figure1;
+use fortress_markov::LaunchPad;
+use fortress_model::lifetime::figure1_systems;
+use fortress_model::params::AttackParams;
+use fortress_sim::event_mc::sample_lifetime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+
+    group.bench_function("analytic_grid", |b| {
+        b.iter(|| {
+            let systems = figure1_systems(0.5);
+            let mut acc = 0.0;
+            for alpha in fortress_model::params::paper_alpha_grid(4) {
+                let params = AttackParams::from_alpha(65536.0, alpha).unwrap();
+                for s in &systems {
+                    acc += s.expected_lifetime(&params).unwrap();
+                }
+            }
+            acc
+        })
+    });
+
+    for alpha in [1e-5, 1e-3, 1e-2] {
+        group.bench_with_input(
+            BenchmarkId::new("event_mc_10k_trials", format!("alpha_{alpha:e}")),
+            &alpha,
+            |b, &alpha| {
+                let params = AttackParams::from_alpha(65536.0, alpha).unwrap();
+                let systems = figure1_systems(0.5);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let mut acc = 0u64;
+                    for s in &systems {
+                        for _ in 0..2_000 {
+                            acc += sample_lifetime(
+                                s.kind,
+                                s.policy,
+                                &params,
+                                LaunchPad::NextStep,
+                                &mut rng,
+                            );
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+
+    group.bench_function("full_table_small", |b| {
+        b.iter(|| figure1(1, 0.5, 200))
+    });
+
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to regenerate figures
+/// and guard against regressions, not to resolve microsecond deltas.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_fig1
+}
+criterion_main!(benches);

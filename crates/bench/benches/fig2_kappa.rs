@@ -1,0 +1,53 @@
+//! FIG2 — regenerates Figure 2 (S2PO lifetimes as κ varies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortress_bench::figure2;
+use fortress_model::params::{AttackParams, Policy, ProbeModel};
+use fortress_model::{expected_lifetime, SystemKind};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+
+    group.bench_function("full_table", |b| b.iter(|| figure2(4, 0)));
+
+    for kappa in [0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("kappa_column", format!("{kappa:.1}")),
+            &kappa,
+            |b, &kappa| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for alpha in fortress_model::params::paper_alpha_grid(4) {
+                        let params = AttackParams::from_alpha(65536.0, alpha).unwrap();
+                        acc += expected_lifetime(
+                            SystemKind::S2Fortress { kappa },
+                            Policy::Proactive,
+                            ProbeModel::Broadcast,
+                            &params,
+                        )
+                        .unwrap();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to regenerate figures
+/// and guard against regressions, not to resolve microsecond deltas.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_fig2
+}
+criterion_main!(benches);

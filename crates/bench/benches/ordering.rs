@@ -1,0 +1,41 @@
+//! ORD — verifies the §6 summary ordering over the full grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fortress_bench::{ordering_summary, trends};
+use fortress_model::ordering::verify_paper_ordering;
+use fortress_model::params::{paper_alpha_grid, paper_kappa_grid};
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+
+    group.bench_function("verify_full_grid", |b| {
+        b.iter(|| {
+            let reports =
+                verify_paper_ordering(&paper_alpha_grid(5), &paper_kappa_grid(), 65536.0)
+                    .unwrap();
+            assert!(reports.iter().all(|r| r.holds()));
+            reports.len()
+        })
+    });
+
+    group.bench_function("summary_table", |b| b.iter(ordering_summary));
+    group.bench_function("trends_table", |b| b.iter(|| trends(1e-3)));
+
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to regenerate figures
+/// and guard against regressions, not to resolve microsecond deltas.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ordering
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! PROTO / OVH — protocol-level benchmarks: lifetime trials on the real
+//! stacks, and the request-path overhead of the proxy tier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fortress_bench::proxy_overhead;
+use fortress_core::client::{AcceptMode, DirectClient};
+use fortress_core::system::{Stack, StackConfig, SystemClass};
+use fortress_model::params::Policy;
+use fortress_replication::message::SignedReply;
+use fortress_sim::protocol_mc::ProtocolExperiment;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+
+    for (label, class) in [
+        ("S1Pb", SystemClass::S1Pb),
+        ("S0Smr", SystemClass::S0Smr),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("so_lifetime_trial", label),
+            &class,
+            |b, &class| {
+                let exp = ProtocolExperiment {
+                    entropy_bits: 8,
+                    omega: 8.0,
+                    ..ProtocolExperiment::new(class, Policy::StartupOnly)
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    exp.run_once(seed)
+                })
+            },
+        );
+    }
+
+    group.bench_function("s2_so_lifetime_trial", |b| {
+        let exp = ProtocolExperiment {
+            entropy_bits: 7,
+            omega: 8.0,
+            max_steps: 4000,
+            ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            exp.run_once(seed)
+        })
+    });
+
+    group.bench_function("request_round_trip_s1", |b| {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            seed: 1,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("bench");
+        let mut client = DirectClient::new(
+            "bench",
+            stack.authority(),
+            stack.ns().servers().to_vec(),
+            AcceptMode::AnyAuthentic,
+        );
+        b.iter(|| {
+            let req = client.request(b"PUT k v");
+            stack.submit("bench", &req);
+            stack.pump();
+            let mut got = None;
+            for ev in stack.drain_client("bench") {
+                if let Some(payload) = ev.payload() {
+                    if let Ok(reply) = SignedReply::decode(payload) {
+                        if let Some(r) = client.on_reply(&reply) {
+                            got = Some(r);
+                        }
+                    }
+                }
+            }
+            got.expect("request must be answered")
+        })
+    });
+
+    group.bench_function("overhead_table", |b| b.iter(|| proxy_overhead(20)));
+
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to regenerate figures
+/// and guard against regressions, not to resolve microsecond deltas.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_protocol
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Substrate micro-benchmarks: the from-scratch crypto and the absorbing
+//! Markov chain solver — the two compute kernels everything else leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fortress_crypto::hmac::HmacSha256;
+use fortress_crypto::sha256::Sha256;
+use fortress_crypto::sig::Signer;
+use fortress_crypto::KeyAuthority;
+use fortress_markov::chain::AbsorbingChain;
+use fortress_markov::Matrix;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data))
+        });
+        group.bench_with_input(BenchmarkId::new("hmac", size), &data, |b, data| {
+            b.iter(|| HmacSha256::mac(b"key", data))
+        });
+    }
+
+    let authority = KeyAuthority::with_seed(1);
+    let signer = Signer::register("bench-signer", &authority);
+    group.bench_function("sign_and_verify", |b| {
+        b.iter(|| {
+            let sig = signer.sign(b"response body of modest size");
+            assert!(authority.verify("bench-signer", b"response body of modest size", &sig));
+        })
+    });
+    group.finish();
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov");
+
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("solve_birth_death", n), &n, |b, &n| {
+            // A birth-death chain with one absorbing end.
+            let mut builder = AbsorbingChain::builder().absorbing("dead");
+            for i in 0..n {
+                builder = builder.transient(&format!("s{i}"));
+            }
+            for i in 0..n {
+                let here = format!("s{i}");
+                if i + 1 < n {
+                    builder = builder
+                        .transition(&here, &format!("s{}", i + 1), 0.4)
+                        .transition(&here, &here, 0.5)
+                        .transition(&here, "dead", 0.1);
+                } else {
+                    builder = builder
+                        .transition(&here, &here, 0.9)
+                        .transition(&here, "dead", 0.1);
+                }
+            }
+            let chain = builder.build().unwrap();
+            b.iter(|| chain.expected_steps().unwrap())
+        });
+    }
+
+    group.bench_function("matrix_inverse_64", |b| {
+        let n = 64;
+        let mut m = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m.set(i, j, 1.0 / (1.0 + (i + j) as f64) / n as f64);
+                }
+            }
+        }
+        b.iter(|| m.inverse().unwrap())
+    });
+
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches exist to regenerate figures
+/// and guard against regressions, not to resolve microsecond deltas.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_crypto, bench_markov
+}
+criterion_main!(benches);

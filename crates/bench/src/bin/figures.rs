@@ -1,0 +1,96 @@
+//! Regenerates every figure/table of the paper (and the ablations) as
+//! aligned terminal tables and CSV files.
+//!
+//! ```text
+//! cargo run --release -p fortress-bench --bin figures -- all
+//! cargo run --release -p fortress-bench --bin figures -- fig1 fig2 ordering
+//! ```
+//!
+//! CSV output lands in `results/` (created if missing).
+
+use std::fs;
+use std::path::Path;
+
+use fortress_bench as figures;
+use fortress_sim::report::CsvTable;
+
+fn emit(name: &str, title: &str, table: &CsvTable) {
+    println!("== {title} ==");
+    println!("{}", table.to_aligned());
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        match fs::write(&path, table.to_csv()) {
+            Ok(()) => println!("[written {}]\n", path.display()),
+            Err(e) => println!("[could not write {}: {e}]\n", path.display()),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig1", "fig2", "ordering", "trends", "ablation-probe", "ablation-period",
+            "ablation-fleet", "ablation-entropy", "proto", "overhead",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for what in wanted {
+        match what {
+            "fig1" => emit(
+                "figure1_lifetimes",
+                "Figure 1 — Expected Lifetime Comparison (chi = 2^16, S2PO at kappa = 0.5)",
+                &figures::figure1(4, 0.5, 20_000),
+            ),
+            "fig2" => emit(
+                "figure2_kappa",
+                "Figure 2 — Expected Lifetimes of the S2PO systems as kappa varies",
+                &figures::figure2(4, 0),
+            ),
+            "ordering" => emit(
+                "ordering_summary",
+                "Section 6 summary ordering: S0PO ->(k>0) S2PO ->(k<=0.9) S1PO -> S1SO -> S0SO",
+                &figures::ordering_summary(),
+            ),
+            "trends" => emit(
+                "trends",
+                "The four Section 6 trends at alpha = 1e-3",
+                &figures::trends(1e-3),
+            ),
+            "ablation-probe" => emit(
+                "ablation_probe_model",
+                "ABL-PROBE — broadcast vs independent probes (trend 1 flips)",
+                &figures::ablation_probe_model(2),
+            ),
+            "ablation-period" => emit(
+                "ablation_period",
+                "ABL-P — generalized re-randomization period (alpha = 1e-2)",
+                &figures::ablation_period(1e-2, &[1, 2, 4, 8, 16, 32]),
+            ),
+            "ablation-fleet" => emit(
+                "ablation_fleet",
+                "ABL-NP — proxy count sweep for S2PO (alpha = 1e-3, kappa = 0.1)",
+                &figures::ablation_fleet(1e-3, 0.1, &[1, 2, 3, 4, 5, 6]),
+            ),
+            "ablation-entropy" => emit(
+                "ablation_entropy",
+                "ABL-ENT — key entropy sweep at fixed omega = 64 probes/step",
+                &figures::ablation_entropy(64.0, &[12, 14, 16, 20, 24]),
+            ),
+            "proto" => emit(
+                "protocol_comparison",
+                "PROTO — protocol-level stacks vs analytic model (chi = 2^8, omega = 8)",
+                &figures::protocol_comparison(40),
+            ),
+            "overhead" => emit(
+                "proxy_overhead",
+                "OVH — network hops per answered request, 1-tier vs FORTRESS",
+                &figures::proxy_overhead(50),
+            ),
+            other => eprintln!("unknown figure `{other}` (try: all, fig1, fig2, ordering, trends, ablation-probe, ablation-period, ablation-fleet, ablation-entropy, proto, overhead)"),
+        }
+    }
+}

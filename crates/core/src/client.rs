@@ -1,0 +1,390 @@
+//! Client-side acceptance rules.
+//!
+//! Each system class has its own rule for believing a response:
+//!
+//! * **S2 (FORTRESS)** — [`FortressClient`]: a response is valid iff it
+//!   carries "two authentic signatures - one from the proxy that sent the
+//!   response and the other from one of the servers" (§3).
+//! * **S0 (SMR)** — [`DirectClient`] in `f+1` mode: accept a body once
+//!   `f+1` distinct replicas vouch for it (at most `f` lie, so `f+1`
+//!   matching votes contain a correct replica).
+//! * **S1 (PB)** — [`DirectClient`] in any-authentic mode: accept the first
+//!   authentically signed server response.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fortress_crypto::KeyAuthority;
+use fortress_replication::message::SignedReply;
+
+use crate::error::FortressError;
+use crate::messages::{ClientRequest, ProxyResponse};
+use crate::nameserver::NameServer;
+
+/// A client of a FORTRESS (S2) deployment.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use fortress_core::client::FortressClient;
+/// use fortress_core::nameserver::{NameServer, ReplicationType};
+/// use fortress_crypto::KeyAuthority;
+///
+/// let authority = Arc::new(KeyAuthority::with_seed(1));
+/// let ns = NameServer::builder()
+///     .proxy("proxy-0").server("server-0")
+///     .replication(ReplicationType::PrimaryBackup).build()?;
+/// let mut client = FortressClient::new("alice", authority, ns);
+/// let req = client.request(b"PUT k v");
+/// assert_eq!(req.seq, 1);
+/// assert_eq!(req.client, "alice");
+/// # Ok::<(), fortress_core::FortressError>(())
+/// ```
+#[derive(Debug)]
+pub struct FortressClient {
+    name: String,
+    authority: Arc<KeyAuthority>,
+    ns: NameServer,
+    next_seq: u64,
+    accepted: HashMap<u64, Vec<u8>>,
+}
+
+impl FortressClient {
+    /// Creates a client that learned `ns` from the trusted name server.
+    pub fn new(name: &str, authority: Arc<KeyAuthority>, ns: NameServer) -> FortressClient {
+        FortressClient {
+            name: name.to_owned(),
+            authority,
+            ns,
+            next_seq: 0,
+            accepted: HashMap::new(),
+        }
+    }
+
+    /// This client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the next request (to be broadcast to every proxy).
+    pub fn request(&mut self, op: &[u8]) -> ClientRequest {
+        self.next_seq += 1;
+        ClientRequest {
+            seq: self.next_seq,
+            client: self.name.clone(),
+            op: op.to_vec(),
+        }
+    }
+
+    /// Processes a proxy response. Returns `Ok(Some((seq, body)))` the
+    /// first time a given request is answered validly, `Ok(None)` for
+    /// duplicates of an already-accepted answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FortressError::Rejected`] when either signature fails, the
+    /// response is addressed to someone else, or the double-signature rule
+    /// is otherwise violated.
+    pub fn on_response(
+        &mut self,
+        response: &ProxyResponse,
+    ) -> Result<Option<(u64, Vec<u8>)>, FortressError> {
+        if response.reply.reply.client != self.name {
+            return Err(FortressError::Rejected {
+                reason: "response addressed to a different client".into(),
+            });
+        }
+        response.verify(
+            &self.authority,
+            self.ns.servers(),
+            self.ns.proxies(),
+        )?;
+        let seq = response.reply.reply.request_seq;
+        if self.accepted.contains_key(&seq) {
+            return Ok(None);
+        }
+        let body = response.reply.reply.body.clone();
+        self.accepted.insert(seq, body.clone());
+        Ok(Some((seq, body)))
+    }
+
+    /// The accepted body for request `seq`, if any.
+    pub fn accepted(&self, seq: u64) -> Option<&[u8]> {
+        self.accepted.get(&seq).map(Vec::as_slice)
+    }
+}
+
+/// Acceptance mode for 1-tier deployments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcceptMode {
+    /// S0: a body needs `f+1` matching votes from distinct replicas.
+    MatchingVotes {
+        /// Tolerated faults `f`.
+        f: usize,
+    },
+    /// S1: any single authentic server response is accepted.
+    AnyAuthentic,
+}
+
+/// A client of a 1-tier (S0 or S1) deployment.
+#[derive(Debug)]
+pub struct DirectClient {
+    name: String,
+    authority: Arc<KeyAuthority>,
+    servers: Vec<String>,
+    mode: AcceptMode,
+    next_seq: u64,
+    /// Votes per request: `seq → (server_index, body)` pairs.
+    votes: HashMap<u64, Vec<(u32, Vec<u8>)>>,
+    accepted: HashMap<u64, Vec<u8>>,
+}
+
+impl DirectClient {
+    /// Creates a client of the servers listed in `servers` (principal
+    /// names in index order).
+    pub fn new(
+        name: &str,
+        authority: Arc<KeyAuthority>,
+        servers: Vec<String>,
+        mode: AcceptMode,
+    ) -> DirectClient {
+        DirectClient {
+            name: name.to_owned(),
+            authority,
+            servers,
+            mode,
+            next_seq: 0,
+            votes: HashMap::new(),
+            accepted: HashMap::new(),
+        }
+    }
+
+    /// This client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the next request (to be broadcast to every server).
+    pub fn request(&mut self, op: &[u8]) -> ClientRequest {
+        self.next_seq += 1;
+        ClientRequest {
+            seq: self.next_seq,
+            client: self.name.clone(),
+            op: op.to_vec(),
+        }
+    }
+
+    /// Processes one signed server reply; returns the accepted body once
+    /// the mode's rule is satisfied for that request.
+    pub fn on_reply(&mut self, reply: &SignedReply) -> Option<(u64, Vec<u8>)> {
+        if reply.reply.client != self.name {
+            return None;
+        }
+        let index = reply.reply.server_index as usize;
+        let expected_name = self.servers.get(index)?;
+        if reply.signature.signer() != expected_name || !reply.verify(&self.authority) {
+            return None;
+        }
+        let seq = reply.reply.request_seq;
+        if self.accepted.contains_key(&seq) {
+            return None;
+        }
+        let votes = self.votes.entry(seq).or_default();
+        if votes.iter().any(|(ix, _)| *ix == reply.reply.server_index) {
+            return None; // one vote per replica
+        }
+        votes.push((reply.reply.server_index, reply.reply.body.clone()));
+
+        let needed = match self.mode {
+            AcceptMode::AnyAuthentic => 1,
+            AcceptMode::MatchingVotes { f } => f + 1,
+        };
+        let body = &reply.reply.body;
+        let matching = votes.iter().filter(|(_, b)| b == body).count();
+        if matching >= needed {
+            self.accepted.insert(seq, body.clone());
+            return Some((seq, body.clone()));
+        }
+        None
+    }
+
+    /// The accepted body for request `seq`, if any.
+    pub fn accepted(&self, seq: u64) -> Option<&[u8]> {
+        self.accepted.get(&seq).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ProxyResponse;
+    use crate::nameserver::ReplicationType;
+    use fortress_crypto::sig::{Signature, Signer};
+    use fortress_replication::message::ReplyBody;
+
+    fn authority_with(names: &[&str]) -> (Arc<KeyAuthority>, Vec<Signer>) {
+        let authority = Arc::new(KeyAuthority::with_seed(17));
+        let signers = names
+            .iter()
+            .map(|n| Signer::register(n, &authority))
+            .collect();
+        (authority, signers)
+    }
+
+    fn signed_reply(signer: &Signer, index: u32, seq: u64, client: &str, body: &[u8]) -> SignedReply {
+        SignedReply::sign(
+            ReplyBody {
+                request_seq: seq,
+                client: client.into(),
+                body: body.to_vec(),
+                server_index: index,
+            },
+            signer,
+        )
+    }
+
+    #[test]
+    fn fortress_client_accepts_doubly_signed_once() {
+        let (authority, signers) = authority_with(&["server-0", "proxy-0", "proxy-1"]);
+        let ns = NameServer::builder()
+            .proxy("proxy-0")
+            .proxy("proxy-1")
+            .server("server-0")
+            .replication(ReplicationType::PrimaryBackup)
+            .build()
+            .unwrap();
+        let mut client = FortressClient::new("alice", Arc::clone(&authority), ns);
+        let req = client.request(b"GET k");
+        let reply = signed_reply(&signers[0], 0, req.seq, "alice", b"VALUE v");
+        let resp0 = ProxyResponse::over_sign(reply.clone(), &signers[1]);
+        let resp1 = ProxyResponse::over_sign(reply, &signers[2]);
+
+        let got = client.on_response(&resp0).unwrap();
+        assert_eq!(got, Some((1, b"VALUE v".to_vec())));
+        // The second proxy's copy is a duplicate.
+        assert_eq!(client.on_response(&resp1).unwrap(), None);
+        assert_eq!(client.accepted(1), Some(b"VALUE v".as_slice()));
+    }
+
+    #[test]
+    fn fortress_client_rejects_single_signature() {
+        let (authority, signers) = authority_with(&["server-0", "proxy-0"]);
+        let ns = NameServer::builder()
+            .proxy("proxy-0")
+            .server("server-0")
+            .replication(ReplicationType::PrimaryBackup)
+            .build()
+            .unwrap();
+        let mut client = FortressClient::new("alice", Arc::clone(&authority), ns);
+        client.request(b"GET k");
+        let reply = signed_reply(&signers[0], 0, 1, "alice", b"VALUE v");
+        let resp = ProxyResponse {
+            reply,
+            proxy_sig: Signature::forged("proxy-0"),
+        };
+        assert!(client.on_response(&resp).is_err());
+        assert_eq!(client.accepted(1), None);
+    }
+
+    #[test]
+    fn fortress_client_rejects_foreign_responses() {
+        let (authority, signers) = authority_with(&["server-0", "proxy-0"]);
+        let ns = NameServer::builder()
+            .proxy("proxy-0")
+            .server("server-0")
+            .replication(ReplicationType::PrimaryBackup)
+            .build()
+            .unwrap();
+        let mut client = FortressClient::new("alice", Arc::clone(&authority), ns);
+        let reply = signed_reply(&signers[0], 0, 1, "bob", b"VALUE v");
+        let resp = ProxyResponse::over_sign(reply, &signers[1]);
+        assert!(client.on_response(&resp).is_err());
+    }
+
+    #[test]
+    fn smr_client_needs_f_plus_one_matching() {
+        let names = ["smr-0", "smr-1", "smr-2", "smr-3"];
+        let (authority, signers) = authority_with(&names);
+        let mut client = DirectClient::new(
+            "alice",
+            Arc::clone(&authority),
+            names.iter().map(|s| s.to_string()).collect(),
+            AcceptMode::MatchingVotes { f: 1 },
+        );
+        client.request(b"GET k");
+        // First vote: not enough.
+        assert!(client
+            .on_reply(&signed_reply(&signers[0], 0, 1, "alice", b"VALUE v"))
+            .is_none());
+        // A lying replica's different body does not help.
+        assert!(client
+            .on_reply(&signed_reply(&signers[1], 1, 1, "alice", b"EVIL"))
+            .is_none());
+        // Second matching vote: accepted.
+        let got = client.on_reply(&signed_reply(&signers[2], 2, 1, "alice", b"VALUE v"));
+        assert_eq!(got, Some((1, b"VALUE v".to_vec())));
+        // Late votes are ignored.
+        assert!(client
+            .on_reply(&signed_reply(&signers[3], 3, 1, "alice", b"VALUE v"))
+            .is_none());
+    }
+
+    #[test]
+    fn smr_client_ignores_double_votes_from_one_replica() {
+        let names = ["smr-0", "smr-1", "smr-2", "smr-3"];
+        let (authority, signers) = authority_with(&names);
+        let mut client = DirectClient::new(
+            "alice",
+            Arc::clone(&authority),
+            names.iter().map(|s| s.to_string()).collect(),
+            AcceptMode::MatchingVotes { f: 1 },
+        );
+        client.request(b"GET k");
+        assert!(client
+            .on_reply(&signed_reply(&signers[0], 0, 1, "alice", b"X"))
+            .is_none());
+        // Same replica voting twice must not reach the quorum.
+        assert!(client
+            .on_reply(&signed_reply(&signers[0], 0, 1, "alice", b"X"))
+            .is_none());
+        assert_eq!(client.accepted(1), None);
+    }
+
+    #[test]
+    fn pb_client_accepts_any_authentic() {
+        let names = ["pb-0", "pb-1", "pb-2"];
+        let (authority, signers) = authority_with(&names);
+        let mut client = DirectClient::new(
+            "alice",
+            Arc::clone(&authority),
+            names.iter().map(|s| s.to_string()).collect(),
+            AcceptMode::AnyAuthentic,
+        );
+        client.request(b"GET k");
+        let got = client.on_reply(&signed_reply(&signers[2], 2, 1, "alice", b"VALUE v"));
+        assert_eq!(got, Some((1, b"VALUE v".to_vec())));
+    }
+
+    #[test]
+    fn direct_client_rejects_bad_signatures_and_mismatched_index() {
+        let names = ["pb-0", "pb-1"];
+        let (authority, signers) = authority_with(&names);
+        let mut client = DirectClient::new(
+            "alice",
+            Arc::clone(&authority),
+            names.iter().map(|s| s.to_string()).collect(),
+            AcceptMode::AnyAuthentic,
+        );
+        client.request(b"GET k");
+        // pb-1's signature presented with index 0.
+        let mislabeled = signed_reply(&signers[1], 0, 1, "alice", b"V");
+        assert!(client.on_reply(&mislabeled).is_none());
+        // Out-of-range index.
+        let out_of_range = signed_reply(&signers[0], 9, 1, "alice", b"V");
+        assert!(client.on_reply(&out_of_range).is_none());
+        // Wrong client.
+        let foreign = signed_reply(&signers[0], 0, 1, "bob", b"V");
+        assert!(client.on_reply(&foreign).is_none());
+    }
+}

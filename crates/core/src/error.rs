@@ -1,0 +1,88 @@
+//! Error type for the FORTRESS architecture layer.
+
+use std::error::Error;
+use std::fmt;
+
+use fortress_crypto::CryptoError;
+use fortress_net::codec::CodecError;
+use fortress_replication::ReplicationError;
+
+/// Errors surfaced by the FORTRESS assembly and its wire formats.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FortressError {
+    /// A wire message failed to decode.
+    Codec(CodecError),
+    /// A signature check failed.
+    Crypto(CryptoError),
+    /// A replication engine rejected its configuration or input.
+    Replication(ReplicationError),
+    /// A response failed the client acceptance rule.
+    Rejected {
+        /// Why the response was rejected.
+        reason: String,
+    },
+    /// The system was assembled inconsistently.
+    BadAssembly {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FortressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FortressError::Codec(e) => write!(f, "wire decode failure: {e}"),
+            FortressError::Crypto(e) => write!(f, "signature failure: {e}"),
+            FortressError::Replication(e) => write!(f, "replication failure: {e}"),
+            FortressError::Rejected { reason } => write!(f, "response rejected: {reason}"),
+            FortressError::BadAssembly { reason } => write!(f, "invalid assembly: {reason}"),
+        }
+    }
+}
+
+impl Error for FortressError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FortressError::Codec(e) => Some(e),
+            FortressError::Crypto(e) => Some(e),
+            FortressError::Replication(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for FortressError {
+    fn from(e: CodecError) -> Self {
+        FortressError::Codec(e)
+    }
+}
+
+impl From<CryptoError> for FortressError {
+    fn from(e: CryptoError) -> Self {
+        FortressError::Crypto(e)
+    }
+}
+
+impl From<ReplicationError> for FortressError {
+    fn from(e: ReplicationError) -> Self {
+        FortressError::Replication(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FortressError = CodecError::UnexpectedEnd { field: "x" }.into();
+        assert!(e.to_string().contains("decode"));
+        assert!(Error::source(&e).is_some());
+        let e: FortressError = CryptoError::UnknownPrincipal("p".into()).into();
+        assert!(e.to_string().contains("signature"));
+        let e = FortressError::Rejected { reason: "only one signature".into() };
+        assert!(e.to_string().contains("rejected"));
+        assert!(Error::source(&e).is_none());
+    }
+}

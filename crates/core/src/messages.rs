@@ -1,0 +1,262 @@
+//! Client ↔ proxy wire messages.
+//!
+//! A client broadcasts [`ClientRequest`]s to every proxy; a proxy answers
+//! with a [`ProxyResponse`] — one authentic server reply **over-signed** by
+//! the proxy. "A client accepts a response as valid if it has two authentic
+//! signatures - one from the proxy that sent the response and the other
+//! from one of the servers" (paper §3).
+
+use fortress_crypto::sig::{Signature, Signer};
+use fortress_crypto::KeyAuthority;
+use fortress_net::codec::{Reader, Writer};
+use fortress_replication::message::{decode_signature, encode_signature, SignedReply};
+
+use crate::error::FortressError;
+
+/// A client's request, broadcast to all proxies (or, in 1-tier systems,
+/// directly to all servers).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClientRequest {
+    /// Client-chosen request sequence number.
+    pub seq: u64,
+    /// Requesting client's name.
+    pub client: String,
+    /// Service operation (possibly carrying an exploit).
+    pub op: Vec<u8>,
+}
+
+impl ClientRequest {
+    /// Encodes for transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::tagged(0x10);
+        w.put_u64(self.seq).put_str(&self.client).put_bytes(&self.op);
+        w.finish()
+    }
+
+    /// Decodes from transport bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FortressError::Codec`] for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ClientRequest, FortressError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8("creq.tag")?;
+        if tag != 0x10 {
+            return Err(fortress_net::codec::CodecError::BadTag {
+                message: "ClientRequest",
+                tag,
+            }
+            .into());
+        }
+        let out = ClientRequest {
+            seq: r.u64("creq.seq")?,
+            client: r.str("creq.client")?,
+            op: r.bytes("creq.op")?,
+        };
+        r.expect_end()?;
+        Ok(out)
+    }
+}
+
+/// A doubly-signed response: an authentic server reply plus the forwarding
+/// proxy's over-signature (over the *encoded* server reply, binding body
+/// and server signature together).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProxyResponse {
+    /// The server's signed reply.
+    pub reply: SignedReply,
+    /// The proxy's over-signature.
+    pub proxy_sig: Signature,
+}
+
+impl ProxyResponse {
+    /// Proxy-side constructor: over-signs an authentic server reply.
+    pub fn over_sign(reply: SignedReply, proxy: &Signer) -> ProxyResponse {
+        let proxy_sig = proxy.sign(&reply.encode());
+        ProxyResponse { reply, proxy_sig }
+    }
+
+    /// Client-side verification: both signatures must be authentic, the
+    /// inner signer must be a known server and the outer a known proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FortressError::Rejected`] naming the failed check.
+    pub fn verify(
+        &self,
+        authority: &KeyAuthority,
+        known_servers: &[String],
+        known_proxies: &[String],
+    ) -> Result<(), FortressError> {
+        let server = self.reply.signature.signer();
+        if !known_servers.iter().any(|s| s == server) {
+            return Err(FortressError::Rejected {
+                reason: format!("inner signer `{server}` is not a known server"),
+            });
+        }
+        let proxy = self.proxy_sig.signer();
+        if !known_proxies.iter().any(|p| p == proxy) {
+            return Err(FortressError::Rejected {
+                reason: format!("outer signer `{proxy}` is not a known proxy"),
+            });
+        }
+        if !self.reply.verify(authority) {
+            return Err(FortressError::Rejected {
+                reason: "server signature failed verification".into(),
+            });
+        }
+        if !authority.verify(proxy, &self.reply.encode(), &self.proxy_sig) {
+            return Err(FortressError::Rejected {
+                reason: "proxy over-signature failed verification".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Encodes for transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::tagged(0x11);
+        w.put_bytes(&self.reply.encode());
+        encode_signature(&mut w, &self.proxy_sig);
+        w.finish()
+    }
+
+    /// Decodes from transport bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FortressError::Codec`] for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ProxyResponse, FortressError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8("presp.tag")?;
+        if tag != 0x11 {
+            return Err(fortress_net::codec::CodecError::BadTag {
+                message: "ProxyResponse",
+                tag,
+            }
+            .into());
+        }
+        let reply_bytes = r.bytes("presp.reply")?;
+        let reply = SignedReply::decode(&reply_bytes)?;
+        let proxy_sig = decode_signature(&mut r)?;
+        r.expect_end()?;
+        Ok(ProxyResponse { reply, proxy_sig })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortress_replication::message::ReplyBody;
+
+    fn setup() -> (KeyAuthority, Signer, Signer, SignedReply) {
+        let authority = KeyAuthority::with_seed(3);
+        let server = Signer::register("server-1", &authority);
+        let proxy = Signer::register("proxy-0", &authority);
+        let reply = SignedReply::sign(
+            ReplyBody {
+                request_seq: 9,
+                client: "alice".into(),
+                body: b"OK".to_vec(),
+                server_index: 1,
+            },
+            &server,
+        );
+        (authority, server, proxy, reply)
+    }
+
+    #[test]
+    fn client_request_roundtrip() {
+        let req = ClientRequest {
+            seq: 3,
+            client: "alice".into(),
+            op: b"GET k".to_vec(),
+        };
+        assert_eq!(ClientRequest::decode(&req.encode()).unwrap(), req);
+        // Bad tag rejected.
+        let mut bytes = req.encode();
+        bytes[0] = 0x55;
+        assert!(ClientRequest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn proxy_response_roundtrip_and_verify() {
+        let (authority, _, proxy, reply) = setup();
+        let resp = ProxyResponse::over_sign(reply, &proxy);
+        let decoded = ProxyResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        decoded
+            .verify(
+                &authority,
+                &["server-1".into()],
+                &["proxy-0".into()],
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_server_rejected() {
+        let (authority, _, proxy, reply) = setup();
+        let resp = ProxyResponse::over_sign(reply, &proxy);
+        let err = resp
+            .verify(&authority, &["server-9".into()], &["proxy-0".into()])
+            .unwrap_err();
+        assert!(matches!(err, FortressError::Rejected { .. }));
+    }
+
+    #[test]
+    fn unknown_proxy_rejected() {
+        let (authority, _, proxy, reply) = setup();
+        let resp = ProxyResponse::over_sign(reply, &proxy);
+        assert!(resp
+            .verify(&authority, &["server-1".into()], &["proxy-9".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn tampered_body_rejected() {
+        let (authority, _, proxy, reply) = setup();
+        let mut resp = ProxyResponse::over_sign(reply, &proxy);
+        resp.reply.reply.body = b"EVIL".to_vec();
+        assert!(resp
+            .verify(&authority, &["server-1".into()], &["proxy-0".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn single_signature_insufficient() {
+        // A response signed only by the server (forged proxy sig) fails.
+        let (authority, _, _, reply) = setup();
+        let resp = ProxyResponse {
+            reply,
+            proxy_sig: Signature::forged("proxy-0"),
+        };
+        assert!(resp
+            .verify(&authority, &["server-1".into()], &["proxy-0".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn proxy_signature_binds_to_server_signature() {
+        // Swapping in a different (even authentic) server reply under the
+        // same proxy signature must fail.
+        let (authority, server, proxy, reply) = setup();
+        let resp = ProxyResponse::over_sign(reply, &proxy);
+        let other_reply = SignedReply::sign(
+            ReplyBody {
+                request_seq: 10,
+                client: "alice".into(),
+                body: b"OTHER".to_vec(),
+                server_index: 1,
+            },
+            &server,
+        );
+        let forged = ProxyResponse {
+            reply: other_reply,
+            proxy_sig: resp.proxy_sig.clone(),
+        };
+        assert!(forged
+            .verify(&authority, &["server-1".into()], &["proxy-0".into()])
+            .is_err());
+    }
+}

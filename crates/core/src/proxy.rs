@@ -1,0 +1,459 @@
+//! The sans-I/O proxy engine.
+//!
+//! Proxies "act as intermediaries between clients and the server system"
+//! (§3): they forward client requests to every server, collect the signed
+//! server responses, over-sign **one** authentic response per request, and
+//! return it to the client. They do no processing — the forwarded bytes are
+//! relayed verbatim — but they observe: a server-side process crash right
+//! after a forwarded request marks that request's source as having
+//! submitted an invalid request, feeding the [`crate::probelog`] that
+//! eventually flags (and here, blocks) probing sources.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use fortress_crypto::sig::Signer;
+use fortress_crypto::KeyAuthority;
+use fortress_replication::message::SignedReply;
+
+use crate::messages::{ClientRequest, ProxyResponse};
+use crate::nameserver::NameServer;
+use crate::probelog::{ProbeLog, SuspicionPolicy};
+
+/// Inputs to the proxy engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProxyInput {
+    /// A request arriving from a client.
+    ClientRequest(ClientRequest),
+    /// A signed reply from server `server_index`.
+    ServerReply {
+        /// Index of the replying server (resolved by the transport).
+        server_index: usize,
+        /// The reply.
+        reply: SignedReply,
+    },
+    /// The connection to server `server_index` closed — its serving process
+    /// crashed (the de-randomization observable).
+    ServerClosed {
+        /// Index of the crashed server.
+        server_index: usize,
+    },
+    /// Logical clock tick.
+    Tick {
+        /// Current time in unit time-steps.
+        now: u64,
+    },
+}
+
+/// Outputs of the proxy engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProxyOutput {
+    /// Relay the (verbatim) client request to every server.
+    ForwardToServers(ClientRequest),
+    /// Return a doubly-signed response to `client`.
+    ToClient {
+        /// Destination client name.
+        client: String,
+        /// The over-signed response.
+        response: ProxyResponse,
+    },
+    /// A source crossed the suspicion threshold and is now blocked.
+    Suspect {
+        /// The flagged source.
+        source: String,
+    },
+}
+
+/// One FORTRESS proxy.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use fortress_core::nameserver::{NameServer, ReplicationType};
+/// use fortress_core::probelog::SuspicionPolicy;
+/// use fortress_core::proxy::{Proxy, ProxyInput, ProxyOutput};
+/// use fortress_core::messages::ClientRequest;
+/// use fortress_crypto::{KeyAuthority, Signer};
+///
+/// let authority = Arc::new(KeyAuthority::with_seed(1));
+/// let ns = NameServer::builder()
+///     .proxy("proxy-0").server("server-0")
+///     .replication(ReplicationType::PrimaryBackup).build()?;
+/// let signer = Signer::register("proxy-0", &authority);
+/// let mut proxy = Proxy::new("proxy-0", signer, authority, ns, SuspicionPolicy::default());
+/// let outs = proxy.on_input(ProxyInput::ClientRequest(ClientRequest {
+///     seq: 1, client: "alice".into(), op: b"GET k".to_vec(),
+/// }));
+/// assert!(matches!(&outs[..], [ProxyOutput::ForwardToServers(_)]));
+/// # Ok::<(), fortress_core::FortressError>(())
+/// ```
+#[derive(Debug)]
+pub struct Proxy {
+    name: String,
+    signer: Signer,
+    authority: Arc<KeyAuthority>,
+    ns: NameServer,
+    log: ProbeLog,
+    now: u64,
+    /// Requests already answered toward the client: `(client, seq)`.
+    responded: HashSet<(String, u64)>,
+    /// Per-server FIFO of forwarded-but-unanswered requests, used to
+    /// attribute an observed crash to the request that caused it.
+    outstanding: Vec<VecDeque<(String, u64)>>,
+    /// Requests already logged as invalid — one broadcast probe crashes
+    /// every server, but it is still a single invalid request.
+    logged: HashSet<(String, u64)>,
+    forwarded: u64,
+}
+
+impl Proxy {
+    /// Creates the proxy named `name` (must appear in the name server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a registered proxy — an assembly bug.
+    pub fn new(
+        name: &str,
+        signer: Signer,
+        authority: Arc<KeyAuthority>,
+        ns: NameServer,
+        policy: SuspicionPolicy,
+    ) -> Proxy {
+        assert!(
+            ns.proxy_index(name).is_some(),
+            "proxy `{name}` missing from the name server"
+        );
+        let servers = ns.ns();
+        Proxy {
+            name: name.to_owned(),
+            signer,
+            authority,
+            ns,
+            log: ProbeLog::new(policy),
+            now: 0,
+            responded: HashSet::new(),
+            outstanding: vec![VecDeque::new(); servers],
+            logged: HashSet::new(),
+            forwarded: 0,
+        }
+    }
+
+    /// Proxy principal name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Requests forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Read access to the probe log (telemetry, tests).
+    pub fn log(&self) -> &ProbeLog {
+        &self.log
+    }
+
+    /// Feeds one input, returning the outputs it provokes.
+    pub fn on_input(&mut self, input: ProxyInput) -> Vec<ProxyOutput> {
+        match input {
+            ProxyInput::ClientRequest(req) => self.on_client_request(req),
+            ProxyInput::ServerReply {
+                server_index,
+                reply,
+            } => self.on_server_reply(server_index, reply),
+            ProxyInput::ServerClosed { server_index } => self.on_server_closed(server_index),
+            ProxyInput::Tick { now } => {
+                self.now = now;
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_client_request(&mut self, req: ClientRequest) -> Vec<ProxyOutput> {
+        if self.log.is_suspicious(&req.client) {
+            // Identified probing sources are cut off.
+            return Vec::new();
+        }
+        self.forwarded += 1;
+        for q in &mut self.outstanding {
+            q.push_back((req.client.clone(), req.seq));
+        }
+        vec![ProxyOutput::ForwardToServers(req)]
+    }
+
+    fn on_server_reply(&mut self, server_index: usize, reply: SignedReply) -> Vec<ProxyOutput> {
+        if server_index >= self.ns.ns() {
+            return Vec::new();
+        }
+        // Authenticity: valid signature by the server with that index.
+        let expected_name = &self.ns.servers()[server_index];
+        if reply.signature.signer() != expected_name
+            || reply.reply.server_index as usize != server_index
+            || !reply.verify(&self.authority)
+        {
+            return Vec::new();
+        }
+        let key = (reply.reply.client.clone(), reply.reply.request_seq);
+        // The server answered: its outstanding entry is settled.
+        self.outstanding[server_index].retain(|k| *k != key);
+        if self.responded.contains(&key) {
+            // Over-sign any ONE authentic response (§3); the rest are noise.
+            return Vec::new();
+        }
+        self.responded.insert(key.clone());
+        let response = ProxyResponse::over_sign(reply, &self.signer);
+        vec![ProxyOutput::ToClient {
+            client: key.0,
+            response,
+        }]
+    }
+
+    fn on_server_closed(&mut self, server_index: usize) -> Vec<ProxyOutput> {
+        if server_index >= self.outstanding.len() {
+            return Vec::new();
+        }
+        // Attribute the crash to the oldest unanswered request at that
+        // server: that is the request whose processing killed the child.
+        let Some((client, seq)) = self.outstanding[server_index].pop_front() else {
+            return Vec::new();
+        };
+        if !self.logged.insert((client.clone(), seq)) {
+            // The same broadcast probe already killed another server; one
+            // request counts once.
+            return Vec::new();
+        }
+        let was_suspicious = self.log.is_suspicious(&client);
+        self.log.record_invalid(&client, self.now);
+        if !was_suspicious && self.log.is_suspicious(&client) {
+            return vec![ProxyOutput::Suspect { source: client }];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nameserver::ReplicationType;
+    use fortress_replication::message::ReplyBody;
+
+    struct Fixture {
+        authority: Arc<KeyAuthority>,
+        proxy: Proxy,
+        server_signers: Vec<Signer>,
+    }
+
+    fn fixture() -> Fixture {
+        let authority = Arc::new(KeyAuthority::with_seed(5));
+        let ns = NameServer::builder()
+            .proxy("proxy-0")
+            .proxy("proxy-1")
+            .proxy("proxy-2")
+            .server("server-0")
+            .server("server-1")
+            .server("server-2")
+            .replication(ReplicationType::PrimaryBackup)
+            .build()
+            .unwrap();
+        let proxy_signer = Signer::register("proxy-0", &authority);
+        let server_signers = (0..3)
+            .map(|i| Signer::register(&format!("server-{i}"), &authority))
+            .collect();
+        let proxy = Proxy::new(
+            "proxy-0",
+            proxy_signer,
+            Arc::clone(&authority),
+            ns,
+            SuspicionPolicy {
+                window: 10,
+                threshold: 3,
+            },
+        );
+        Fixture {
+            authority,
+            proxy,
+            server_signers,
+        }
+    }
+
+    fn request(seq: u64, client: &str) -> ClientRequest {
+        ClientRequest {
+            seq,
+            client: client.into(),
+            op: b"GET k".to_vec(),
+        }
+    }
+
+    fn reply(f: &Fixture, server_index: usize, seq: u64, client: &str) -> SignedReply {
+        SignedReply::sign(
+            ReplyBody {
+                request_seq: seq,
+                client: client.into(),
+                body: b"VALUE v".to_vec(),
+                server_index: server_index as u32,
+            },
+            &f.server_signers[server_index],
+        )
+    }
+
+    #[test]
+    fn forwards_requests_verbatim() {
+        let mut f = fixture();
+        let req = request(1, "alice");
+        let outs = f.proxy.on_input(ProxyInput::ClientRequest(req.clone()));
+        assert_eq!(outs, vec![ProxyOutput::ForwardToServers(req)]);
+        assert_eq!(f.proxy.forwarded(), 1);
+    }
+
+    #[test]
+    fn over_signs_first_authentic_reply_only() {
+        let mut f = fixture();
+        f.proxy
+            .on_input(ProxyInput::ClientRequest(request(1, "alice")));
+        let r0 = reply(&f, 0, 1, "alice");
+        let outs = f.proxy.on_input(ProxyInput::ServerReply {
+            server_index: 0,
+            reply: r0,
+        });
+        let [ProxyOutput::ToClient { client, response }] = &outs[..] else {
+            panic!("expected one response, got {outs:?}");
+        };
+        assert_eq!(client, "alice");
+        response
+            .verify(
+                &f.authority,
+                &["server-0".into(), "server-1".into(), "server-2".into()],
+                &["proxy-0".into()],
+            )
+            .unwrap();
+        // Second and third replies are swallowed.
+        for i in [1usize, 2] {
+            let r = reply(&f, i, 1, "alice");
+            let outs = f.proxy.on_input(ProxyInput::ServerReply {
+                server_index: i,
+                reply: r,
+            });
+            assert!(outs.is_empty(), "duplicate reply over-signed");
+        }
+    }
+
+    #[test]
+    fn rejects_forged_or_mislabeled_replies() {
+        let mut f = fixture();
+        f.proxy
+            .on_input(ProxyInput::ClientRequest(request(1, "alice")));
+        // Signature by server-1 presented as from index 0.
+        let wrong = reply(&f, 1, 1, "alice");
+        let outs = f.proxy.on_input(ProxyInput::ServerReply {
+            server_index: 0,
+            reply: wrong,
+        });
+        assert!(outs.is_empty());
+        // Tampered body.
+        let mut bad = reply(&f, 0, 1, "alice");
+        bad.reply.body = b"EVIL".to_vec();
+        let outs = f.proxy.on_input(ProxyInput::ServerReply {
+            server_index: 0,
+            reply: bad,
+        });
+        assert!(outs.is_empty());
+        // Out-of-range index.
+        let r = reply(&f, 0, 1, "alice");
+        assert!(f
+            .proxy
+            .on_input(ProxyInput::ServerReply {
+                server_index: 7,
+                reply: r
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn crash_attribution_flags_prober_and_blocks_it() {
+        let mut f = fixture();
+        // Threshold 3: three crashing requests flag mallory.
+        for seq in 1..=3u64 {
+            f.proxy
+                .on_input(ProxyInput::ClientRequest(request(seq, "mallory")));
+            let outs = f.proxy.on_input(ProxyInput::ServerClosed { server_index: 0 });
+            if seq < 3 {
+                assert!(outs.is_empty(), "seq {seq}: {outs:?}");
+            } else {
+                assert_eq!(
+                    outs,
+                    vec![ProxyOutput::Suspect {
+                        source: "mallory".into()
+                    }]
+                );
+            }
+        }
+        assert!(f.proxy.log().is_suspicious("mallory"));
+        // Further requests from mallory are dropped.
+        let outs = f
+            .proxy
+            .on_input(ProxyInput::ClientRequest(request(4, "mallory")));
+        assert!(outs.is_empty());
+        // Honest clients are unaffected.
+        let outs = f
+            .proxy
+            .on_input(ProxyInput::ClientRequest(request(1, "alice")));
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn crash_attribution_uses_fifo_order() {
+        let mut f = fixture();
+        f.proxy
+            .on_input(ProxyInput::ClientRequest(request(1, "alice")));
+        f.proxy
+            .on_input(ProxyInput::ClientRequest(request(1, "mallory")));
+        // Server 0 answers alice's request first: it is settled.
+        let r = reply(&f, 0, 1, "alice");
+        f.proxy.on_input(ProxyInput::ServerReply {
+            server_index: 0,
+            reply: r,
+        });
+        // Now server 0 crashes: the oldest unanswered request is mallory's.
+        f.proxy.on_input(ProxyInput::ServerClosed { server_index: 0 });
+        assert_eq!(f.proxy.log().window_count("mallory"), 1);
+        assert_eq!(f.proxy.log().window_count("alice"), 0);
+    }
+
+    #[test]
+    fn spurious_closure_without_outstanding_is_ignored() {
+        let mut f = fixture();
+        let outs = f.proxy.on_input(ProxyInput::ServerClosed { server_index: 1 });
+        assert!(outs.is_empty());
+        assert!(f
+            .proxy
+            .on_input(ProxyInput::ServerClosed { server_index: 99 })
+            .is_empty());
+    }
+
+    #[test]
+    fn tick_advances_window_clock() {
+        let mut f = fixture();
+        // Probes spread over time never hit 3-in-10-steps.
+        for (i, t) in [(1u64, 0u64), (2, 20), (3, 40), (4, 60)] {
+            f.proxy.on_input(ProxyInput::Tick { now: t });
+            f.proxy
+                .on_input(ProxyInput::ClientRequest(request(i, "slow")));
+            f.proxy.on_input(ProxyInput::ServerClosed { server_index: 0 });
+        }
+        assert!(!f.proxy.log().is_suspicious("slow"), "paced prober evades");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the name server")]
+    fn unknown_proxy_name_panics() {
+        let authority = Arc::new(KeyAuthority::with_seed(5));
+        let ns = NameServer::builder()
+            .proxy("proxy-0")
+            .server("server-0")
+            .build()
+            .unwrap();
+        let signer = Signer::register("ghost", &authority);
+        let _ = Proxy::new("ghost", signer, authority, ns, SuspicionPolicy::default());
+    }
+}

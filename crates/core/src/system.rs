@@ -1,0 +1,1152 @@
+//! Full-system assembly of S0, S1 and S2 over the deterministic network.
+//!
+//! A [`Stack`] wires together, per the class under test (paper §4):
+//!
+//! * **S0** — 4 SMR replicas with **distinct** randomization keys; clients
+//!   talk to all replicas directly; compromised when 2 replicas fall.
+//! * **S1** — 3 PB replicas with **one shared** key; clients talk to all
+//!   replicas directly; compromised when any replica falls.
+//! * **S2** — FORTRESS: 3 proxies (distinct keys) in front of 3 PB servers
+//!   (shared key); servers accept traffic **only from proxies**; the
+//!   system is compromised when a server falls or all proxies fall.
+//!
+//! Every node is a [`ForkingDaemon`]-supervised randomized process: a
+//! malicious request whose embedded exploit misses the key **crashes** the
+//! child (peers observe the closed connection; the daemon restarts it), and
+//! a correct guess **compromises** it. `end_step` applies the obfuscation
+//! policy: PO re-randomizes with fresh keys (shared for the server group,
+//! distinct for proxies, per §3), SO merely recovers.
+//!
+//! The stack exposes exactly the handles the attacker legitimately has —
+//! client endpoints, proxy addresses, direct server addresses for 1-tier
+//! classes, plus `submit_via_proxy` which *requires* the proxy to be
+//! compromised (the launch-pad path of §3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fortress_crypto::sig::Signer;
+use fortress_crypto::KeyAuthority;
+use fortress_net::addr::Addr;
+use fortress_net::event::NetEvent;
+use fortress_net::sim::{SimConfig, SimNet};
+use fortress_obf::daemon::ForkingDaemon;
+use fortress_obf::keys::KeySpace;
+use fortress_obf::process::ProbeOutcome;
+use fortress_obf::schedule::{KeyAssignment, ObfuscationPolicy, Rerandomizer};
+use fortress_obf::scheme::{ExploitPayload, Scheme};
+use fortress_replication::message::SignedReply;
+use fortress_replication::pb::{PbConfig, PbInput, PbOutput, PbReplica};
+use fortress_replication::service::KvStore;
+use fortress_replication::smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica};
+
+use crate::error::FortressError;
+use crate::messages::ClientRequest;
+use crate::nameserver::{NameServer, ReplicationType};
+use crate::probelog::SuspicionPolicy;
+use crate::proxy::{Proxy, ProxyInput, ProxyOutput};
+
+/// Which system class to assemble.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemClass {
+    /// 4-replica SMR, clients direct (Definition 1).
+    S0Smr,
+    /// 3-replica PB, clients direct (Definition 2).
+    S1Pb,
+    /// FORTRESS: 3 proxies + 3 PB servers (Definition 3).
+    S2Fortress,
+}
+
+/// Assembly-time configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StackConfig {
+    /// System class.
+    pub class: SystemClass,
+    /// Randomization-key entropy in bits (the paper's χ = 2^16; protocol
+    /// simulations use smaller spaces for runtime).
+    pub entropy_bits: u32,
+    /// Randomization scheme for every node.
+    pub scheme: Scheme,
+    /// Obfuscation policy (SO or PO).
+    pub policy: ObfuscationPolicy,
+    /// Proxy suspicion policy (S2 only).
+    pub suspicion: SuspicionPolicy,
+    /// Number of proxies `np` (S2 only; the paper uses 3).
+    pub np: usize,
+    /// Number of PB servers `ns` (S1/S2; the paper uses 3). S0 is fixed at
+    /// `n = 3f + 1 = 4` by the SMR quorum arithmetic.
+    pub ns: usize,
+    /// Master seed: network latencies, key draws, principal keys.
+    pub seed: u64,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            class: SystemClass::S2Fortress,
+            entropy_bits: 10,
+            scheme: Scheme::Aslr,
+            policy: ObfuscationPolicy::proactive_unit(),
+            suspicion: SuspicionPolicy::default(),
+            np: 3,
+            ns: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// How (and whether) the system has been compromised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompromiseState {
+    /// All compromise conditions unmet.
+    Intact,
+    /// A server replica is attacker-controlled (fatal for S1/S2; for S0,
+    /// fatal once two are).
+    ServerCompromised {
+        /// How many server replicas are currently controlled.
+        count: usize,
+    },
+    /// Every proxy is attacker-controlled (S2's second compromise path).
+    AllProxiesCompromised,
+}
+
+struct ProxyNode {
+    addr: Addr,
+    daemon: ForkingDaemon,
+    engine: Proxy,
+}
+
+struct PbNode {
+    addr: Addr,
+    daemon: ForkingDaemon,
+    engine: PbReplica<KvStore>,
+}
+
+struct SmrNode {
+    addr: Addr,
+    daemon: ForkingDaemon,
+    engine: SmrReplica<KvStore>,
+}
+
+/// A fully wired S0/S1/S2 deployment over [`SimNet`].
+pub struct Stack {
+    cfg: StackConfig,
+    net: SimNet,
+    authority: Arc<KeyAuthority>,
+    ns: NameServer,
+    rng: rand::rngs::StdRng,
+    proxies: Vec<ProxyNode>,
+    pb_servers: Vec<PbNode>,
+    smr_servers: Vec<SmrNode>,
+    clients: HashMap<String, Addr>,
+    proxy_rr: Option<Rerandomizer>,
+    server_rr: Rerandomizer,
+    step: u64,
+    suspects: Vec<String>,
+}
+
+impl Stack {
+    /// Assembles a stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FortressError`] when any component rejects the
+    /// configuration (e.g. an inconsistent name-server topology).
+    pub fn new(cfg: StackConfig) -> Result<Stack, FortressError> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut net = SimNet::new(SimConfig {
+            seed: cfg.seed ^ 0x5eed,
+            ..SimConfig::default()
+        });
+        let authority = Arc::new(KeyAuthority::with_seed(cfg.seed ^ 0xca11));
+        let space = KeySpace::from_entropy_bits(cfg.entropy_bits);
+
+        if cfg.ns == 0 || (cfg.class == SystemClass::S2Fortress && cfg.np == 0) {
+            return Err(FortressError::BadAssembly {
+                reason: "fleet sizes must be at least 1".into(),
+            });
+        }
+        let (proxy_names, server_names, replication): (Vec<String>, Vec<String>, _) =
+            match cfg.class {
+                SystemClass::S0Smr => (
+                    vec![],
+                    (0..4).map(|i| format!("smr-{i}")).collect(),
+                    ReplicationType::StateMachine { f: 1 },
+                ),
+                SystemClass::S1Pb => (
+                    vec![],
+                    (0..cfg.ns).map(|i| format!("pb-{i}")).collect(),
+                    ReplicationType::PrimaryBackup,
+                ),
+                SystemClass::S2Fortress => (
+                    (0..cfg.np).map(|i| format!("proxy-{i}")).collect(),
+                    (0..cfg.ns).map(|i| format!("pb-{i}")).collect(),
+                    ReplicationType::PrimaryBackup,
+                ),
+            };
+
+        let mut ns_builder = NameServer::builder().replication(replication);
+        for p in &proxy_names {
+            ns_builder = ns_builder.proxy(p);
+        }
+        for s in &server_names {
+            ns_builder = ns_builder.server(s);
+        }
+        let ns = ns_builder.build()?;
+
+        // Key assignment per the FORTRESS prescription (§3): one shared key
+        // for the server group (S1/S2), distinct keys for proxies and for
+        // the diversely randomized S0 replicas.
+        let server_assignment = match cfg.class {
+            SystemClass::S0Smr => KeyAssignment::DistinctPerNode,
+            _ => KeyAssignment::SharedAcrossGroup,
+        };
+        let server_rr = Rerandomizer::new(space, cfg.policy, server_assignment);
+        let server_keys = server_rr.initial_keys(server_names.len(), &mut rng);
+        let mut proxy_rr = (!proxy_names.is_empty())
+            .then(|| Rerandomizer::new(space, cfg.policy, KeyAssignment::DistinctPerNode));
+        let proxy_keys = proxy_rr
+            .as_mut()
+            .map(|rr| rr.initial_keys(proxy_names.len(), &mut rng))
+            .unwrap_or_default();
+
+        let mut proxies = Vec::new();
+        for (i, name) in proxy_names.iter().enumerate() {
+            let addr = net.register(name);
+            let signer = Signer::register(name, &authority);
+            let engine = Proxy::new(name, signer, Arc::clone(&authority), ns.clone(), cfg.suspicion);
+            proxies.push(ProxyNode {
+                addr,
+                daemon: ForkingDaemon::boot(name, cfg.scheme, proxy_keys[i]),
+                engine,
+            });
+        }
+
+        let mut pb_servers = Vec::new();
+        let mut smr_servers = Vec::new();
+        match cfg.class {
+            SystemClass::S0Smr => {
+                for (i, name) in server_names.iter().enumerate() {
+                    let addr = net.register(name);
+                    let signer = Signer::register(name, &authority);
+                    let engine = SmrReplica::new(
+                        SmrConfig::default(),
+                        i,
+                        KvStore::new(),
+                        signer,
+                    )?;
+                    smr_servers.push(SmrNode {
+                        addr,
+                        daemon: ForkingDaemon::boot(name, cfg.scheme, server_keys[i]),
+                        engine,
+                    });
+                }
+            }
+            SystemClass::S1Pb | SystemClass::S2Fortress => {
+                for (i, name) in server_names.iter().enumerate() {
+                    let addr = net.register(name);
+                    let signer = Signer::register(name, &authority);
+                    let pb_cfg = PbConfig {
+                        n: server_names.len(),
+                        ..PbConfig::default()
+                    };
+                    let engine = PbReplica::new(pb_cfg, i, KvStore::new(), signer);
+                    pb_servers.push(PbNode {
+                        addr,
+                        daemon: ForkingDaemon::boot(name, cfg.scheme, server_keys[i]),
+                        engine,
+                    });
+                }
+            }
+        }
+
+        Ok(Stack {
+            cfg,
+            net,
+            authority,
+            ns,
+            rng,
+            proxies,
+            pb_servers,
+            smr_servers,
+            clients: HashMap::new(),
+            proxy_rr,
+            server_rr,
+            step: 0,
+            suspects: Vec::new(),
+        })
+    }
+
+    /// The assembled class.
+    pub fn class(&self) -> SystemClass {
+        self.cfg.class
+    }
+
+    /// The trusted authority (clients share it, as they share the NS).
+    pub fn authority(&self) -> Arc<KeyAuthority> {
+        Arc::clone(&self.authority)
+    }
+
+    /// The trusted name server contents.
+    pub fn ns(&self) -> &NameServer {
+        &self.ns
+    }
+
+    /// Current unit time-step.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The network's logical clock (ticks; one tick per hop at the default
+    /// fixed latency). Useful for hop-count/latency measurements.
+    pub fn network_now(&self) -> u64 {
+        self.net.now()
+    }
+
+    /// Sources the proxy tier has flagged.
+    pub fn suspects(&self) -> &[String] {
+        &self.suspects
+    }
+
+    /// The key space in use.
+    pub fn key_space(&self) -> KeySpace {
+        self.server_rr.space()
+    }
+
+    /// Registers a client endpoint.
+    pub fn add_client(&mut self, name: &str) -> Addr {
+        let addr = self.net.register(name);
+        self.clients.insert(name.to_owned(), addr);
+        addr
+    }
+
+    /// Addresses of the proxy tier (published by the NS).
+    pub fn proxy_addrs(&self) -> Vec<Addr> {
+        self.proxies.iter().map(|p| p.addr).collect()
+    }
+
+    /// Addresses of the server tier. Published only for 1-tier classes; in
+    /// S2 clients know server *indices*, not addresses — but even a leaked
+    /// address is useless because servers drop non-proxy traffic.
+    pub fn server_addrs(&self) -> Vec<Addr> {
+        match self.cfg.class {
+            SystemClass::S0Smr => self.smr_servers.iter().map(|s| s.addr).collect(),
+            _ => self.pb_servers.iter().map(|s| s.addr).collect(),
+        }
+    }
+
+    /// Oracle access for the evaluation harness: the server group's current
+    /// randomization key(s).
+    pub fn server_keys(&self) -> Vec<fortress_obf::keys::RandomizationKey> {
+        match self.cfg.class {
+            SystemClass::S0Smr => self.smr_servers.iter().map(|s| s.daemon.key()).collect(),
+            _ => self.pb_servers.iter().map(|s| s.daemon.key()).collect(),
+        }
+    }
+
+    /// Oracle access: proxy keys.
+    pub fn proxy_keys(&self) -> Vec<fortress_obf::keys::RandomizationKey> {
+        self.proxies.iter().map(|p| p.daemon.key()).collect()
+    }
+
+    /// Whether proxy `i`'s process is attacker-controlled.
+    pub fn proxy_is_compromised(&self, i: usize) -> bool {
+        self.proxies[i].daemon.is_compromised()
+    }
+
+    /// Total restarts (≈ crashes) across the server tier.
+    pub fn server_restarts(&self) -> u64 {
+        match self.cfg.class {
+            SystemClass::S0Smr => self.smr_servers.iter().map(|s| s.daemon.restarts()).sum(),
+            _ => self.pb_servers.iter().map(|s| s.daemon.restarts()).sum(),
+        }
+    }
+
+    /// Sends a client request from `client` toward the system's public
+    /// tier: proxies for S2, servers for S0/S1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered with [`Stack::add_client`].
+    pub fn submit(&mut self, client: &str, req: &ClientRequest) {
+        let from = *self.clients.get(client).expect("client not registered");
+        let payload = Bytes::from(req.encode());
+        let targets: Vec<Addr> = match self.cfg.class {
+            SystemClass::S2Fortress => self.proxy_addrs(),
+            _ => self.server_addrs(),
+        };
+        for t in targets {
+            self.net.send(from, t, payload.clone());
+        }
+    }
+
+    /// Sends raw bytes from `client` to an arbitrary address (the attacker
+    /// probing a proxy process, e.g. with [`ExploitPayload`] bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered.
+    pub fn send_raw(&mut self, client: &str, to: Addr, bytes: Vec<u8>) {
+        let from = *self.clients.get(client).expect("client not registered");
+        self.net.send(from, to, Bytes::from(bytes));
+    }
+
+    /// Launch-pad path: submit a request to the servers *from* proxy `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless proxy `i` is compromised — only an attacker holding
+    /// the proxy can do this, and holding it is exactly what compromise
+    /// means.
+    pub fn submit_via_proxy(&mut self, proxy_index: usize, req: &ClientRequest) {
+        assert!(
+            self.proxies[proxy_index].daemon.is_compromised(),
+            "launch-pad requires a compromised proxy"
+        );
+        let from = self.proxies[proxy_index].addr;
+        let payload = Bytes::from(req.encode());
+        let targets: Vec<Addr> = self.pb_servers.iter().map(|s| s.addr).collect();
+        for t in targets {
+            self.net.send(from, t, payload.clone());
+        }
+    }
+
+    /// Drains network events pending at a client endpoint.
+    pub fn drain_client(&mut self, client: &str) -> Vec<NetEvent> {
+        let addr = *self.clients.get(client).expect("client not registered");
+        self.net.drain(addr)
+    }
+
+    /// Drains events at a compromised proxy (the attacker reads its inbox).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the proxy is compromised.
+    pub fn drain_proxy_inbox(&mut self, proxy_index: usize) -> Vec<NetEvent> {
+        assert!(
+            self.proxies[proxy_index].daemon.is_compromised(),
+            "only a compromised proxy leaks its inbox"
+        );
+        let addr = self.proxies[proxy_index].addr;
+        self.net.drain(addr)
+    }
+
+    /// Delivers all in-flight traffic, running node logic until quiescence.
+    pub fn pump(&mut self) {
+        loop {
+            let worked = self.process_all_inboxes();
+            let advanced = self.net.advance();
+            if !worked && !advanced {
+                break;
+            }
+        }
+    }
+
+    fn process_all_inboxes(&mut self) -> bool {
+        let mut worked = false;
+        for i in 0..self.proxies.len() {
+            let events = self.net.drain(self.proxies[i].addr);
+            for ev in events {
+                worked = true;
+                self.handle_proxy_event(i, ev);
+            }
+        }
+        for i in 0..self.pb_servers.len() {
+            let events = self.net.drain(self.pb_servers[i].addr);
+            for ev in events {
+                worked = true;
+                self.handle_pb_event(i, ev);
+            }
+        }
+        for i in 0..self.smr_servers.len() {
+            let events = self.net.drain(self.smr_servers[i].addr);
+            for ev in events {
+                worked = true;
+                self.handle_smr_event(i, ev);
+            }
+        }
+        worked
+    }
+
+    fn server_index_by_addr(&self, addr: Addr) -> Option<usize> {
+        self.pb_servers
+            .iter()
+            .position(|s| s.addr == addr)
+            .or_else(|| self.smr_servers.iter().position(|s| s.addr == addr))
+    }
+
+    fn proxy_index_by_addr(&self, addr: Addr) -> Option<usize> {
+        self.proxies.iter().position(|p| p.addr == addr)
+    }
+
+    fn handle_proxy_event(&mut self, i: usize, ev: NetEvent) {
+        match ev {
+            NetEvent::ConnectionClosed { peer, .. } => {
+                if let Some(server_index) = self.server_index_by_addr(peer) {
+                    let outs = self.proxies[i]
+                        .engine
+                        .on_input(ProxyInput::ServerClosed { server_index });
+                    self.dispatch_proxy_outputs(i, outs);
+                }
+            }
+            NetEvent::Message { payload, .. } => {
+                if self.proxies[i].daemon.is_compromised() {
+                    // The attacker holds this proxy; it serves no one.
+                    return;
+                }
+                if let Some(exploit) = ExploitPayload::from_bytes(&payload) {
+                    let addr = self.proxies[i].addr;
+                    match self.proxies[i].daemon.deliver_exploit(exploit) {
+                        ProbeOutcome::Crashed => {
+                            // Peers see the closure; the forking daemon has
+                            // already brought up a fresh same-key child.
+                            self.net.crash(addr);
+                            self.net.restart(addr);
+                        }
+                        ProbeOutcome::Compromised | ProbeOutcome::Benign
+                        | ProbeOutcome::Unserved => {}
+                    }
+                    return;
+                }
+                self.proxies[i].daemon.deliver_benign();
+                if let Ok(req) = ClientRequest::decode(&payload) {
+                    let outs = self.proxies[i]
+                        .engine
+                        .on_input(ProxyInput::ClientRequest(req));
+                    self.dispatch_proxy_outputs(i, outs);
+                } else if let Ok(reply) = SignedReply::decode(&payload) {
+                    let server_index = reply.reply.server_index as usize;
+                    let outs = self.proxies[i].engine.on_input(ProxyInput::ServerReply {
+                        server_index,
+                        reply,
+                    });
+                    self.dispatch_proxy_outputs(i, outs);
+                }
+            }
+        }
+    }
+
+    fn dispatch_proxy_outputs(&mut self, i: usize, outs: Vec<ProxyOutput>) {
+        let from = self.proxies[i].addr;
+        for out in outs {
+            match out {
+                ProxyOutput::ForwardToServers(req) => {
+                    let payload = Bytes::from(req.encode());
+                    let targets: Vec<Addr> =
+                        self.pb_servers.iter().map(|s| s.addr).collect();
+                    for t in targets {
+                        self.net.send(from, t, payload.clone());
+                    }
+                }
+                ProxyOutput::ToClient { client, response } => {
+                    if let Some(addr) = self.clients.get(&client) {
+                        self.net.send(from, *addr, Bytes::from(response.encode()));
+                    }
+                }
+                ProxyOutput::Suspect { source } => {
+                    if !self.suspects.contains(&source) {
+                        self.suspects.push(source);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_pb_event(&mut self, i: usize, ev: NetEvent) {
+        let NetEvent::Message { from, payload, .. } = ev else {
+            return;
+        };
+        // Access control (§3): in S2, servers accept only proxy traffic.
+        if self.cfg.class == SystemClass::S2Fortress
+            && self.proxy_index_by_addr(from).is_none()
+            && self.server_index_by_addr(from).is_none()
+        {
+            return;
+        }
+        if self.pb_servers[i].daemon.is_compromised() {
+            return;
+        }
+        if let Ok(req) = ClientRequest::decode(&payload) {
+            if let Some(exploit) = ExploitPayload::from_bytes(&req.op) {
+                let addr = self.pb_servers[i].addr;
+                match self.pb_servers[i].daemon.deliver_exploit(exploit) {
+                    ProbeOutcome::Crashed => {
+                        self.net.crash(addr);
+                        self.net.restart(addr);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            self.pb_servers[i].daemon.deliver_benign();
+            let outs = self.pb_servers[i].engine.on_input(PbInput::Request {
+                seq: req.seq,
+                client: req.client,
+                op: req.op,
+            });
+            self.dispatch_pb_outputs(i, outs);
+        } else if let Some(sender) = self.server_index_by_addr(from) {
+            if let Ok(msg) = fortress_replication::message::PbMsg::decode(&payload) {
+                let outs = self.pb_servers[i]
+                    .engine
+                    .on_input(PbInput::ReplicaMsg { from: sender, msg });
+                self.dispatch_pb_outputs(i, outs);
+            }
+        }
+    }
+
+    fn dispatch_pb_outputs(&mut self, i: usize, outs: Vec<PbOutput>) {
+        let from = self.pb_servers[i].addr;
+        for out in outs {
+            match out {
+                PbOutput::Broadcast(msg) => {
+                    let payload = Bytes::from(msg.encode());
+                    let targets: Vec<Addr> = self
+                        .pb_servers
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, s)| s.addr)
+                        .collect();
+                    for t in targets {
+                        self.net.send(from, t, payload.clone());
+                    }
+                }
+                PbOutput::Reply(reply) => {
+                    let payload = Bytes::from(reply.encode());
+                    match self.cfg.class {
+                        SystemClass::S2Fortress => {
+                            // "returns the signed response to every proxy"
+                            let targets = self.proxy_addrs();
+                            for t in targets {
+                                self.net.send(from, t, payload.clone());
+                            }
+                        }
+                        _ => {
+                            if let Some(addr) = self.clients.get(&reply.reply.client) {
+                                self.net.send(from, *addr, payload.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_smr_event(&mut self, i: usize, ev: NetEvent) {
+        let NetEvent::Message { from, payload, .. } = ev else {
+            return;
+        };
+        if self.smr_servers[i].daemon.is_compromised() {
+            return;
+        }
+        if let Ok(req) = ClientRequest::decode(&payload) {
+            if let Some(exploit) = ExploitPayload::from_bytes(&req.op) {
+                let addr = self.smr_servers[i].addr;
+                match self.smr_servers[i].daemon.deliver_exploit(exploit) {
+                    ProbeOutcome::Crashed => {
+                        self.net.crash(addr);
+                        self.net.restart(addr);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            self.smr_servers[i].daemon.deliver_benign();
+            let outs = self.smr_servers[i].engine.on_input(SmrInput::Request {
+                seq: req.seq,
+                client: req.client,
+                op: req.op,
+            });
+            self.dispatch_smr_outputs(i, outs);
+        } else if let Some(sender) = self.server_index_by_addr(from) {
+            if let Ok(msg) = fortress_replication::message::SmrMsg::decode(&payload) {
+                let outs = self.smr_servers[i]
+                    .engine
+                    .on_input(SmrInput::ReplicaMsg { from: sender, msg });
+                self.dispatch_smr_outputs(i, outs);
+            }
+        }
+    }
+
+    fn dispatch_smr_outputs(&mut self, i: usize, outs: Vec<SmrOutput>) {
+        let from = self.smr_servers[i].addr;
+        for out in outs {
+            match out {
+                SmrOutput::Broadcast(msg) => {
+                    let payload = Bytes::from(msg.encode());
+                    let targets: Vec<Addr> = self
+                        .smr_servers
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, s)| s.addr)
+                        .collect();
+                    for t in targets {
+                        self.net.send(from, t, payload.clone());
+                    }
+                }
+                SmrOutput::ToReplica(to, msg) => {
+                    let addr = self.smr_servers[to].addr;
+                    self.net.send(from, addr, Bytes::from(msg.encode()));
+                }
+                SmrOutput::Reply(reply) => {
+                    if let Some(addr) = self.clients.get(&reply.reply.client) {
+                        self.net.send(from, *addr, Bytes::from(reply.encode()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The compromise condition of the assembled class, evaluated *now*
+    /// (call before [`Stack::end_step`], which may revoke footholds).
+    pub fn compromise_state(&self) -> CompromiseState {
+        match self.cfg.class {
+            SystemClass::S0Smr => {
+                let count = self
+                    .smr_servers
+                    .iter()
+                    .filter(|s| s.daemon.is_compromised())
+                    .count();
+                if count >= 2 {
+                    CompromiseState::ServerCompromised { count }
+                } else {
+                    CompromiseState::Intact
+                }
+            }
+            SystemClass::S1Pb => {
+                let count = self
+                    .pb_servers
+                    .iter()
+                    .filter(|s| s.daemon.is_compromised())
+                    .count();
+                if count >= 1 {
+                    CompromiseState::ServerCompromised { count }
+                } else {
+                    CompromiseState::Intact
+                }
+            }
+            SystemClass::S2Fortress => {
+                let servers = self
+                    .pb_servers
+                    .iter()
+                    .filter(|s| s.daemon.is_compromised())
+                    .count();
+                if servers >= 1 {
+                    return CompromiseState::ServerCompromised { count: servers };
+                }
+                if !self.proxies.is_empty()
+                    && self.proxies.iter().all(|p| p.daemon.is_compromised())
+                {
+                    return CompromiseState::AllProxiesCompromised;
+                }
+                CompromiseState::Intact
+            }
+        }
+    }
+
+    /// Whether the compromise condition currently holds.
+    pub fn is_compromised(&self) -> bool {
+        self.compromise_state() != CompromiseState::Intact
+    }
+
+    /// Advances every engine's logical clock to the next unit time-step
+    /// and dispatches whatever the timers produce (heartbeats, failovers,
+    /// view changes).
+    fn tick_engines(&mut self) {
+        let now = self.step + 1;
+        for i in 0..self.proxies.len() {
+            let outs = self.proxies[i].engine.on_input(ProxyInput::Tick { now });
+            self.dispatch_proxy_outputs(i, outs);
+        }
+        for i in 0..self.pb_servers.len() {
+            if self.pb_servers[i].daemon.is_compromised() {
+                continue;
+            }
+            let outs = self.pb_servers[i].engine.on_input(PbInput::Tick { now });
+            self.dispatch_pb_outputs(i, outs);
+        }
+        for i in 0..self.smr_servers.len() {
+            if self.smr_servers[i].daemon.is_compromised() {
+                continue;
+            }
+            let outs = self.smr_servers[i].engine.on_input(SmrInput::Tick { now });
+            self.dispatch_smr_outputs(i, outs);
+        }
+        self.pump();
+    }
+
+    /// Ends the current unit time-step: applies end-of-step maintenance
+    /// (PO: fresh keys, clearing footholds; SO: recovery with same keys)
+    /// and advances the step counter. Returns the compromise state as it
+    /// stood **before** maintenance — the quantity the paper's EL counts.
+    pub fn end_step(&mut self) -> CompromiseState {
+        self.tick_engines();
+        let state = self.compromise_state();
+        let step = self.step;
+        let mut server_daemons: Vec<&mut ForkingDaemon> = match self.cfg.class {
+            SystemClass::S0Smr => self.smr_servers.iter_mut().map(|s| &mut s.daemon).collect(),
+            _ => self.pb_servers.iter_mut().map(|s| &mut s.daemon).collect(),
+        };
+        // Rerandomizer works on a slice; collect owned mutable refs.
+        {
+            let mut daemons: Vec<ForkingDaemon> =
+                server_daemons.iter().map(|d| (**d).clone()).collect();
+            self.server_rr.end_of_step(step, &mut daemons, &mut self.rng);
+            for (slot, fresh) in server_daemons.iter_mut().zip(daemons) {
+                **slot = fresh;
+            }
+        }
+        if let Some(rr) = &mut self.proxy_rr {
+            let mut daemons: Vec<ForkingDaemon> =
+                self.proxies.iter().map(|p| p.daemon.clone()).collect();
+            rr.end_of_step(step, &mut daemons, &mut self.rng);
+            for (node, fresh) in self.proxies.iter_mut().zip(daemons) {
+                node.daemon = fresh;
+            }
+        }
+        self.step += 1;
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{AcceptMode, DirectClient, FortressClient};
+    use crate::messages::ProxyResponse;
+    use fortress_obf::keys::RandomizationKey;
+
+    fn exploit_request(seq: u64, client: &str, scheme: Scheme, guess: RandomizationKey) -> ClientRequest {
+        ClientRequest {
+            seq,
+            client: client.into(),
+            op: scheme.craft_exploit(guess).to_bytes(),
+        }
+    }
+
+    #[test]
+    fn s2_round_trip_doubly_signed() {
+        let mut stack = Stack::new(StackConfig::default()).unwrap();
+        stack.add_client("alice");
+        let mut client =
+            FortressClient::new("alice", stack.authority(), stack.ns().clone());
+        let req = client.request(b"PUT color teal");
+        stack.submit("alice", &req);
+        stack.pump();
+        let events = stack.drain_client("alice");
+        assert!(!events.is_empty(), "no responses reached the client");
+        let mut accepted = None;
+        for ev in events {
+            if let Some(payload) = ev.payload() {
+                let resp = ProxyResponse::decode(payload).unwrap();
+                if let Some(got) = client.on_response(&resp).unwrap() {
+                    accepted = Some(got);
+                }
+            }
+        }
+        let (seq, body) = accepted.expect("a doubly-signed response accepted");
+        assert_eq!(seq, 1);
+        assert_eq!(body, b"OK");
+    }
+
+    #[test]
+    fn s1_round_trip_direct() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("alice");
+        let servers = stack.ns().servers().to_vec();
+        let mut client = DirectClient::new(
+            "alice",
+            stack.authority(),
+            servers,
+            AcceptMode::AnyAuthentic,
+        );
+        let req = client.request(b"PUT k v");
+        stack.submit("alice", &req);
+        stack.pump();
+        let mut accepted = None;
+        for ev in stack.drain_client("alice") {
+            if let Some(payload) = ev.payload() {
+                let reply = SignedReply::decode(payload).unwrap();
+                if let Some(got) = client.on_reply(&reply) {
+                    accepted = Some(got);
+                }
+            }
+        }
+        assert_eq!(accepted, Some((1, b"OK".to_vec())));
+    }
+
+    #[test]
+    fn s0_round_trip_needs_two_votes() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S0Smr,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("alice");
+        let servers = stack.ns().servers().to_vec();
+        let mut client = DirectClient::new(
+            "alice",
+            stack.authority(),
+            servers,
+            AcceptMode::MatchingVotes { f: 1 },
+        );
+        let req = client.request(b"PUT k v");
+        stack.submit("alice", &req);
+        stack.pump();
+        let mut accepted = None;
+        let mut votes = 0;
+        for ev in stack.drain_client("alice") {
+            if let Some(payload) = ev.payload() {
+                let reply = SignedReply::decode(payload).unwrap();
+                votes += 1;
+                if let Some(got) = client.on_reply(&reply) {
+                    accepted = Some(got);
+                }
+            }
+        }
+        assert!(votes >= 3, "expected a quorum of replies, got {votes}");
+        assert_eq!(accepted, Some((1, b"OK".to_vec())));
+    }
+
+    #[test]
+    fn wrong_key_probe_crashes_all_shared_key_servers_once() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            seed: 9,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        let true_key = stack.server_keys()[0];
+        let wrong = RandomizationKey(true_key.0 ^ 1);
+        let req = exploit_request(1, "mallory", Scheme::Aslr, wrong);
+        stack.submit("mallory", &req);
+        stack.pump();
+        assert_eq!(stack.server_restarts(), 3, "all three crashed and restarted");
+        assert!(!stack.is_compromised());
+        // The attacker observed the closures (its connections died).
+        let closures = stack
+            .drain_client("mallory")
+            .iter()
+            .filter(|e| e.is_closure())
+            .count();
+        assert!(closures >= 1, "attacker must observe the crash");
+    }
+
+    #[test]
+    fn right_key_probe_compromises_s1() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            seed: 9,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        let true_key = stack.server_keys()[0];
+        let req = exploit_request(1, "mallory", Scheme::Aslr, true_key);
+        stack.submit("mallory", &req);
+        stack.pump();
+        assert!(stack.is_compromised());
+        assert!(matches!(
+            stack.compromise_state(),
+            CompromiseState::ServerCompromised { count: 3 }
+        ));
+    }
+
+    #[test]
+    fn s0_single_key_hit_is_not_fatal() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S0Smr,
+            seed: 3,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        let keys = stack.server_keys();
+        // Hit exactly replica 2's key: distinct keys mean only one falls.
+        let req = exploit_request(1, "mallory", Scheme::Aslr, keys[2]);
+        stack.submit("mallory", &req);
+        stack.pump();
+        assert!(!stack.is_compromised(), "1 of 4 is within tolerance");
+        // A second distinct key falls: now it is fatal.
+        let req = exploit_request(2, "mallory", Scheme::Aslr, keys[0]);
+        stack.submit("mallory", &req);
+        stack.pump();
+        assert!(stack.is_compromised());
+    }
+
+    #[test]
+    fn po_rerandomization_revokes_compromise_so_does_not() {
+        for (policy, expect_clean) in [
+            (ObfuscationPolicy::proactive_unit(), true),
+            (ObfuscationPolicy::StartupOnly, false),
+        ] {
+            let mut stack = Stack::new(StackConfig {
+                class: SystemClass::S1Pb,
+                policy,
+                seed: 5,
+                ..StackConfig::default()
+            })
+            .unwrap();
+            stack.add_client("mallory");
+            let key = stack.server_keys()[0];
+            let req = exploit_request(1, "mallory", Scheme::Aslr, key);
+            stack.submit("mallory", &req);
+            stack.pump();
+            let state = stack.end_step();
+            assert!(matches!(state, CompromiseState::ServerCompromised { .. }));
+            // After maintenance: PO drew fresh keys and evicted the
+            // attacker; SO kept the keys, so control persists.
+            let keys_changed = stack.server_keys()[0] != key;
+            assert_eq!(keys_changed, expect_clean, "policy {policy:?}");
+            assert_eq!(
+                stack.is_compromised(),
+                !expect_clean,
+                "PO evicts, SO cannot (policy {policy:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn s2_servers_reject_direct_client_traffic() {
+        let mut stack = Stack::new(StackConfig {
+            seed: 11,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        let true_key = stack.server_keys()[0];
+        // The attacker somehow knows a server address AND the right key —
+        // but servers drop non-proxy traffic, so nothing happens.
+        let server = stack.server_addrs()[0];
+        let req = exploit_request(1, "mallory", Scheme::Aslr, true_key);
+        stack.send_raw("mallory", server, req.encode());
+        stack.pump();
+        assert!(!stack.is_compromised(), "direct server access must be blocked");
+    }
+
+    #[test]
+    fn s2_proxy_probe_and_launch_pad() {
+        let mut stack = Stack::new(StackConfig {
+            seed: 13,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        // Compromise proxy 0 with its true key (oracle-assisted for the test).
+        let pkey = stack.proxy_keys()[0];
+        let proxy_addr = stack.proxy_addrs()[0];
+        stack.send_raw("mallory", proxy_addr, Scheme::Aslr.craft_exploit(pkey).to_bytes());
+        stack.pump();
+        assert!(stack.proxy_is_compromised(0));
+        assert!(!stack.is_compromised(), "one proxy is not system compromise");
+        // Launch pad: full-rate probing of the servers from the proxy.
+        let skey = stack.server_keys()[0];
+        let req = exploit_request(1, "mallory", Scheme::Aslr, skey);
+        stack.submit_via_proxy(0, &req);
+        stack.pump();
+        assert!(stack.is_compromised());
+    }
+
+    #[test]
+    fn s2_all_proxies_compromised_is_fatal() {
+        let mut stack = Stack::new(StackConfig {
+            seed: 17,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        for i in 0..3 {
+            let key = stack.proxy_keys()[i];
+            let addr = stack.proxy_addrs()[i];
+            stack.send_raw("mallory", addr, Scheme::Aslr.craft_exploit(key).to_bytes());
+            stack.pump();
+        }
+        assert_eq!(
+            stack.compromise_state(),
+            CompromiseState::AllProxiesCompromised
+        );
+    }
+
+    #[test]
+    fn custom_fleet_sizes() {
+        let mut stack = Stack::new(StackConfig {
+            np: 5,
+            ns: 2,
+            seed: 23,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        assert_eq!(stack.ns().np(), 5);
+        assert_eq!(stack.ns().ns(), 2);
+        stack.add_client("mallory");
+        // All-proxies compromise now requires five proxies, not three.
+        for i in 0..5 {
+            let key = stack.proxy_keys()[i];
+            let addr = stack.proxy_addrs()[i];
+            stack.send_raw("mallory", addr, Scheme::Aslr.craft_exploit(key).to_bytes());
+            stack.pump();
+            let state = stack.compromise_state();
+            if i < 4 {
+                assert_eq!(state, CompromiseState::Intact, "proxy {i}");
+            } else {
+                assert_eq!(state, CompromiseState::AllProxiesCompromised);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fleet_rejected() {
+        assert!(Stack::new(StackConfig {
+            np: 0,
+            ..StackConfig::default()
+        })
+        .is_err());
+        assert!(Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            ns: 0,
+            ..StackConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn proxy_tier_flags_fast_prober() {
+        let mut stack = Stack::new(StackConfig {
+            seed: 19,
+            suspicion: SuspicionPolicy {
+                window: 1000,
+                threshold: 3,
+            },
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("mallory");
+        let true_key = stack.server_keys()[0];
+        for seq in 1..=5u64 {
+            let wrong = RandomizationKey(true_key.0 ^ seq); // all wrong guesses
+            let req = exploit_request(seq, "mallory", Scheme::Aslr, wrong);
+            stack.submit("mallory", &req);
+            stack.pump();
+        }
+        assert!(
+            stack.suspects().contains(&"mallory".to_string()),
+            "proxies must flag the prober; suspects = {:?}",
+            stack.suspects()
+        );
+        // Once flagged, further probes are not forwarded: restarts stop.
+        let restarts_before = stack.server_restarts();
+        let req = exploit_request(9, "mallory", Scheme::Aslr, RandomizationKey(true_key.0 ^ 9));
+        stack.submit("mallory", &req);
+        stack.pump();
+        assert_eq!(stack.server_restarts(), restarts_before);
+    }
+}

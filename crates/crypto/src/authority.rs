@@ -1,0 +1,281 @@
+//! The trusted key authority, modeling the paper's trusted name server.
+//!
+//! FORTRESS assumes "a trusted name-server (NS) that is read-only for
+//! clients" through which principals' public keys are learned. Because this
+//! reproduction uses MAC-based signatures (see crate docs), the authority is
+//! the component that holds every principal's verification key and answers
+//! verification queries. It is *trusted*: the attack model never allows it to
+//! be compromised, exactly as the paper assumes for its NS.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::error::CryptoError;
+use crate::hmac::HmacSha256;
+use crate::keys::SecretKey;
+use crate::sha256::Sha256;
+use crate::sig::Signature;
+
+/// Trusted registry of signing principals and their verification keys.
+///
+/// Thread-safe: proxies, servers and clients may share one authority across
+/// threads (`Arc<KeyAuthority>`).
+///
+/// # Example
+///
+/// ```
+/// use fortress_crypto::authority::KeyAuthority;
+/// use fortress_crypto::sig::Signer;
+///
+/// let authority = KeyAuthority::with_seed(1);
+/// let proxy = Signer::register("proxy-0", &authority);
+/// let sig = proxy.sign(b"fwd");
+/// assert!(authority.verify("proxy-0", b"fwd", &sig));
+/// ```
+#[derive(Debug)]
+pub struct KeyAuthority {
+    principals: RwLock<HashMap<String, SecretKey>>,
+    /// Master seed from which registered keys are derived; keeps whole-system
+    /// runs reproducible from a single seed.
+    master: SecretKey,
+    counter: RwLock<u64>,
+}
+
+impl KeyAuthority {
+    /// Creates an authority with a random master seed.
+    pub fn new() -> Self {
+        let master = SecretKey::generate(&mut rand::thread_rng());
+        KeyAuthority {
+            principals: RwLock::new(HashMap::new()),
+            master,
+            counter: RwLock::new(0),
+        }
+    }
+
+    /// Creates an authority whose registrations are a deterministic function
+    /// of `seed` and the registration order/names.
+    pub fn with_seed(seed: u64) -> Self {
+        let digest = Sha256::digest_parts(&[b"fortress-authority-seed", &seed.to_le_bytes()]);
+        KeyAuthority {
+            principals: RwLock::new(HashMap::new()),
+            master: SecretKey::from_bytes(digest.0),
+            counter: RwLock::new(0),
+        }
+    }
+
+    /// Registers a new principal and returns its secret signing key.
+    ///
+    /// Prefer [`crate::sig::Signer::register`], which wraps this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DuplicatePrincipal`] if the name is taken.
+    pub fn register(&self, name: &str) -> Result<SecretKey, CryptoError> {
+        let mut principals = self.principals.write();
+        if principals.contains_key(name) {
+            return Err(CryptoError::DuplicatePrincipal(name.to_owned()));
+        }
+        let mut counter = self.counter.write();
+        let digest = Sha256::digest_parts(&[
+            b"fortress-principal",
+            self.master.expose(),
+            &counter.to_le_bytes(),
+            name.as_bytes(),
+        ]);
+        *counter += 1;
+        let key = SecretKey::from_bytes(digest.0);
+        principals.insert(name.to_owned(), key.clone());
+        Ok(key)
+    }
+
+    /// Re-keys an existing principal (used when a node is re-randomized and
+    /// rebooted with fresh credentials). Returns the new key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownPrincipal`] if the principal was never
+    /// registered.
+    pub fn rekey(&self, name: &str) -> Result<SecretKey, CryptoError> {
+        let mut principals = self.principals.write();
+        if !principals.contains_key(name) {
+            return Err(CryptoError::UnknownPrincipal(name.to_owned()));
+        }
+        let mut counter = self.counter.write();
+        let digest = Sha256::digest_parts(&[
+            b"fortress-rekey",
+            self.master.expose(),
+            &counter.to_le_bytes(),
+            name.as_bytes(),
+        ]);
+        *counter += 1;
+        let key = SecretKey::from_bytes(digest.0);
+        principals.insert(name.to_owned(), key.clone());
+        Ok(key)
+    }
+
+    /// Returns whether `name` is a registered principal.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.principals.read().contains_key(name)
+    }
+
+    /// Verifies that `sig` is `name`'s signature over `message`.
+    ///
+    /// Unknown principals verify as `false`.
+    pub fn verify(&self, name: &str, message: &[u8], sig: &Signature) -> bool {
+        self.verify_strict(name, message, sig).is_ok()
+    }
+
+    /// Like [`KeyAuthority::verify`] but explains failures.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::UnknownPrincipal`] if `name` is unregistered;
+    /// [`CryptoError::BadSignature`] if the tag or key id do not match.
+    pub fn verify_strict(
+        &self,
+        name: &str,
+        message: &[u8],
+        sig: &Signature,
+    ) -> Result<(), CryptoError> {
+        let principals = self.principals.read();
+        let key = principals
+            .get(name)
+            .ok_or_else(|| CryptoError::UnknownPrincipal(name.to_owned()))?;
+        if sig.signer() != name || sig.key_id() != key.id() {
+            return Err(CryptoError::BadSignature {
+                principal: name.to_owned(),
+            });
+        }
+        if !HmacSha256::verify(key.expose(), message, sig.tag()) {
+            return Err(CryptoError::BadSignature {
+                principal: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the pairwise MAC key shared between `signer` and `receiver`,
+    /// as used by [`crate::authenticator`] vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownPrincipal`] if `signer` is unregistered.
+    pub fn pairwise(&self, signer: &str, receiver: &str) -> Result<SecretKey, CryptoError> {
+        let principals = self.principals.read();
+        let key = principals
+            .get(signer)
+            .ok_or_else(|| CryptoError::UnknownPrincipal(signer.to_owned()))?;
+        Ok(key.derive(receiver.as_bytes()))
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.principals.read().len()
+    }
+
+    /// Returns `true` if no principal has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.principals.read().is_empty()
+    }
+}
+
+impl Default for KeyAuthority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::Signer;
+
+    #[test]
+    fn register_and_verify_roundtrip() {
+        let authority = KeyAuthority::with_seed(7);
+        let signer = Signer::register("s0", &authority);
+        let sig = signer.sign(b"hello");
+        assert!(authority.verify("s0", b"hello", &sig));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let authority = KeyAuthority::with_seed(7);
+        authority.register("s0").unwrap();
+        assert_eq!(
+            authority.register("s0"),
+            Err(CryptoError::DuplicatePrincipal("s0".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_principal_fails_verification() {
+        let authority = KeyAuthority::with_seed(7);
+        let signer = Signer::register("s0", &authority);
+        let sig = signer.sign(b"m");
+        let err = authority.verify_strict("ghost", b"m", &sig).unwrap_err();
+        assert_eq!(err, CryptoError::UnknownPrincipal("ghost".into()));
+    }
+
+    #[test]
+    fn cross_principal_signature_rejected() {
+        let authority = KeyAuthority::with_seed(7);
+        let s0 = Signer::register("s0", &authority);
+        Signer::register("s1", &authority);
+        let sig = s0.sign(b"m");
+        // A signature by s0 must not verify as s1's.
+        assert!(!authority.verify("s1", b"m", &sig));
+    }
+
+    #[test]
+    fn rekey_invalidates_old_signatures() {
+        let authority = KeyAuthority::with_seed(7);
+        let signer = Signer::register("s0", &authority);
+        let old_sig = signer.sign(b"m");
+        assert!(authority.verify("s0", b"m", &old_sig));
+        let new_key = authority.rekey("s0").unwrap();
+        assert!(!authority.verify("s0", b"m", &old_sig), "stale key accepted");
+        let new_signer = Signer::from_key("s0", new_key);
+        assert!(authority.verify("s0", b"m", &new_signer.sign(b"m")));
+    }
+
+    #[test]
+    fn rekey_unknown_principal_errors() {
+        let authority = KeyAuthority::with_seed(7);
+        assert_eq!(
+            authority.rekey("nobody"),
+            Err(CryptoError::UnknownPrincipal("nobody".into()))
+        );
+    }
+
+    #[test]
+    fn seeded_authorities_are_reproducible() {
+        let a = KeyAuthority::with_seed(99);
+        let b = KeyAuthority::with_seed(99);
+        let ka = a.register("x").unwrap();
+        let kb = b.register("x").unwrap();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn pairwise_keys_are_directional_per_receiver() {
+        let authority = KeyAuthority::with_seed(1);
+        authority.register("a").unwrap();
+        let ab = authority.pairwise("a", "b").unwrap();
+        let ac = authority.pairwise("a", "c").unwrap();
+        assert_ne!(ab, ac);
+        assert_eq!(ab, authority.pairwise("a", "b").unwrap());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let authority = KeyAuthority::with_seed(1);
+        assert!(authority.is_empty());
+        authority.register("a").unwrap();
+        assert_eq!(authority.len(), 1);
+        assert!(!authority.is_empty());
+        assert!(authority.is_registered("a"));
+        assert!(!authority.is_registered("b"));
+    }
+}

@@ -1,0 +1,184 @@
+//! RFC 2104 HMAC over [`crate::sha256`].
+//!
+//! HMAC-SHA256 is the sole MAC primitive of the stack: it backs the
+//! [`crate::sig`] signature scheme and the [`crate::authenticator`] vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use fortress_crypto::hmac::HmacSha256;
+//!
+//! let tag = HmacSha256::mac(b"key material", b"message");
+//! assert!(HmacSha256::verify(b"key material", b"message", &tag));
+//! assert!(!HmacSha256::verify(b"key material", b"other", &tag));
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN};
+
+/// Stateless HMAC-SHA256 operations.
+///
+/// All functions are associated functions: HMAC needs no long-lived state
+/// beyond the key, which callers own (see [`crate::keys::SecretKey`]).
+#[derive(Debug, Clone, Copy)]
+pub struct HmacSha256;
+
+impl HmacSha256 {
+    /// Computes `HMAC-SHA256(key, message)`.
+    ///
+    /// Keys longer than the 64-byte block size are first hashed, per RFC
+    /// 2104; shorter keys are zero-padded.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        Self::mac_parts(key, &[message])
+    }
+
+    /// Computes the MAC of the concatenation of `parts` without allocating a
+    /// joined buffer.
+    pub fn mac_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let hashed = Sha256::digest(key);
+            key_block[..hashed.0.len()].copy_from_slice(&hashed.0);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        outer.update(&inner_digest.0);
+        outer.finalize()
+    }
+
+    /// Verifies a tag in constant time with respect to tag contents.
+    pub fn verify(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+        let expected = Self::mac(key, message);
+        constant_time_eq(&expected.0, &tag.0)
+    }
+}
+
+/// Constant-time byte-slice comparison (no early exit on mismatch).
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test cases 1-4 and 6 for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag.0),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag.0),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&tag.0),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (1u8..=25).collect();
+        let data = [0xcdu8; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&tag.0),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag.0),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn mac_parts_matches_joined() {
+        let key = b"some key";
+        let joined = HmacSha256::mac(key, b"one two three");
+        let parts = HmacSha256::mac_parts(key, &[b"one ", b"two ", b"three"]);
+        assert_eq!(joined, parts);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m2", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(HmacSha256::mac(b"a", b"m"), HmacSha256::mac(b"b", b"m"));
+    }
+
+    #[test]
+    fn constant_time_eq_basics() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn key_exactly_block_size() {
+        let key = [0x42u8; 64];
+        let t1 = HmacSha256::mac(&key, b"msg");
+        // A block-size key must NOT be hashed first; compare against a
+        // manually padded equivalent by checking it differs from the hashed
+        // variant.
+        let hashed_key = crate::sha256::Sha256::digest(&key);
+        let t2 = HmacSha256::mac(&hashed_key.0, b"msg");
+        assert_ne!(t1, t2);
+    }
+}

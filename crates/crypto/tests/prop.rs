@@ -1,0 +1,93 @@
+//! Property-based tests for the crypto substrate.
+
+use fortress_crypto::authority::KeyAuthority;
+use fortress_crypto::hmac::{constant_time_eq, HmacSha256};
+use fortress_crypto::keys::SecretKey;
+use fortress_crypto::sha256::Sha256;
+use fortress_crypto::sig::{DoublySigned, Signer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hashing is a pure function of the byte stream, independent of chunking.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                 split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// Distinct single-byte flips change the digest (second-preimage smoke).
+    #[test]
+    fn sha256_bit_flip_changes_digest(mut data in proptest::collection::vec(any::<u8>(), 1..512),
+                                      idx in any::<prop::sample::Index>()) {
+        let original = Sha256::digest(&data);
+        let i = idx.index(data.len());
+        data[i] ^= 0x01;
+        prop_assert_ne!(Sha256::digest(&data), original);
+    }
+
+    /// HMAC verifies what it MACs and distinguishes keys and messages.
+    #[test]
+    fn hmac_roundtrip(key in proptest::collection::vec(any::<u8>(), 0..128),
+                      msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let tag = HmacSha256::mac(&key, &msg);
+        prop_assert!(HmacSha256::verify(&key, &msg, &tag));
+    }
+
+    #[test]
+    fn hmac_key_separation(key in proptest::collection::vec(any::<u8>(), 1..64),
+                           msg in proptest::collection::vec(any::<u8>(), 0..256),
+                           flip in any::<prop::sample::Index>()) {
+        let mut other = key.clone();
+        let i = flip.index(other.len());
+        other[i] ^= 0x80;
+        prop_assert_ne!(HmacSha256::mac(&key, &msg), HmacSha256::mac(&other, &msg));
+    }
+
+    /// constant_time_eq agrees with ==.
+    #[test]
+    fn ct_eq_agrees_with_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                            b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(constant_time_eq(&a, &b), a == b);
+    }
+
+    /// Key derivation is injective over purposes in practice.
+    #[test]
+    fn derive_purpose_separation(seed in any::<[u8; 32]>(),
+                                 p1 in proptest::collection::vec(any::<u8>(), 0..32),
+                                 p2 in proptest::collection::vec(any::<u8>(), 0..32)) {
+        prop_assume!(p1 != p2);
+        let root = SecretKey::from_bytes(seed);
+        prop_assert_ne!(root.derive(&p1), root.derive(&p2));
+    }
+
+    /// Any body signed and over-signed verifies; any tampering is caught.
+    #[test]
+    fn doubly_signed_integrity(body in proptest::collection::vec(any::<u8>(), 0..256),
+                               tamper in any::<Option<prop::sample::Index>>()) {
+        let authority = KeyAuthority::with_seed(1234);
+        let server = Signer::register("s", &authority);
+        let proxy = Signer::register("p", &authority);
+        let sig = server.sign(&body);
+        let env = DoublySigned::over_sign(body.clone(), sig, &proxy);
+        let servers = vec!["s".to_string()];
+        let proxies = vec!["p".to_string()];
+        match tamper {
+            None => prop_assert!(env.verify(&authority, &servers, &proxies).is_ok()),
+            Some(idx) if !body.is_empty() => {
+                let mut forged_body = body.clone();
+                let i = idx.index(forged_body.len());
+                forged_body[i] ^= 0x01;
+                let forged_sig = server.sign(&body); // sig over ORIGINAL body
+                let env2 = DoublySigned::over_sign(forged_body, forged_sig, &proxy);
+                // The proxy signed the forged body, but the server signature
+                // no longer matches it.
+                prop_assert!(env2.verify(&authority, &servers, &proxies).is_err());
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for linear algebra and chain construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from dense linear algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinAlgError {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorized.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// Operation requires a square matrix.
+    NotSquare {
+        /// Actual dimensions.
+        dims: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinAlgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinAlgError::NotSquare { dims } => {
+                write!(f, "operation requires a square matrix, got {}x{}", dims.0, dims.1)
+            }
+        }
+    }
+}
+
+impl Error for LinAlgError {}
+
+/// Errors from absorbing-chain construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// A transition probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Source state label.
+        from: String,
+        /// Destination state label.
+        to: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A transient row's outgoing probabilities do not sum to 1.
+    RowSum {
+        /// State whose row is invalid.
+        state: String,
+        /// The row sum found.
+        sum: f64,
+    },
+    /// A referenced state label does not exist.
+    UnknownState(String),
+    /// The chain has no transient states.
+    NoTransientStates,
+    /// The chain has no absorbing states, so absorption never happens.
+    NoAbsorbingStates,
+    /// Underlying linear algebra failed (chain may not be absorbing from
+    /// every transient state).
+    LinAlg(LinAlgError),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::InvalidProbability { from, to, value } => {
+                write!(f, "invalid probability {value} on transition {from} -> {to}")
+            }
+            ChainError::RowSum { state, sum } => {
+                write!(f, "outgoing probabilities of state {state} sum to {sum}, expected 1")
+            }
+            ChainError::UnknownState(label) => write!(f, "unknown state label `{label}`"),
+            ChainError::NoTransientStates => write!(f, "chain has no transient states"),
+            ChainError::NoAbsorbingStates => write!(f, "chain has no absorbing states"),
+            ChainError::LinAlg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ChainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChainError::LinAlg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinAlgError> for ChainError {
+    fn from(e: LinAlgError) -> Self {
+        ChainError::LinAlg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders() {
+        let e = LinAlgError::DimensionMismatch {
+            op: "mul",
+            left: (2, 3),
+            right: (2, 3),
+        };
+        assert!(e.to_string().contains("mul"));
+        let c = ChainError::from(e.clone());
+        assert!(c.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&c).is_some());
+    }
+
+    #[test]
+    fn row_sum_message() {
+        let e = ChainError::RowSum {
+            state: "s".into(),
+            sum: 0.5,
+        };
+        assert!(e.to_string().contains("0.5"));
+    }
+}

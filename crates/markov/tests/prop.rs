@@ -1,0 +1,139 @@
+//! Property-based validation of the absorbing-chain machinery against
+//! direct stochastic simulation on randomly generated chains.
+
+use fortress_markov::chain::AbsorbingChain;
+use fortress_markov::{LaunchPad, PeriodChainSpec, SystemKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random absorbing chain: `n` transient states in a line with
+/// random self/forward/absorb probabilities (always absorbing-reachable).
+fn random_chain(n: usize, weights: &[(u8, u8, u8)]) -> AbsorbingChain {
+    let mut b = AbsorbingChain::builder().absorbing("end");
+    for i in 0..n {
+        b = b.transient(&format!("s{i}"));
+    }
+    for i in 0..n {
+        let (stay_w, fwd_w, absorb_w) = weights[i];
+        // Normalize; ensure the absorb weight is positive.
+        let total = (stay_w as f64) + (fwd_w as f64) + (absorb_w as f64) + 1.0;
+        let stay = stay_w as f64 / total;
+        let fwd = fwd_w as f64 / total;
+        let absorb = 1.0 - stay - fwd;
+        let here = format!("s{i}");
+        b = b.transition(&here, &here, stay);
+        if i + 1 < n {
+            b = b.transition(&here, &format!("s{}", i + 1), fwd);
+        } else {
+            // Last state folds forward mass into absorption.
+            b = b.transition(&here, "end", fwd);
+        }
+        b = b.transition(&here, "end", absorb);
+    }
+    b.build().expect("constructed rows sum to 1")
+}
+
+/// Simulates the chain directly.
+fn simulate(chain: &AbsorbingChain, start: usize, rng: &mut StdRng) -> u64 {
+    let n = chain.n_transient();
+    let mut state = start;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        let mut u: f64 = rng.gen();
+        let mut next = None;
+        for j in 0..n {
+            let p = chain.q().get(state, j);
+            if u < p {
+                next = Some(j);
+                break;
+            }
+            u -= p;
+        }
+        match next {
+            Some(j) => state = j,
+            None => return steps, // absorbed
+        }
+        if steps > 10_000_000 {
+            return steps;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fundamental-matrix expected steps agree with direct simulation.
+    #[test]
+    fn expected_steps_matches_simulation(
+        n in 1usize..5,
+        weights in proptest::collection::vec((0u8..20, 0u8..20, 1u8..20), 5),
+        seed in any::<u64>(),
+    ) {
+        let chain = random_chain(n, &weights);
+        let analytic = chain.expected_steps().unwrap()[0];
+        prop_assume!(analytic < 500.0); // keep simulation affordable
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 4000;
+        let mean: f64 = (0..trials)
+            .map(|_| simulate(&chain, 0, &mut rng) as f64)
+            .sum::<f64>() / trials as f64;
+        let rel = (mean - analytic).abs() / analytic;
+        prop_assert!(rel < 0.15, "sim {mean} vs analytic {analytic}");
+    }
+
+    /// Absorption probabilities over all absorbing states sum to one.
+    #[test]
+    fn absorption_rows_sum_to_one(
+        n in 1usize..5,
+        weights in proptest::collection::vec((0u8..20, 0u8..20, 1u8..20), 5),
+    ) {
+        let chain = random_chain(n, &weights);
+        let b = chain.absorption_probabilities().unwrap();
+        for i in 0..chain.n_transient() {
+            let s: f64 = (0..chain.n_absorbing()).map(|j| b.get(i, j)).sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    /// Survival at the expected-steps horizon is sane: S(0) = 1 and S is
+    /// non-increasing.
+    #[test]
+    fn survival_monotone(
+        n in 1usize..4,
+        weights in proptest::collection::vec((0u8..10, 0u8..10, 1u8..10), 5),
+    ) {
+        let chain = random_chain(n, &weights);
+        let mut prev = chain.survival("s0", 0).unwrap();
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+        for t in 1..30 {
+            let s = chain.survival("s0", t).unwrap();
+            prop_assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    /// Period chains: EL never increases as the period grows (more
+    /// persistence can only help the attacker), for every system kind.
+    #[test]
+    fn period_monotonicity(alpha_exp in -3.0f64..-1.5, kappa in 0.0f64..=1.0) {
+        let alpha = 10f64.powf(alpha_exp);
+        for kind in [SystemKind::S0Smr, SystemKind::S1Pb, SystemKind::S2Fortress { kappa }] {
+            let mut prev = f64::INFINITY;
+            for period in [1usize, 2, 4, 8] {
+                let el = PeriodChainSpec {
+                    kind,
+                    alpha,
+                    period,
+                    launch_pad: LaunchPad::NextStep,
+                }
+                .expected_lifetime()
+                .unwrap();
+                prop_assert!(el <= prev * (1.0 + 1e-9),
+                    "{kind:?} alpha={alpha} period={period}: {el} > {prev}");
+                prev = el;
+            }
+        }
+    }
+}

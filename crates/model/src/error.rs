@@ -1,0 +1,58 @@
+//! Error type for the analytical models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by model construction or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable domain description.
+        domain: &'static str,
+    },
+    /// The requested (system, policy, probe-model) combination is not
+    /// defined by the model suite.
+    Unsupported {
+        /// Description of the combination.
+        what: String,
+    },
+}
+
+impl ModelError {
+    /// Convenience constructor for invalid parameters.
+    pub fn invalid(name: &'static str, value: f64, domain: &'static str) -> Self {
+        ModelError::InvalidParameter { name, value, domain }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, value, domain } => {
+                write!(f, "parameter `{name}` = {value} outside domain {domain}")
+            }
+            ModelError::Unsupported { what } => write!(f, "unsupported model combination: {what}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ModelError::invalid("alpha", 2.0, "(0, 1)");
+        assert!(e.to_string().contains("alpha"));
+        let u = ModelError::Unsupported { what: "x".into() };
+        assert!(u.to_string().contains("unsupported"));
+    }
+}

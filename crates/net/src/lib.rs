@@ -1,0 +1,53 @@
+//! Simulated network substrate for the FORTRESS protocol stack.
+//!
+//! De-randomization attacks (paper §2.1–2.2) hinge on a network-level side
+//! channel: "a process crash at the target machine results in the closure of
+//! the TCP connection that the attacker has with the child server process"
+//! (Shacham et al., Sovarel et al.). This crate reproduces exactly that
+//! observable:
+//!
+//! * [`sim`] — [`sim::SimNet`], a deterministic logical-time network: seeded
+//!   latency sampling, message drops, partitions, crash/restart of endpoints
+//!   with **`ConnectionClosed` events to every connected peer**.
+//! * [`threaded`] — [`threaded::ThreadNet`], a crossbeam-channel runtime with
+//!   the same event vocabulary, used by the runnable examples.
+//! * [`addr`] / [`event`] — addresses, envelopes and the event vocabulary
+//!   shared by both transports.
+//!
+//! Protocol engines in `fortress-replication` and `fortress-core` are
+//! written sans-I/O (they consume [`event::NetEvent`]s and emit outbound
+//! messages), so the same engine runs deterministically under `SimNet` in
+//! tests and multi-threaded under `ThreadNet` in the examples.
+//!
+//! # Example
+//!
+//! ```
+//! use fortress_net::sim::{SimConfig, SimNet};
+//! use fortress_net::event::NetEvent;
+//! use bytes::Bytes;
+//!
+//! let mut net = SimNet::new(SimConfig::default());
+//! let a = net.register("attacker");
+//! let s = net.register("server");
+//! net.send(a, s, Bytes::from_static(b"probe"));
+//! net.run_until_quiet();
+//! assert!(matches!(net.recv(s), Some(NetEvent::Message { from, .. }) if from == a));
+//!
+//! // The server process crashes; the attacker observes the closed connection.
+//! net.crash(s);
+//! assert!(matches!(net.recv(a), Some(NetEvent::ConnectionClosed { peer, .. }) if peer == s));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod codec;
+pub mod event;
+pub mod sim;
+pub mod threaded;
+
+pub use addr::Addr;
+pub use event::NetEvent;
+pub use sim::{Latency, SimConfig, SimNet};
+pub use threaded::{NetHandle, ThreadNet};

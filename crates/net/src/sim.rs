@@ -1,0 +1,499 @@
+//! Deterministic logical-time network simulation.
+//!
+//! A [`SimNet`] owns every endpoint's inbox and a global event queue ordered
+//! by logical delivery time. Tests drive it single-threadedly: `send` now,
+//! [`SimNet::advance`] to the next delivery, or [`SimNet::run_until_quiet`]
+//! to drain all in-flight traffic. All randomness (latency jitter, drops)
+//! comes from one seeded RNG, so every run is reproducible.
+//!
+//! Crash semantics: [`SimNet::crash`] discards the endpoint's inbox and
+//! in-flight traffic to it, and emits [`NetEvent::ConnectionClosed`] to every
+//! peer with an open connection (any peer that exchanged a message with the
+//! endpoint since its last restart). [`SimNet::restart`] models the forking
+//! daemon bringing up a fresh child process: the endpoint is reachable again
+//! with a clean connection table.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::event::{NetEvent, NetStats};
+
+/// Latency model for message delivery.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Latency {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniformly distributed in `[lo, hi]` ticks.
+    Uniform(u64, u64),
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::Fixed(1)
+    }
+}
+
+/// Configuration for a [`SimNet`].
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+    /// Latency model.
+    pub latency: Latency,
+    /// Probability each message is silently dropped.
+    pub drop_rate: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: Latency::default(),
+            drop_rate: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InFlight {
+    due: u64,
+    from: Addr,
+    to: Addr,
+    payload: Bytes,
+}
+
+#[derive(Debug, Default)]
+struct EndpointState {
+    name: String,
+    inbox: VecDeque<NetEvent>,
+    /// Peers with an open connection since the last restart.
+    connections: HashSet<Addr>,
+    crashed: bool,
+}
+
+/// The deterministic simulated network. See the [module docs](self).
+#[derive(Debug)]
+pub struct SimNet {
+    config: SimConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    endpoints: Vec<EndpointState>,
+    queue: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    in_flight: HashMap<u64, InFlight>,
+    partition: Option<(HashSet<Addr>, HashSet<Addr>)>,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Creates a network with the given configuration.
+    pub fn new(config: SimConfig) -> SimNet {
+        SimNet {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: 0,
+            seq: 0,
+            endpoints: Vec::new(),
+            queue: BinaryHeap::new(),
+            in_flight: HashMap::new(),
+            partition: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Registers a named endpoint and returns its address.
+    pub fn register(&mut self, name: &str) -> Addr {
+        let addr = Addr::from_raw(self.endpoints.len() as u32);
+        self.endpoints.push(EndpointState {
+            name: name.to_owned(),
+            ..EndpointState::default()
+        });
+        addr
+    }
+
+    /// The name an endpoint registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not issued by this network.
+    pub fn name(&self, addr: Addr) -> &str {
+        &self.endpoints[addr.raw() as usize].name
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Sends `payload` from `from` to `to`, subject to drops and partitions.
+    ///
+    /// Sending to a crashed endpoint dead-letters the message and reports
+    /// the closed connection back to the sender — exactly what a TCP client
+    /// of a crashed server would see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address was not issued by this network.
+    pub fn send(&mut self, from: Addr, to: Addr, payload: Bytes) {
+        assert!((from.raw() as usize) < self.endpoints.len(), "unknown sender");
+        assert!((to.raw() as usize) < self.endpoints.len(), "unknown receiver");
+        self.stats.sent += 1;
+
+        if self.endpoints[to.raw() as usize].crashed {
+            self.stats.dead_lettered += 1;
+            self.push_event(from, NetEvent::ConnectionClosed { peer: to, at: self.now });
+            return;
+        }
+        if self.is_partitioned(from, to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.config.drop_rate > 0.0 && self.rng.gen::<f64>() < self.config.drop_rate {
+            self.stats.dropped += 1;
+            return;
+        }
+
+        let latency = match self.config.latency {
+            Latency::Fixed(l) => l,
+            Latency::Uniform(lo, hi) => self.rng.gen_range(lo..=hi),
+        };
+        let due = self.now + latency.max(1);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((due, seq, to.raw())));
+        self.in_flight.insert(seq, InFlight { due, from, to, payload });
+    }
+
+    /// Advances logical time to the next delivery and delivers every message
+    /// due at that instant. Returns `false` when nothing is in flight.
+    pub fn advance(&mut self) -> bool {
+        let Some(Reverse((due, _, _))) = self.queue.peek().copied() else {
+            return false;
+        };
+        self.now = due;
+        while let Some(Reverse((t, seq, _))) = self.queue.peek().copied() {
+            if t != due {
+                break;
+            }
+            self.queue.pop();
+            if let Some(msg) = self.in_flight.remove(&seq) {
+                self.deliver(msg);
+            }
+        }
+        true
+    }
+
+    /// Runs [`SimNet::advance`] until no traffic is in flight.
+    pub fn run_until_quiet(&mut self) {
+        while self.advance() {}
+    }
+
+    fn deliver(&mut self, msg: InFlight) {
+        let to_state = &mut self.endpoints[msg.to.raw() as usize];
+        if to_state.crashed {
+            // Crashed while the message was in flight.
+            self.stats.dead_lettered += 1;
+            self.push_event(msg.from, NetEvent::ConnectionClosed { peer: msg.to, at: self.now });
+            return;
+        }
+        to_state.connections.insert(msg.from);
+        to_state.inbox.push_back(NetEvent::Message {
+            from: msg.from,
+            payload: msg.payload,
+            at: msg.due,
+        });
+        self.stats.delivered += 1;
+        // The sender also holds an open connection to the receiver now.
+        self.endpoints[msg.from.raw() as usize].connections.insert(msg.to);
+    }
+
+    /// Pops the next pending event at `addr`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not issued by this network.
+    pub fn recv(&mut self, addr: Addr) -> Option<NetEvent> {
+        self.endpoints[addr.raw() as usize].inbox.pop_front()
+    }
+
+    /// Drains all pending events at `addr`.
+    pub fn drain(&mut self, addr: Addr) -> Vec<NetEvent> {
+        self.endpoints[addr.raw() as usize].inbox.drain(..).collect()
+    }
+
+    /// Number of pending events at `addr`.
+    pub fn pending(&self, addr: Addr) -> usize {
+        self.endpoints[addr.raw() as usize].inbox.len()
+    }
+
+    /// Crashes the process at `addr`: its inbox is lost and every connected
+    /// peer observes a [`NetEvent::ConnectionClosed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not issued by this network.
+    pub fn crash(&mut self, addr: Addr) {
+        let idx = addr.raw() as usize;
+        if self.endpoints[idx].crashed {
+            return;
+        }
+        self.endpoints[idx].crashed = true;
+        self.endpoints[idx].inbox.clear();
+        let peers: Vec<Addr> = self.endpoints[idx].connections.drain().collect();
+        let mut sorted = peers;
+        sorted.sort(); // deterministic event order
+        for peer in sorted {
+            self.push_event(peer, NetEvent::ConnectionClosed { peer: addr, at: self.now });
+            // The peer's connection to the crashed node is gone too.
+            self.endpoints[peer.raw() as usize].connections.remove(&addr);
+        }
+    }
+
+    /// Restarts a crashed endpoint with a clean connection table (the
+    /// forking daemon brought up a fresh child).
+    pub fn restart(&mut self, addr: Addr) {
+        let state = &mut self.endpoints[addr.raw() as usize];
+        state.crashed = false;
+        state.inbox.clear();
+        state.connections.clear();
+    }
+
+    /// Whether `addr` is currently crashed.
+    pub fn is_crashed(&self, addr: Addr) -> bool {
+        self.endpoints[addr.raw() as usize].crashed
+    }
+
+    /// Installs a partition separating `side_a` from `side_b`; messages
+    /// across the cut are dropped. Replaces any existing partition.
+    pub fn partition(&mut self, side_a: &[Addr], side_b: &[Addr]) {
+        self.partition = Some((
+            side_a.iter().copied().collect(),
+            side_b.iter().copied().collect(),
+        ));
+    }
+
+    /// Removes the partition.
+    pub fn heal(&mut self) {
+        self.partition = None;
+    }
+
+    fn is_partitioned(&self, from: Addr, to: Addr) -> bool {
+        match &self.partition {
+            None => false,
+            Some((a, b)) => {
+                (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
+            }
+        }
+    }
+
+    fn push_event(&mut self, to: Addr, event: NetEvent) {
+        if event.is_closure() {
+            self.stats.closures += 1;
+        }
+        self.endpoints[to.raw() as usize].inbox.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    fn two_nodes() -> (SimNet, Addr, Addr) {
+        let mut net = SimNet::new(SimConfig::default());
+        let a = net.register("a");
+        let s = net.register("s");
+        (net, a, s)
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let (mut net, a, s) = two_nodes();
+        net.send(a, s, b("hello"));
+        assert_eq!(net.pending(s), 0, "not delivered before advance");
+        assert!(net.advance());
+        let ev = net.recv(s).unwrap();
+        assert_eq!(ev.peer(), a);
+        assert_eq!(ev.payload().unwrap().as_ref(), b"hello");
+        assert!(net.recv(s).is_none());
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn fifo_between_pair_with_fixed_latency() {
+        let (mut net, a, s) = two_nodes();
+        for i in 0..10u8 {
+            net.send(a, s, Bytes::copy_from_slice(&[i]));
+        }
+        net.run_until_quiet();
+        for i in 0..10u8 {
+            let ev = net.recv(s).unwrap();
+            assert_eq!(ev.payload().unwrap().as_ref(), &[i]);
+        }
+    }
+
+    #[test]
+    fn crash_notifies_connected_peers() {
+        let (mut net, a, s) = two_nodes();
+        net.send(a, s, b("probe"));
+        net.run_until_quiet();
+        net.crash(s);
+        let ev = net.recv(a).unwrap();
+        assert_eq!(ev, NetEvent::ConnectionClosed { peer: s, at: net.now() });
+        assert!(net.is_crashed(s));
+        assert_eq!(net.stats().closures, 1);
+    }
+
+    #[test]
+    fn crash_without_connection_is_silent() {
+        let (mut net, a, s) = two_nodes();
+        net.crash(s);
+        assert!(net.recv(a).is_none(), "no connection, no closure event");
+    }
+
+    #[test]
+    fn send_to_crashed_endpoint_reports_closure() {
+        let (mut net, a, s) = two_nodes();
+        net.crash(s);
+        net.send(a, s, b("probe"));
+        let ev = net.recv(a).unwrap();
+        assert!(ev.is_closure());
+        assert_eq!(net.stats().dead_lettered, 1);
+    }
+
+    #[test]
+    fn in_flight_message_to_crashing_endpoint_is_dead_lettered() {
+        let (mut net, a, s) = two_nodes();
+        net.send(a, s, b("probe"));
+        net.crash(s); // crashes before delivery
+        net.run_until_quiet();
+        let ev = net.recv(a).unwrap();
+        assert!(ev.is_closure());
+    }
+
+    #[test]
+    fn restart_clears_connections() {
+        let (mut net, a, s) = two_nodes();
+        net.send(a, s, b("x"));
+        net.run_until_quiet();
+        net.crash(s);
+        net.drain(a);
+        net.restart(s);
+        assert!(!net.is_crashed(s));
+        // A second crash with no new traffic produces no closure events.
+        net.crash(s);
+        assert!(net.recv(a).is_none());
+    }
+
+    #[test]
+    fn double_crash_is_idempotent() {
+        let (mut net, a, s) = two_nodes();
+        net.send(a, s, b("x"));
+        net.run_until_quiet();
+        net.crash(s);
+        net.crash(s);
+        assert_eq!(net.drain(a).len(), 1);
+    }
+
+    #[test]
+    fn partition_drops_cross_traffic() {
+        let (mut net, a, s) = two_nodes();
+        net.partition(&[a], &[s]);
+        net.send(a, s, b("x"));
+        net.run_until_quiet();
+        assert!(net.recv(s).is_none());
+        assert_eq!(net.stats().dropped, 1);
+        net.heal();
+        net.send(a, s, b("y"));
+        net.run_until_quiet();
+        assert!(net.recv(s).is_some());
+    }
+
+    #[test]
+    fn drop_rate_loses_messages_deterministically() {
+        let mut cfg = SimConfig::default();
+        cfg.drop_rate = 0.5;
+        cfg.seed = 42;
+        let mut net = SimNet::new(cfg);
+        let a = net.register("a");
+        let s = net.register("s");
+        for _ in 0..100 {
+            net.send(a, s, b("x"));
+        }
+        net.run_until_quiet();
+        let got = net.drain(s).len();
+        assert!(got > 20 && got < 80, "got {got}");
+        // Reproducibility: same seed, same outcome.
+        let mut net2 = SimNet::new(cfg);
+        let a2 = net2.register("a");
+        let s2 = net2.register("s");
+        for _ in 0..100 {
+            net2.send(a2, s2, b("x"));
+        }
+        net2.run_until_quiet();
+        assert_eq!(net2.drain(s2).len(), got);
+    }
+
+    #[test]
+    fn uniform_latency_orders_by_due_time() {
+        let mut cfg = SimConfig::default();
+        cfg.latency = Latency::Uniform(1, 50);
+        cfg.seed = 7;
+        let mut net = SimNet::new(cfg);
+        let a = net.register("a");
+        let s = net.register("s");
+        for i in 0..20u8 {
+            net.send(a, s, Bytes::copy_from_slice(&[i]));
+        }
+        net.run_until_quiet();
+        let events = net.drain(s);
+        assert_eq!(events.len(), 20);
+        let mut last = 0;
+        for ev in &events {
+            if let NetEvent::Message { at, .. } = ev {
+                assert!(*at >= last);
+                last = *at;
+            }
+        }
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let (mut net, a, s) = two_nodes();
+        assert_eq!(net.now(), 0);
+        net.send(a, s, b("x"));
+        net.advance();
+        let t1 = net.now();
+        assert!(t1 > 0);
+        net.send(s, a, b("y"));
+        net.advance();
+        assert!(net.now() > t1);
+    }
+
+    #[test]
+    fn names_are_kept() {
+        let (net, a, s) = two_nodes();
+        assert_eq!(net.name(a), "a");
+        assert_eq!(net.name(s), "s");
+    }
+
+    #[test]
+    fn advance_on_idle_returns_false() {
+        let (mut net, _, _) = two_nodes();
+        assert!(!net.advance());
+    }
+}

@@ -1,0 +1,279 @@
+//! Multi-threaded transport over crossbeam channels.
+//!
+//! [`ThreadNet`] offers the same event vocabulary as the simulator but with
+//! real threads: each registered endpoint gets a [`NetHandle`] that can be
+//! moved into its own thread. Used by the runnable examples, where proxies,
+//! servers and clients live on separate threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::addr::Addr;
+use crate::event::NetEvent;
+
+#[derive(Debug)]
+struct Registry {
+    names: Vec<String>,
+    senders: Vec<Sender<NetEvent>>,
+    crashed: Vec<bool>,
+    /// Connection table: pairs that have exchanged messages.
+    connections: Vec<Vec<Addr>>,
+}
+
+/// A thread-safe message bus with crash/closure semantics.
+///
+/// # Example
+///
+/// ```
+/// use fortress_net::threaded::ThreadNet;
+/// use bytes::Bytes;
+///
+/// let net = ThreadNet::new();
+/// let client = net.register("client");
+/// let server = net.register("server");
+/// client.send(server.addr(), Bytes::from_static(b"ping"));
+/// let ev = server.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+/// assert_eq!(ev.payload().unwrap().as_ref(), b"ping");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreadNet {
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl ThreadNet {
+    /// Creates an empty bus.
+    pub fn new() -> ThreadNet {
+        ThreadNet {
+            registry: Arc::new(RwLock::new(Registry {
+                names: Vec::new(),
+                senders: Vec::new(),
+                crashed: Vec::new(),
+                connections: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers a named endpoint, returning its handle (receiver included).
+    pub fn register(&self, name: &str) -> NetHandle {
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.write();
+        let addr = Addr::from_raw(reg.names.len() as u32);
+        reg.names.push(name.to_owned());
+        reg.senders.push(tx);
+        reg.crashed.push(false);
+        reg.connections.push(Vec::new());
+        NetHandle {
+            addr,
+            rx,
+            net: self.clone(),
+        }
+    }
+
+    /// The name an endpoint registered under.
+    pub fn name(&self, addr: Addr) -> String {
+        self.registry.read().names[addr.raw() as usize].clone()
+    }
+
+    /// Marks `addr` crashed and notifies connected peers with
+    /// [`NetEvent::ConnectionClosed`].
+    pub fn crash(&self, addr: Addr) {
+        let mut reg = self.registry.write();
+        let idx = addr.raw() as usize;
+        if reg.crashed[idx] {
+            return;
+        }
+        reg.crashed[idx] = true;
+        let peers = std::mem::take(&mut reg.connections[idx]);
+        for peer in peers {
+            let _ = reg.senders[peer.raw() as usize].send(NetEvent::ConnectionClosed {
+                peer: addr,
+                at: 0,
+            });
+            reg.connections[peer.raw() as usize].retain(|p| *p != addr);
+        }
+    }
+
+    /// Restarts a crashed endpoint (fresh connections).
+    pub fn restart(&self, addr: Addr) {
+        let mut reg = self.registry.write();
+        let idx = addr.raw() as usize;
+        reg.crashed[idx] = false;
+        reg.connections[idx].clear();
+    }
+
+    /// Whether `addr` is crashed.
+    pub fn is_crashed(&self, addr: Addr) -> bool {
+        self.registry.read().crashed[addr.raw() as usize]
+    }
+
+    fn send_from(&self, from: Addr, to: Addr, payload: Bytes) {
+        let mut reg = self.registry.write();
+        let to_idx = to.raw() as usize;
+        if reg.crashed[to_idx] {
+            let _ = reg.senders[from.raw() as usize].send(NetEvent::ConnectionClosed {
+                peer: to,
+                at: 0,
+            });
+            return;
+        }
+        if !reg.connections[to_idx].contains(&from) {
+            reg.connections[to_idx].push(from);
+        }
+        let from_idx = from.raw() as usize;
+        if !reg.connections[from_idx].contains(&to) {
+            reg.connections[from_idx].push(to);
+        }
+        let _ = reg.senders[to_idx].send(NetEvent::Message {
+            from,
+            payload,
+            at: 0,
+        });
+    }
+}
+
+impl Default for ThreadNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An endpoint handle: address, inbox receiver and a cloned bus reference.
+#[derive(Debug)]
+pub struct NetHandle {
+    addr: Addr,
+    rx: Receiver<NetEvent>,
+    net: ThreadNet,
+}
+
+impl NetHandle {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Sends `payload` to `to`.
+    pub fn send(&self, to: Addr, payload: Bytes) {
+        self.net.send_from(self.addr, to, payload);
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or disconnection.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<NetEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<NetEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The underlying bus (for crash injection in tests/examples).
+    pub fn net(&self) -> &ThreadNet {
+        &self.net
+    }
+}
+
+/// Maps endpoint names to addresses for assembly-time wiring.
+#[derive(Debug, Default, Clone)]
+pub struct AddressBook {
+    by_name: HashMap<String, Addr>,
+}
+
+impl AddressBook {
+    /// Creates an empty book.
+    pub fn new() -> AddressBook {
+        AddressBook::default()
+    }
+
+    /// Records `name → addr`.
+    pub fn insert(&mut self, name: &str, addr: Addr) {
+        self.by_name.insert(name.to_owned(), addr);
+    }
+
+    /// Looks up a name.
+    pub fn get(&self, name: &str) -> Option<Addr> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All (name, addr) pairs, sorted by name.
+    pub fn entries(&self) -> Vec<(String, Addr)> {
+        let mut v: Vec<_> = self.by_name.iter().map(|(n, a)| (n.clone(), *a)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let net = ThreadNet::new();
+        let a = net.register("a");
+        let b = net.register("b");
+        let b_addr = b.addr();
+        let handle = std::thread::spawn(move || {
+            let ev = b.recv_timeout(T).expect("message");
+            ev.payload().unwrap().to_vec()
+        });
+        a.send(b_addr, Bytes::from_static(b"over threads"));
+        assert_eq!(handle.join().unwrap(), b"over threads");
+    }
+
+    #[test]
+    fn crash_notifies_peers() {
+        let net = ThreadNet::new();
+        let a = net.register("a");
+        let s = net.register("s");
+        a.send(s.addr(), Bytes::from_static(b"x"));
+        let _ = s.recv_timeout(T).unwrap();
+        net.crash(s.addr());
+        let ev = a.recv_timeout(T).unwrap();
+        assert!(ev.is_closure());
+        assert_eq!(ev.peer(), s.addr());
+        assert!(net.is_crashed(s.addr()));
+    }
+
+    #[test]
+    fn send_to_crashed_returns_closure() {
+        let net = ThreadNet::new();
+        let a = net.register("a");
+        let s = net.register("s");
+        net.crash(s.addr());
+        a.send(s.addr(), Bytes::from_static(b"x"));
+        assert!(a.recv_timeout(T).unwrap().is_closure());
+        net.restart(s.addr());
+        a.send(s.addr(), Bytes::from_static(b"y"));
+        assert!(s.recv_timeout(T).unwrap().payload().is_some());
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let net = ThreadNet::new();
+        let a = net.register("a");
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn names() {
+        let net = ThreadNet::new();
+        let a = net.register("alice");
+        assert_eq!(net.name(a.addr()), "alice");
+    }
+
+    #[test]
+    fn address_book() {
+        let mut book = AddressBook::new();
+        book.insert("p0", Addr::from_raw(3));
+        assert_eq!(book.get("p0"), Some(Addr::from_raw(3)));
+        assert_eq!(book.get("p1"), None);
+        assert_eq!(book.entries().len(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Randomization key spaces.
+//!
+//! "These attacks take advantage of the fact that keys cannot be arbitrarily
+//! large. In a 32-bit machine using the PaX system only 16 bits of entropy
+//! are available, so the random address offset is one of 65536 possibilities"
+//! (paper §2.1). A [`KeySpace`] models exactly that: `χ = 2^bits` possible
+//! [`RandomizationKey`]s.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A randomization key: the secret offset/seed a scheme derives its layout
+/// from. Values lie in `[0, χ)` for the owning [`KeySpace`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RandomizationKey(pub u64);
+
+impl fmt::Debug for RandomizationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RandomizationKey({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for RandomizationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A key space of `χ = 2^bits` possible randomization keys.
+///
+/// # Example
+///
+/// ```
+/// use fortress_obf::keys::KeySpace;
+///
+/// let pax = KeySpace::from_entropy_bits(16);
+/// assert_eq!(pax.size(), 65536);
+/// assert!(pax.contains(fortress_obf::keys::RandomizationKey(65535)));
+/// assert!(!pax.contains(fortress_obf::keys::RandomizationKey(65536)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct KeySpace {
+    bits: u32,
+}
+
+impl KeySpace {
+    /// A key space with `bits` bits of entropy (`1 ..= 63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or ≥ 64; system assembly fixes entropy at
+    /// configuration time, so an invalid value is a configuration bug.
+    pub fn from_entropy_bits(bits: u32) -> KeySpace {
+        assert!((1..64).contains(&bits), "entropy bits must be in 1..=63");
+        KeySpace { bits }
+    }
+
+    /// Entropy in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of possible keys `χ`.
+    pub fn size(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Whether `key` lies in this space.
+    pub fn contains(&self, key: RandomizationKey) -> bool {
+        key.0 < self.size()
+    }
+
+    /// Samples a uniformly random key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RandomizationKey {
+        RandomizationKey(rng.gen_range(0..self.size()))
+    }
+
+    /// Samples a key different from `avoid` (used by re-randomization so a
+    /// fresh executable never reuses the incumbent key).
+    pub fn sample_fresh<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        avoid: RandomizationKey,
+    ) -> RandomizationKey {
+        loop {
+            let k = self.sample(rng);
+            if k != avoid {
+                return k;
+            }
+        }
+    }
+
+    /// Iterates over every key in the space, in order. Useful for
+    /// exhaustive-scan attackers on small test spaces.
+    pub fn iter(&self) -> impl Iterator<Item = RandomizationKey> {
+        (0..self.size()).map(RandomizationKey)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pax_space() {
+        let s = KeySpace::from_entropy_bits(16);
+        assert_eq!(s.size(), 65536);
+        assert_eq!(s.bits(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy bits")]
+    fn zero_bits_panics() {
+        KeySpace::from_entropy_bits(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy bits")]
+    fn too_many_bits_panics() {
+        KeySpace::from_entropy_bits(64);
+    }
+
+    #[test]
+    fn sample_is_in_range_and_deterministic() {
+        let s = KeySpace::from_entropy_bits(8);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let k1 = s.sample(&mut r1);
+            let k2 = s.sample(&mut r2);
+            assert_eq!(k1, k2);
+            assert!(s.contains(k1));
+        }
+    }
+
+    #[test]
+    fn sample_fresh_avoids() {
+        let s = KeySpace::from_entropy_bits(1); // only two keys
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let fresh = s.sample_fresh(&mut rng, RandomizationKey(0));
+            assert_eq!(fresh, RandomizationKey(1));
+        }
+    }
+
+    #[test]
+    fn iter_enumerates_whole_space() {
+        let s = KeySpace::from_entropy_bits(4);
+        let all: Vec<_> = s.iter().collect();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[0], RandomizationKey(0));
+        assert_eq!(all[15], RandomizationKey(15));
+    }
+
+    #[test]
+    fn sample_covers_space_roughly_uniformly() {
+        let s = KeySpace::from_entropy_bits(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 16];
+        for _ in 0..1600 {
+            counts[s.sample(&mut rng).0 as usize] += 1;
+        }
+        for (k, c) in counts.iter().enumerate() {
+            assert!(*c > 40, "key {k} sampled only {c} times");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", RandomizationKey(255)), "0xff");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the replication engines.
+
+use std::error::Error;
+use std::fmt;
+
+use fortress_net::codec::CodecError;
+
+/// Errors surfaced by replication engines and their wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplicationError {
+    /// A wire message failed to decode.
+    Codec(CodecError),
+    /// A message referenced a replica index outside `0..n`.
+    BadReplicaIndex {
+        /// The offending index.
+        index: usize,
+        /// The configured group size.
+        n: usize,
+    },
+    /// The engine was configured inconsistently.
+    BadConfig {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A snapshot could not be restored.
+    BadSnapshot {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::Codec(e) => write!(f, "wire decode failure: {e}"),
+            ReplicationError::BadReplicaIndex { index, n } => {
+                write!(f, "replica index {index} outside group of {n}")
+            }
+            ReplicationError::BadConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            ReplicationError::BadSnapshot { reason } => write!(f, "invalid snapshot: {reason}"),
+        }
+    }
+}
+
+impl Error for ReplicationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReplicationError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ReplicationError {
+    fn from(e: CodecError) -> Self {
+        ReplicationError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ReplicationError::from(CodecError::UnexpectedEnd { field: "x" });
+        assert!(e.to_string().contains("decode"));
+        assert!(Error::source(&e).is_some());
+        let b = ReplicationError::BadReplicaIndex { index: 9, n: 4 };
+        assert!(b.to_string().contains('9'));
+        assert!(Error::source(&b).is_none());
+    }
+}

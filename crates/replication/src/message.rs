@@ -1,0 +1,611 @@
+//! Wire messages for the PB and SMR engines, plus the canonical signed
+//! reply shared with proxies and clients.
+//!
+//! All formats are hand-encoded with the bounds-checked codec from
+//! `fortress-net`; decoding untrusted bytes returns errors rather than
+//! panicking. Every message type has an exhaustive round-trip test.
+
+use fortress_crypto::keys::KeyId;
+use fortress_crypto::sha256::Digest;
+use fortress_crypto::sig::{Signature, Signer};
+use fortress_crypto::KeyAuthority;
+use fortress_net::codec::{CodecError, Reader, Writer};
+
+use crate::error::ReplicationError;
+
+/// The response a server produces for one client request.
+///
+/// Per the paper (§3): "Each server signs the response together with its
+/// index" — the index is part of the signed bytes, so a response cannot be
+/// replayed as another server's.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplyBody {
+    /// The client-chosen request sequence number this answers.
+    pub request_seq: u64,
+    /// The requesting client's name.
+    pub client: String,
+    /// Response payload.
+    pub body: Vec<u8>,
+    /// Index of the responding server.
+    pub server_index: u32,
+}
+
+impl ReplyBody {
+    /// Canonical bytes covered by the server's signature.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.request_seq)
+            .put_str(&self.client)
+            .put_bytes(&self.body)
+            .put_u32(self.server_index);
+        w.finish()
+    }
+}
+
+/// A [`ReplyBody`] with its server signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedReply {
+    /// The response.
+    pub reply: ReplyBody,
+    /// Signature by the server named in `signature.signer()`.
+    pub signature: Signature,
+}
+
+impl SignedReply {
+    /// Signs `reply` with the server's signer.
+    pub fn sign(reply: ReplyBody, signer: &Signer) -> SignedReply {
+        let signature = signer.sign(&reply.signing_bytes());
+        SignedReply { reply, signature }
+    }
+
+    /// Verifies the signature against the trusted authority.
+    pub fn verify(&self, authority: &KeyAuthority) -> bool {
+        authority.verify(
+            self.signature.signer(),
+            &self.reply.signing_bytes(),
+            &self.signature,
+        )
+    }
+
+    /// Encodes for transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.reply.request_seq)
+            .put_str(&self.reply.client)
+            .put_bytes(&self.reply.body)
+            .put_u32(self.reply.server_index);
+        encode_signature(&mut w, &self.signature);
+        w.finish()
+    }
+
+    /// Decodes from transport bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicationError::Codec`] for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<SignedReply, ReplicationError> {
+        let mut r = Reader::new(bytes);
+        let reply = ReplyBody {
+            request_seq: r.u64("reply.request_seq")?,
+            client: r.str("reply.client")?,
+            body: r.bytes("reply.body")?,
+            server_index: r.u32("reply.server_index")?,
+        };
+        let signature = decode_signature(&mut r)?;
+        r.expect_end()?;
+        Ok(SignedReply { reply, signature })
+    }
+}
+
+/// Encodes a signature (signer, key id, tag).
+pub fn encode_signature(w: &mut Writer, sig: &Signature) {
+    w.put_str(sig.signer())
+        .put_u64(sig.key_id().0)
+        .put_bytes(&sig.tag().0);
+}
+
+/// Decodes a signature.
+///
+/// # Errors
+///
+/// Returns [`ReplicationError::Codec`] for malformed bytes.
+pub fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, ReplicationError> {
+    let signer = r.str("sig.signer")?;
+    let key_id = KeyId(r.u64("sig.key_id")?);
+    let tag_bytes = r.bytes("sig.tag")?;
+    let tag: [u8; 32] = tag_bytes
+        .as_slice()
+        .try_into()
+        .map_err(|_| CodecError::BadLength {
+            field: "sig.tag",
+            len: tag_bytes.len(),
+        })?;
+    Ok(Signature::from_parts(signer, key_id, Digest(tag)))
+}
+
+/// Messages of the primary-backup protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PbMsg {
+    /// A client/proxy request, broadcast to every replica.
+    Request {
+        /// Client-chosen request sequence number (dedup key).
+        seq: u64,
+        /// Requesting client.
+        client: String,
+        /// Service operation (may embed an exploit — servers sniff).
+        op: Vec<u8>,
+    },
+    /// Primary → backups: the resolved effect of one request.
+    StateUpdate {
+        /// View (primary = `view % n`).
+        view: u64,
+        /// Primary-assigned execution sequence number.
+        seq: u64,
+        /// The request this update resolves.
+        request_seq: u64,
+        /// Requesting client.
+        client: String,
+        /// Response body the primary computed.
+        response: Vec<u8>,
+        /// Resolved state delta for backups to apply.
+        delta: Vec<u8>,
+    },
+    /// Primary liveness beacon.
+    Heartbeat {
+        /// Current view.
+        view: u64,
+        /// Primary's last assigned sequence number.
+        seq: u64,
+    },
+    /// A backup announcing it has taken over as primary of `view`.
+    NewView {
+        /// The new view.
+        view: u64,
+        /// The new primary's last applied sequence number.
+        seq: u64,
+    },
+}
+
+impl PbMsg {
+    /// Encodes for transport.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            PbMsg::Request { seq, client, op } => {
+                let mut w = Writer::tagged(0);
+                w.put_u64(*seq).put_str(client).put_bytes(op);
+                w.finish()
+            }
+            PbMsg::StateUpdate {
+                view,
+                seq,
+                request_seq,
+                client,
+                response,
+                delta,
+            } => {
+                let mut w = Writer::tagged(1);
+                w.put_u64(*view)
+                    .put_u64(*seq)
+                    .put_u64(*request_seq)
+                    .put_str(client)
+                    .put_bytes(response)
+                    .put_bytes(delta);
+                w.finish()
+            }
+            PbMsg::Heartbeat { view, seq } => {
+                let mut w = Writer::tagged(2);
+                w.put_u64(*view).put_u64(*seq);
+                w.finish()
+            }
+            PbMsg::NewView { view, seq } => {
+                let mut w = Writer::tagged(3);
+                w.put_u64(*view).put_u64(*seq);
+                w.finish()
+            }
+        }
+    }
+
+    /// Decodes from transport bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicationError::Codec`] for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<PbMsg, ReplicationError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8("pb.tag")?;
+        let msg = match tag {
+            0 => PbMsg::Request {
+                seq: r.u64("pb.seq")?,
+                client: r.str("pb.client")?,
+                op: r.bytes("pb.op")?,
+            },
+            1 => PbMsg::StateUpdate {
+                view: r.u64("pb.view")?,
+                seq: r.u64("pb.seq")?,
+                request_seq: r.u64("pb.request_seq")?,
+                client: r.str("pb.client")?,
+                response: r.bytes("pb.response")?,
+                delta: r.bytes("pb.delta")?,
+            },
+            2 => PbMsg::Heartbeat {
+                view: r.u64("pb.view")?,
+                seq: r.u64("pb.seq")?,
+            },
+            3 => PbMsg::NewView {
+                view: r.u64("pb.view")?,
+                seq: r.u64("pb.seq")?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    message: "PbMsg",
+                    tag,
+                }
+                .into())
+            }
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+/// Messages of the SMR ordering protocol (PBFT-style three-phase commit).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SmrMsg {
+    /// A client request, broadcast to every replica.
+    Request {
+        /// Client-chosen request sequence number.
+        seq: u64,
+        /// Requesting client.
+        client: String,
+        /// Service operation.
+        op: Vec<u8>,
+    },
+    /// Leader → all: proposed ordering of one request.
+    PrePrepare {
+        /// View (leader = `view % n`).
+        view: u64,
+        /// Proposed execution slot.
+        seq: u64,
+        /// The ordered request.
+        request_seq: u64,
+        /// Requesting client.
+        client: String,
+        /// Service operation.
+        op: Vec<u8>,
+    },
+    /// Replica agreement on a proposal's digest.
+    Prepare {
+        /// View.
+        view: u64,
+        /// Slot.
+        seq: u64,
+        /// Digest of the ordered request.
+        digest: Digest,
+    },
+    /// Replica commitment after a prepare quorum.
+    Commit {
+        /// View.
+        view: u64,
+        /// Slot.
+        seq: u64,
+        /// Digest of the ordered request.
+        digest: Digest,
+    },
+    /// A replica votes to depose the current leader.
+    ViewChange {
+        /// Proposed new view.
+        new_view: u64,
+        /// Voter's last executed slot.
+        last_exec: u64,
+    },
+    /// The new leader announces its view.
+    NewView {
+        /// The new view.
+        view: u64,
+        /// First slot the new leader will assign.
+        next_seq: u64,
+    },
+    /// Rejoining replica asks for a snapshot.
+    SnapshotRequest {
+        /// The requester's last executed slot.
+        last_exec: u64,
+    },
+    /// Snapshot offer for the rejoin rule.
+    SnapshotOffer {
+        /// Slot the snapshot reflects.
+        seq: u64,
+        /// State digest.
+        digest: Digest,
+        /// Serialized service state.
+        snapshot: Vec<u8>,
+    },
+}
+
+impl SmrMsg {
+    /// Encodes for transport.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            SmrMsg::Request { seq, client, op } => {
+                let mut w = Writer::tagged(0);
+                w.put_u64(*seq).put_str(client).put_bytes(op);
+                w.finish()
+            }
+            SmrMsg::PrePrepare {
+                view,
+                seq,
+                request_seq,
+                client,
+                op,
+            } => {
+                let mut w = Writer::tagged(1);
+                w.put_u64(*view)
+                    .put_u64(*seq)
+                    .put_u64(*request_seq)
+                    .put_str(client)
+                    .put_bytes(op);
+                w.finish()
+            }
+            SmrMsg::Prepare { view, seq, digest } => {
+                let mut w = Writer::tagged(2);
+                w.put_u64(*view).put_u64(*seq).put_bytes(&digest.0);
+                w.finish()
+            }
+            SmrMsg::Commit { view, seq, digest } => {
+                let mut w = Writer::tagged(3);
+                w.put_u64(*view).put_u64(*seq).put_bytes(&digest.0);
+                w.finish()
+            }
+            SmrMsg::ViewChange {
+                new_view,
+                last_exec,
+            } => {
+                let mut w = Writer::tagged(4);
+                w.put_u64(*new_view).put_u64(*last_exec);
+                w.finish()
+            }
+            SmrMsg::NewView { view, next_seq } => {
+                let mut w = Writer::tagged(5);
+                w.put_u64(*view).put_u64(*next_seq);
+                w.finish()
+            }
+            SmrMsg::SnapshotRequest { last_exec } => {
+                let mut w = Writer::tagged(6);
+                w.put_u64(*last_exec);
+                w.finish()
+            }
+            SmrMsg::SnapshotOffer {
+                seq,
+                digest,
+                snapshot,
+            } => {
+                let mut w = Writer::tagged(7);
+                w.put_u64(*seq).put_bytes(&digest.0).put_bytes(snapshot);
+                w.finish()
+            }
+        }
+    }
+
+    /// Decodes from transport bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicationError::Codec`] for malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<SmrMsg, ReplicationError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8("smr.tag")?;
+        let msg = match tag {
+            0 => SmrMsg::Request {
+                seq: r.u64("smr.seq")?,
+                client: r.str("smr.client")?,
+                op: r.bytes("smr.op")?,
+            },
+            1 => SmrMsg::PrePrepare {
+                view: r.u64("smr.view")?,
+                seq: r.u64("smr.seq")?,
+                request_seq: r.u64("smr.request_seq")?,
+                client: r.str("smr.client")?,
+                op: r.bytes("smr.op")?,
+            },
+            2 => SmrMsg::Prepare {
+                view: r.u64("smr.view")?,
+                seq: r.u64("smr.seq")?,
+                digest: read_digest(&mut r)?,
+            },
+            3 => SmrMsg::Commit {
+                view: r.u64("smr.view")?,
+                seq: r.u64("smr.seq")?,
+                digest: read_digest(&mut r)?,
+            },
+            4 => SmrMsg::ViewChange {
+                new_view: r.u64("smr.new_view")?,
+                last_exec: r.u64("smr.last_exec")?,
+            },
+            5 => SmrMsg::NewView {
+                view: r.u64("smr.view")?,
+                next_seq: r.u64("smr.next_seq")?,
+            },
+            6 => SmrMsg::SnapshotRequest {
+                last_exec: r.u64("smr.last_exec")?,
+            },
+            7 => SmrMsg::SnapshotOffer {
+                seq: r.u64("smr.seq")?,
+                digest: read_digest(&mut r)?,
+                snapshot: r.bytes("smr.snapshot")?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    message: "SmrMsg",
+                    tag,
+                }
+                .into())
+            }
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+fn read_digest(r: &mut Reader<'_>) -> Result<Digest, ReplicationError> {
+    let raw = r.bytes("digest")?;
+    let arr: [u8; 32] = raw.as_slice().try_into().map_err(|_| CodecError::BadLength {
+        field: "digest",
+        len: raw.len(),
+    })?;
+    Ok(Digest(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_pb(msg: PbMsg) {
+        let bytes = msg.encode();
+        assert_eq!(PbMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    fn roundtrip_smr(msg: SmrMsg) {
+        let bytes = msg.encode();
+        assert_eq!(SmrMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn pb_roundtrips() {
+        roundtrip_pb(PbMsg::Request {
+            seq: 1,
+            client: "c0".into(),
+            op: b"PUT a 1".to_vec(),
+        });
+        roundtrip_pb(PbMsg::StateUpdate {
+            view: 2,
+            seq: 9,
+            request_seq: 1,
+            client: "c0".into(),
+            response: b"OK".to_vec(),
+            delta: b"PUT a 1".to_vec(),
+        });
+        roundtrip_pb(PbMsg::Heartbeat { view: 0, seq: 4 });
+        roundtrip_pb(PbMsg::NewView { view: 3, seq: 11 });
+    }
+
+    #[test]
+    fn smr_roundtrips() {
+        let d = fortress_crypto::sha256::Sha256::digest(b"req");
+        roundtrip_smr(SmrMsg::Request {
+            seq: 5,
+            client: "c1".into(),
+            op: b"GET x".to_vec(),
+        });
+        roundtrip_smr(SmrMsg::PrePrepare {
+            view: 1,
+            seq: 2,
+            request_seq: 5,
+            client: "c1".into(),
+            op: b"GET x".to_vec(),
+        });
+        roundtrip_smr(SmrMsg::Prepare { view: 1, seq: 2, digest: d });
+        roundtrip_smr(SmrMsg::Commit { view: 1, seq: 2, digest: d });
+        roundtrip_smr(SmrMsg::ViewChange { new_view: 2, last_exec: 7 });
+        roundtrip_smr(SmrMsg::NewView { view: 2, next_seq: 8 });
+        roundtrip_smr(SmrMsg::SnapshotRequest { last_exec: 3 });
+        roundtrip_smr(SmrMsg::SnapshotOffer {
+            seq: 7,
+            digest: d,
+            snapshot: b"snap".to_vec(),
+        });
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut bytes = PbMsg::Heartbeat { view: 0, seq: 0 }.encode();
+        bytes[0] = 99;
+        assert!(matches!(
+            PbMsg::decode(&bytes),
+            Err(ReplicationError::Codec(CodecError::BadTag { .. }))
+        ));
+        let mut bytes = SmrMsg::NewView { view: 0, next_seq: 0 }.encode();
+        bytes[0] = 99;
+        assert!(SmrMsg::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let msg = PbMsg::StateUpdate {
+            view: 1,
+            seq: 2,
+            request_seq: 3,
+            client: "c".into(),
+            response: b"r".to_vec(),
+            delta: b"d".to_vec(),
+        };
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(PbMsg::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = PbMsg::Heartbeat { view: 0, seq: 0 }.encode();
+        bytes.push(0);
+        assert!(PbMsg::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn signed_reply_roundtrip_and_verify() {
+        let authority = KeyAuthority::with_seed(8);
+        let signer = Signer::register("s1-server-0", &authority);
+        let reply = ReplyBody {
+            request_seq: 4,
+            client: "alice".into(),
+            body: b"VALUE teal".to_vec(),
+            server_index: 0,
+        };
+        let signed = SignedReply::sign(reply, &signer);
+        assert!(signed.verify(&authority));
+        let decoded = SignedReply::decode(&signed.encode()).unwrap();
+        assert_eq!(decoded, signed);
+        assert!(decoded.verify(&authority));
+    }
+
+    #[test]
+    fn tampered_reply_fails_verification() {
+        let authority = KeyAuthority::with_seed(8);
+        let signer = Signer::register("s", &authority);
+        let reply = ReplyBody {
+            request_seq: 4,
+            client: "alice".into(),
+            body: b"VALUE teal".to_vec(),
+            server_index: 0,
+        };
+        let mut signed = SignedReply::sign(reply, &signer);
+        signed.reply.body = b"VALUE red".to_vec();
+        assert!(!signed.verify(&authority));
+        // Index is covered by the signature too.
+        let reply2 = ReplyBody {
+            request_seq: 4,
+            client: "alice".into(),
+            body: b"VALUE teal".to_vec(),
+            server_index: 0,
+        };
+        let mut signed2 = SignedReply::sign(reply2, &signer);
+        signed2.reply.server_index = 1;
+        assert!(!signed2.verify(&authority));
+    }
+
+    #[test]
+    fn malformed_signature_tag_length_rejected() {
+        let authority = KeyAuthority::with_seed(8);
+        let signer = Signer::register("s", &authority);
+        let reply = ReplyBody {
+            request_seq: 1,
+            client: "c".into(),
+            body: vec![],
+            server_index: 0,
+        };
+        let signed = SignedReply::sign(reply, &signer);
+        let mut bytes = signed.encode();
+        // Shorten the trailing tag bytes.
+        bytes.truncate(bytes.len() - 4);
+        assert!(SignedReply::decode(&bytes).is_err());
+    }
+}

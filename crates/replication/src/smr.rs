@@ -1,0 +1,860 @@
+//! The state-machine-replication engine (system class S0).
+//!
+//! "S0 consists of 4 differently randomized nodes implementing a service
+//! built as a DSM. Clients interact with these nodes directly. The nodes
+//! execute an order protocol to decide on the order for processing
+//! requests; correct nodes generate identical responses for each request"
+//! (Definition 1). The order protocol here is a compact PBFT-family
+//! three-phase commit:
+//!
+//! 1. the leader of view `v` (replica `v % n`) assigns a slot and
+//!    broadcasts `PrePrepare`;
+//! 2. replicas broadcast `Prepare`; a slot is *prepared* once `2f+1`
+//!    replicas (leader included) vouch for the same digest;
+//! 3. prepared replicas broadcast `Commit`; a slot *commits* at `2f+1`
+//!    commits, and commits execute strictly in slot order.
+//!
+//! Every replica executes the operation itself — which is exactly why S0
+//! demands a deterministic service — and signs its own response (clients
+//! accept a response vouched for by `f+1` replicas; the client-side rule
+//! lives in `fortress-core`).
+//!
+//! View changes are vote-based: a replica whose oldest pending request
+//! outwaits the leader timeout votes `ViewChange{v+1}`; the designated
+//! leader of `v+1` takes over at `2f+1` votes and re-proposes whatever is
+//! pending. This handles crash faults (the paper's S0 failure model for
+//! liveness) while the quorum intersection argument carries the Byzantine
+//! safety case.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use fortress_crypto::sha256::{Digest, Sha256};
+use fortress_crypto::sig::Signer;
+use fortress_net::codec::CodecError;
+
+use crate::error::ReplicationError;
+use crate::message::{ReplyBody, SignedReply, SmrMsg};
+use crate::service::Service;
+
+/// Static configuration of an SMR group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmrConfig {
+    /// Number of replicas; must satisfy `n >= 3f + 1`.
+    pub n: usize,
+    /// Tolerated faults (the paper's S0 uses `f = 1`, `n = 4`).
+    pub f: usize,
+    /// A replica votes to depose the leader after a pending request waits
+    /// this many ticks.
+    pub leader_timeout: u64,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        SmrConfig {
+            n: 4,
+            f: 1,
+            leader_timeout: 30,
+        }
+    }
+}
+
+impl SmrConfig {
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Validates `n >= 3f + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicationError::BadConfig`] when the bound is violated.
+    pub fn validate(&self) -> Result<(), ReplicationError> {
+        if self.n < 3 * self.f + 1 {
+            return Err(ReplicationError::BadConfig {
+                reason: format!("n = {} < 3f + 1 = {}", self.n, 3 * self.f + 1),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Inputs to the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmrInput {
+    /// A client request (clients broadcast to all replicas).
+    Request {
+        /// Client-chosen request sequence number.
+        seq: u64,
+        /// Requesting client.
+        client: String,
+        /// Service operation.
+        op: Vec<u8>,
+    },
+    /// An authenticated protocol message from replica `from`.
+    ReplicaMsg {
+        /// Authenticated sender index.
+        from: usize,
+        /// The message.
+        msg: SmrMsg,
+    },
+    /// Logical clock tick.
+    Tick {
+        /// Current time.
+        now: u64,
+    },
+}
+
+/// Outputs of the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmrOutput {
+    /// Send to every other replica.
+    Broadcast(SmrMsg),
+    /// Send to one replica.
+    ToReplica(usize, SmrMsg),
+    /// Signed response toward the client (the harness routes it).
+    Reply(SignedReply),
+}
+
+#[derive(Clone, Debug)]
+struct Proposal {
+    view: u64,
+    request_seq: u64,
+    client: String,
+    op: Vec<u8>,
+    digest: Digest,
+    committed: bool,
+    commit_sent: bool,
+}
+
+fn request_digest(request_seq: u64, client: &str, op: &[u8]) -> Digest {
+    Sha256::digest_parts(&[&request_seq.to_le_bytes(), client.as_bytes(), op])
+}
+
+/// One SMR replica.
+///
+/// # Example
+///
+/// ```
+/// use fortress_crypto::{KeyAuthority, Signer};
+/// use fortress_replication::smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica};
+/// use fortress_replication::service::KvStore;
+/// use fortress_replication::message::SmrMsg;
+///
+/// let authority = KeyAuthority::with_seed(1);
+/// let signer = Signer::register("smr-0", &authority);
+/// let mut leader = SmrReplica::new(SmrConfig::default(), 0, KvStore::new(), signer).unwrap();
+/// let outs = leader.on_input(SmrInput::Request {
+///     seq: 1, client: "alice".into(), op: b"PUT k v".to_vec(),
+/// });
+/// assert!(matches!(&outs[..], [SmrOutput::Broadcast(SmrMsg::PrePrepare { .. })]));
+/// ```
+#[derive(Debug)]
+pub struct SmrReplica<S> {
+    cfg: SmrConfig,
+    index: usize,
+    service: S,
+    signer: Signer,
+    view: u64,
+    next_seq: u64,
+    last_exec: u64,
+    now: u64,
+    log: BTreeMap<u64, Proposal>,
+    prepares: HashMap<(u64, u64), HashSet<usize>>,
+    commits: HashMap<(u64, u64), HashSet<usize>>,
+    executed: HashMap<(String, u64), Vec<u8>>,
+    /// Requests seen but not yet executed: `(client, seq) → (op, since)`.
+    pending: HashMap<(String, u64), (Vec<u8>, u64)>,
+    view_change_votes: HashMap<u64, HashSet<usize>>,
+    /// Highest view this replica has voted for.
+    voted_view: u64,
+    replies_sent: u64,
+}
+
+impl<S: Service> SmrReplica<S> {
+    /// Creates replica `index` of a validated group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicationError::BadConfig`] for `n < 3f+1` and
+    /// [`ReplicationError::BadReplicaIndex`] for an out-of-range index.
+    pub fn new(
+        cfg: SmrConfig,
+        index: usize,
+        service: S,
+        signer: Signer,
+    ) -> Result<SmrReplica<S>, ReplicationError> {
+        cfg.validate()?;
+        if index >= cfg.n {
+            return Err(ReplicationError::BadReplicaIndex { index, n: cfg.n });
+        }
+        Ok(SmrReplica {
+            cfg,
+            index,
+            service,
+            signer,
+            view: 0,
+            next_seq: 0,
+            last_exec: 0,
+            now: 0,
+            log: BTreeMap::new(),
+            prepares: HashMap::new(),
+            commits: HashMap::new(),
+            executed: HashMap::new(),
+            pending: HashMap::new(),
+            view_change_votes: HashMap::new(),
+            voted_view: 0,
+            replies_sent: 0,
+        })
+    }
+
+    /// This replica's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Whether this replica leads the current view.
+    pub fn is_leader(&self) -> bool {
+        self.view as usize % self.cfg.n == self.index
+    }
+
+    /// Last executed slot.
+    pub fn last_exec(&self) -> u64 {
+        self.last_exec
+    }
+
+    /// Signed replies emitted so far.
+    pub fn replies_sent(&self) -> u64 {
+        self.replies_sent
+    }
+
+    /// Immutable access to the replicated service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Produces a snapshot offer for a rejoining replica.
+    pub fn snapshot_offer(&self) -> SmrMsg {
+        SmrMsg::SnapshotOffer {
+            seq: self.last_exec,
+            digest: self.service.digest(),
+            snapshot: self.service.snapshot(),
+        }
+    }
+
+    /// Installs a snapshot accepted by the rejoin rule (`f+1` matching
+    /// digests, see [`crate::state_transfer`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicationError::BadSnapshot`] when the bytes do not
+    /// decode or the restored digest mismatches.
+    pub fn install_snapshot(
+        &mut self,
+        seq: u64,
+        digest: Digest,
+        snapshot: &[u8],
+    ) -> Result<(), ReplicationError> {
+        self.service
+            .restore(snapshot)
+            .map_err(|e: CodecError| ReplicationError::BadSnapshot {
+                reason: e.to_string(),
+            })?;
+        if self.service.digest() != digest {
+            return Err(ReplicationError::BadSnapshot {
+                reason: "restored state digest mismatch".into(),
+            });
+        }
+        self.last_exec = seq;
+        self.next_seq = seq;
+        self.log.retain(|s, _| *s > seq);
+        Ok(())
+    }
+
+    /// Feeds one input, returning the outputs it provokes.
+    pub fn on_input(&mut self, input: SmrInput) -> Vec<SmrOutput> {
+        match input {
+            SmrInput::Request { seq, client, op } => self.on_request(seq, client, op),
+            SmrInput::ReplicaMsg { from, msg } => self.on_replica_msg(from, msg),
+            SmrInput::Tick { now } => self.on_tick(now),
+        }
+    }
+
+    fn make_reply(&mut self, request_seq: u64, client: &str, body: Vec<u8>) -> SmrOutput {
+        self.replies_sent += 1;
+        SmrOutput::Reply(SignedReply::sign(
+            ReplyBody {
+                request_seq,
+                client: client.to_owned(),
+                body,
+                server_index: self.index as u32,
+            },
+            &self.signer,
+        ))
+    }
+
+    fn on_request(&mut self, seq: u64, client: String, op: Vec<u8>) -> Vec<SmrOutput> {
+        let key = (client.clone(), seq);
+        if let Some(body) = self.executed.get(&key) {
+            let body = body.clone();
+            return vec![self.make_reply(seq, &client, body)];
+        }
+        self.pending.entry(key).or_insert((op.clone(), self.now));
+        if self.is_leader() {
+            return self.propose(seq, client, op);
+        }
+        Vec::new()
+    }
+
+    fn propose(&mut self, request_seq: u64, client: String, op: Vec<u8>) -> Vec<SmrOutput> {
+        // Skip if this request already occupies a slot in this view.
+        let already = self.log.values().any(|p| {
+            p.view == self.view && p.request_seq == request_seq && p.client == client
+        });
+        if already {
+            return Vec::new();
+        }
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let digest = request_digest(request_seq, &client, &op);
+        self.log.insert(
+            seq,
+            Proposal {
+                view: self.view,
+                request_seq,
+                client: client.clone(),
+                op: op.clone(),
+                digest,
+                committed: false,
+                commit_sent: false,
+            },
+        );
+        // The leader's pre-prepare doubles as its prepare vote.
+        self.prepares
+            .entry((self.view, seq))
+            .or_default()
+            .insert(self.index);
+        vec![SmrOutput::Broadcast(SmrMsg::PrePrepare {
+            view: self.view,
+            seq,
+            request_seq,
+            client,
+            op,
+        })]
+    }
+
+    fn on_replica_msg(&mut self, from: usize, msg: SmrMsg) -> Vec<SmrOutput> {
+        if from >= self.cfg.n {
+            return Vec::new();
+        }
+        match msg {
+            SmrMsg::PrePrepare {
+                view,
+                seq,
+                request_seq,
+                client,
+                op,
+            } => self.on_pre_prepare(from, view, seq, request_seq, client, op),
+            SmrMsg::Prepare { view, seq, digest } => self.on_prepare(from, view, seq, digest),
+            SmrMsg::Commit { view, seq, digest } => self.on_commit(from, view, seq, digest),
+            SmrMsg::ViewChange {
+                new_view,
+                last_exec: _,
+            } => self.on_view_change(from, new_view),
+            SmrMsg::NewView { view, next_seq } => {
+                if view > self.view && from == view as usize % self.cfg.n {
+                    self.adopt_view(view);
+                    // Truncate uncommitted slots the deposed leader opened.
+                    let last_exec = self.last_exec;
+                    self.log.retain(|s, p| *s <= last_exec || p.committed);
+                    self.next_seq = self.next_seq.max(next_seq.saturating_sub(1));
+                }
+                Vec::new()
+            }
+            SmrMsg::SnapshotRequest { .. } => {
+                vec![SmrOutput::ToReplica(from, self.snapshot_offer())]
+            }
+            SmrMsg::SnapshotOffer { .. } => Vec::new(), // handled by the rejoin collector
+            SmrMsg::Request { seq, client, op } => {
+                // Replica-forwarded request (e.g. re-proposal path).
+                self.on_request(seq, client, op)
+            }
+        }
+    }
+
+    fn on_pre_prepare(
+        &mut self,
+        from: usize,
+        view: u64,
+        seq: u64,
+        request_seq: u64,
+        client: String,
+        op: Vec<u8>,
+    ) -> Vec<SmrOutput> {
+        if view < self.view || from != view as usize % self.cfg.n {
+            return Vec::new();
+        }
+        if view > self.view {
+            self.adopt_view(view);
+        }
+        if seq <= self.last_exec {
+            return Vec::new(); // already executed this slot
+        }
+        let digest = request_digest(request_seq, &client, &op);
+        if let Some(existing) = self.log.get(&seq) {
+            if existing.view >= view && existing.digest != digest {
+                // Conflicting proposal for an occupied slot from a view we
+                // already accepted: refuse (Byzantine-leader defense).
+                return Vec::new();
+            }
+        }
+        self.pending.remove(&(client.clone(), request_seq));
+        self.log.insert(
+            seq,
+            Proposal {
+                view,
+                request_seq,
+                client,
+                op,
+                digest,
+                committed: false,
+                commit_sent: false,
+            },
+        );
+        let set = self.prepares.entry((view, seq)).or_default();
+        set.insert(from); // the leader's implicit prepare
+        set.insert(self.index);
+        let mut outs = vec![SmrOutput::Broadcast(SmrMsg::Prepare { view, seq, digest })];
+        outs.extend(self.check_prepared(view, seq));
+        outs
+    }
+
+    fn on_prepare(&mut self, from: usize, view: u64, seq: u64, digest: Digest) -> Vec<SmrOutput> {
+        if view != self.view && view < self.view {
+            return Vec::new();
+        }
+        if let Some(p) = self.log.get(&seq) {
+            if p.digest != digest {
+                return Vec::new(); // vote for a different request
+            }
+        }
+        self.prepares.entry((view, seq)).or_default().insert(from);
+        self.check_prepared(view, seq)
+    }
+
+    fn check_prepared(&mut self, view: u64, seq: u64) -> Vec<SmrOutput> {
+        let quorum = self.cfg.quorum();
+        let have = self
+            .prepares
+            .get(&(view, seq))
+            .map_or(0, |s| s.len());
+        let Some(p) = self.log.get_mut(&seq) else {
+            return Vec::new();
+        };
+        if p.commit_sent || p.view != view || have < quorum {
+            return Vec::new();
+        }
+        p.commit_sent = true;
+        let digest = p.digest;
+        self.commits.entry((view, seq)).or_default().insert(self.index);
+        let mut outs = vec![SmrOutput::Broadcast(SmrMsg::Commit { view, seq, digest })];
+        outs.extend(self.check_committed(view, seq));
+        outs
+    }
+
+    fn on_commit(&mut self, from: usize, view: u64, seq: u64, digest: Digest) -> Vec<SmrOutput> {
+        if let Some(p) = self.log.get(&seq) {
+            if p.digest != digest {
+                return Vec::new();
+            }
+        }
+        self.commits.entry((view, seq)).or_default().insert(from);
+        self.check_committed(view, seq)
+    }
+
+    fn check_committed(&mut self, view: u64, seq: u64) -> Vec<SmrOutput> {
+        let quorum = self.cfg.quorum();
+        let have = self.commits.get(&(view, seq)).map_or(0, |s| s.len());
+        if have < quorum {
+            return Vec::new();
+        }
+        if let Some(p) = self.log.get_mut(&seq) {
+            p.committed = true;
+        }
+        self.execute_ready()
+    }
+
+    /// Executes committed slots strictly in order.
+    fn execute_ready(&mut self) -> Vec<SmrOutput> {
+        let mut outs = Vec::new();
+        loop {
+            let next = self.last_exec + 1;
+            let Some(p) = self.log.get(&next) else { break };
+            if !p.committed {
+                break;
+            }
+            let (client, request_seq, op) = (p.client.clone(), p.request_seq, p.op.clone());
+            let (body, _delta) = self.service.execute(&op);
+            self.last_exec = next;
+            self.next_seq = self.next_seq.max(next);
+            self.executed
+                .insert((client.clone(), request_seq), body.clone());
+            self.pending.remove(&(client.clone(), request_seq));
+            outs.push(self.make_reply(request_seq, &client, body));
+        }
+        outs
+    }
+
+    fn on_view_change(&mut self, from: usize, new_view: u64) -> Vec<SmrOutput> {
+        if new_view <= self.view {
+            return Vec::new();
+        }
+        self.view_change_votes
+            .entry(new_view)
+            .or_default()
+            .insert(from);
+        self.try_assume_leadership(new_view)
+    }
+
+    fn try_assume_leadership(&mut self, new_view: u64) -> Vec<SmrOutput> {
+        let votes = self
+            .view_change_votes
+            .get(&new_view)
+            .map_or(0, |s| s.len());
+        if votes < self.cfg.quorum() || new_view as usize % self.cfg.n != self.index {
+            return Vec::new();
+        }
+        self.adopt_view(new_view);
+        let mut outs = vec![SmrOutput::Broadcast(SmrMsg::NewView {
+            view: new_view,
+            next_seq: self.last_exec + 1,
+        })];
+        // Re-propose everything pending under the new view.
+        self.next_seq = self.next_seq.max(self.last_exec);
+        let pending: Vec<((String, u64), Vec<u8>)> = self
+            .pending
+            .iter()
+            .map(|((c, s), (op, _))| ((c.clone(), *s), op.clone()))
+            .collect();
+        for ((client, seq), op) in pending {
+            outs.extend(self.propose(seq, client, op));
+        }
+        outs
+    }
+
+    fn adopt_view(&mut self, view: u64) {
+        self.view = view;
+        self.voted_view = self.voted_view.max(view);
+        // Refresh pending timers so the new leader gets a full timeout.
+        for (_, since) in self.pending.values_mut() {
+            *since = self.now;
+        }
+    }
+
+    fn on_tick(&mut self, now: u64) -> Vec<SmrOutput> {
+        self.now = now;
+        if self.is_leader() {
+            return Vec::new();
+        }
+        let overdue = self
+            .pending
+            .values()
+            .any(|(_, since)| now.saturating_sub(*since) > self.cfg.leader_timeout);
+        if !overdue {
+            return Vec::new();
+        }
+        let target = self.view + 1;
+        if self.voted_view >= target {
+            // Already voted; keep waiting (votes are sticky).
+            return self.try_assume_leadership(target);
+        }
+        self.voted_view = target;
+        self.view_change_votes
+            .entry(target)
+            .or_default()
+            .insert(self.index);
+        let mut outs = vec![SmrOutput::Broadcast(SmrMsg::ViewChange {
+            new_view: target,
+            last_exec: self.last_exec,
+        })];
+        outs.extend(self.try_assume_leadership(target));
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::KvStore;
+    use fortress_crypto::KeyAuthority;
+
+    fn group(n: usize, f: usize) -> Vec<SmrReplica<KvStore>> {
+        let authority = KeyAuthority::with_seed(7);
+        let cfg = SmrConfig {
+            n,
+            f,
+            leader_timeout: 30,
+        };
+        (0..n)
+            .map(|i| {
+                let signer = Signer::register(&format!("smr-{i}"), &authority);
+                SmrReplica::new(cfg, i, KvStore::new(), signer).unwrap()
+            })
+            .collect()
+    }
+
+    /// Delivers outputs; `down` replicas drop everything. Returns replies.
+    fn route(
+        replicas: &mut [SmrReplica<KvStore>],
+        from: usize,
+        outputs: Vec<SmrOutput>,
+        down: &[usize],
+    ) -> Vec<SignedReply> {
+        let mut replies = Vec::new();
+        for out in outputs {
+            match out {
+                SmrOutput::Reply(r) => replies.push(r),
+                SmrOutput::Broadcast(msg) => {
+                    for i in 0..replicas.len() {
+                        if i == from || down.contains(&i) {
+                            continue;
+                        }
+                        let outs = replicas[i].on_input(SmrInput::ReplicaMsg {
+                            from,
+                            msg: msg.clone(),
+                        });
+                        replies.extend(route(replicas, i, outs, down));
+                    }
+                }
+                SmrOutput::ToReplica(to, msg) => {
+                    if down.contains(&to) {
+                        continue;
+                    }
+                    let outs = replicas[to].on_input(SmrInput::ReplicaMsg {
+                        from,
+                        msg,
+                    });
+                    replies.extend(route(replicas, to, outs, down));
+                }
+            }
+        }
+        replies
+    }
+
+    fn submit(
+        replicas: &mut [SmrReplica<KvStore>],
+        seq: u64,
+        op: &[u8],
+        down: &[usize],
+    ) -> Vec<SignedReply> {
+        // The client's broadcast reaches every live replica before any
+        // protocol message does (they are all sent at the same instant).
+        let mut batches = Vec::new();
+        for i in 0..replicas.len() {
+            if down.contains(&i) {
+                continue;
+            }
+            let outs = replicas[i].on_input(SmrInput::Request {
+                seq,
+                client: "alice".into(),
+                op: op.to_vec(),
+            });
+            batches.push((i, outs));
+        }
+        let mut replies = Vec::new();
+        for (i, outs) in batches {
+            replies.extend(route(replicas, i, outs, down));
+        }
+        replies
+    }
+
+    #[test]
+    fn four_replicas_execute_and_agree() {
+        let mut replicas = group(4, 1);
+        let replies = submit(&mut replicas, 1, b"PUT a 1", &[]);
+        assert_eq!(replies.len(), 4, "all four reply");
+        assert!(replies.iter().all(|r| r.reply.body == b"OK"));
+        let digest = replicas[0].service().digest();
+        for r in &replicas[1..] {
+            assert_eq!(r.service().digest(), digest, "replica states agree");
+        }
+        assert!(replicas.iter().all(|r| r.last_exec() == 1));
+    }
+
+    #[test]
+    fn sequence_of_requests_executes_in_order_everywhere() {
+        let mut replicas = group(4, 1);
+        submit(&mut replicas, 1, b"PUT a 1", &[]);
+        submit(&mut replicas, 2, b"PUT b 2", &[]);
+        let replies = submit(&mut replicas, 3, b"GET a", &[]);
+        assert!(replies.iter().all(|r| r.reply.body == b"VALUE 1"));
+        assert!(replicas.iter().all(|r| r.last_exec() == 3));
+    }
+
+    #[test]
+    fn duplicate_request_answered_from_cache() {
+        let mut replicas = group(4, 1);
+        submit(&mut replicas, 1, b"PUT a 1", &[]);
+        let exec_before: Vec<u64> = replicas.iter().map(|r| r.last_exec()).collect();
+        let replies = submit(&mut replicas, 1, b"PUT a 1", &[]);
+        assert_eq!(replies.len(), 4, "cached replies from each replica");
+        let exec_after: Vec<u64> = replicas.iter().map(|r| r.last_exec()).collect();
+        assert_eq!(exec_before, exec_after, "no re-execution");
+    }
+
+    #[test]
+    fn tolerates_one_crashed_backup() {
+        let mut replicas = group(4, 1);
+        let replies = submit(&mut replicas, 1, b"PUT a 1", &[3]);
+        // Three live replicas still reach the 2f+1 = 3 quorum.
+        assert_eq!(replies.len(), 3);
+        assert!(replicas[0].last_exec() == 1 && replicas[2].last_exec() == 1);
+        assert_eq!(replicas[3].last_exec(), 0, "crashed replica missed it");
+    }
+
+    #[test]
+    fn two_crashes_block_progress() {
+        let mut replicas = group(4, 1);
+        let replies = submit(&mut replicas, 1, b"PUT a 1", &[2, 3]);
+        assert!(replies.is_empty(), "quorum impossible with 2 of 4 down");
+        assert!(replicas[0].last_exec() == 0 && replicas[1].last_exec() == 0);
+    }
+
+    #[test]
+    fn leader_crash_triggers_view_change_and_reexecution() {
+        let mut replicas = group(4, 1);
+        // Leader (0) is down; clients still broadcast.
+        let replies = submit(&mut replicas, 1, b"PUT a 1", &[0]);
+        assert!(replies.is_empty(), "no leader, no ordering yet");
+        // Time passes; backups vote out view 0. Votes propagate through
+        // routing, replica 1 (= 1 % 4) assumes leadership and re-proposes.
+        let mut all_replies = Vec::new();
+        for i in 1..4 {
+            let outs = replicas[i].on_input(SmrInput::Tick { now: 31 });
+            all_replies.extend(route(&mut replicas, i, outs, &[0]));
+        }
+        assert_eq!(replicas[1].view(), 1);
+        assert!(replicas[1].is_leader());
+        assert_eq!(all_replies.len(), 3, "request executed under new view");
+        assert!(all_replies.iter().all(|r| r.reply.body == b"OK"));
+    }
+
+    #[test]
+    fn byzantine_equivocation_on_a_slot_is_refused() {
+        let mut replicas = group(4, 1);
+        // Replica 1 receives two conflicting pre-prepares for slot 1.
+        let pp1 = SmrMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            request_seq: 1,
+            client: "alice".into(),
+            op: b"PUT a 1".to_vec(),
+        };
+        let pp2 = SmrMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            request_seq: 2,
+            client: "mallory".into(),
+            op: b"PUT a 666".to_vec(),
+        };
+        let outs1 = replicas[1].on_input(SmrInput::ReplicaMsg { from: 0, msg: pp1 });
+        assert!(!outs1.is_empty());
+        let outs2 = replicas[1].on_input(SmrInput::ReplicaMsg { from: 0, msg: pp2 });
+        assert!(outs2.is_empty(), "conflicting proposal refused");
+    }
+
+    #[test]
+    fn prepare_with_wrong_digest_not_counted() {
+        let mut replicas = group(4, 1);
+        let outs = replicas[0].on_input(SmrInput::Request {
+            seq: 1,
+            client: "alice".into(),
+            op: b"PUT a 1".to_vec(),
+        });
+        // Feed the pre-prepare to replica 1 only.
+        let SmrOutput::Broadcast(pp) = &outs[0] else {
+            panic!()
+        };
+        replicas[1].on_input(SmrInput::ReplicaMsg {
+            from: 0,
+            msg: pp.clone(),
+        });
+        // Forge prepares with a bogus digest from replicas 2 and 3.
+        let bogus = Sha256::digest(b"bogus");
+        for from in [2usize, 3] {
+            let outs = replicas[1].on_input(SmrInput::ReplicaMsg {
+                from,
+                msg: SmrMsg::Prepare {
+                    view: 0,
+                    seq: 1,
+                    digest: bogus,
+                },
+            });
+            assert!(outs.is_empty(), "bogus prepare must not advance the slot");
+        }
+        assert_eq!(replicas[1].last_exec(), 0);
+    }
+
+    #[test]
+    fn snapshot_offer_and_install() {
+        let mut replicas = group(4, 1);
+        submit(&mut replicas, 1, b"PUT a 1", &[3]);
+        submit(&mut replicas, 2, b"PUT b 2", &[3]);
+        // Replica 3 rejoins via snapshot from replica 0.
+        let offer = replicas[0].snapshot_offer();
+        let SmrMsg::SnapshotOffer { seq, digest, snapshot } = offer else {
+            panic!()
+        };
+        replicas[3].install_snapshot(seq, digest, &snapshot).unwrap();
+        assert_eq!(replicas[3].last_exec(), 2);
+        assert_eq!(replicas[3].service().digest(), replicas[0].service().digest());
+        // And it participates normally afterwards.
+        let replies = submit(&mut replicas, 3, b"GET b", &[]);
+        assert_eq!(replies.len(), 4);
+        assert!(replies.iter().all(|r| r.reply.body == b"VALUE 2"));
+    }
+
+    #[test]
+    fn install_snapshot_rejects_corruption() {
+        let mut replicas = group(4, 1);
+        submit(&mut replicas, 1, b"PUT a 1", &[]);
+        let SmrMsg::SnapshotOffer { seq, digest, mut snapshot } = replicas[0].snapshot_offer()
+        else {
+            panic!()
+        };
+        snapshot[0] ^= 0xff;
+        assert!(replicas[3].install_snapshot(seq, digest, &snapshot).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SmrConfig { n: 3, f: 1, leader_timeout: 1 }.validate().is_err());
+        assert!(SmrConfig { n: 4, f: 1, leader_timeout: 1 }.validate().is_ok());
+        assert_eq!(SmrConfig::default().quorum(), 3);
+        let authority = KeyAuthority::with_seed(1);
+        let signer = Signer::register("x", &authority);
+        assert!(matches!(
+            SmrReplica::new(SmrConfig::default(), 9, KvStore::new(), signer),
+            Err(ReplicationError::BadReplicaIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_request_is_answered() {
+        let mut replicas = group(4, 1);
+        submit(&mut replicas, 1, b"PUT a 1", &[]);
+        let outs = replicas[0].on_input(SmrInput::ReplicaMsg {
+            from: 3,
+            msg: SmrMsg::SnapshotRequest { last_exec: 0 },
+        });
+        assert!(matches!(
+            &outs[..],
+            [SmrOutput::ToReplica(3, SmrMsg::SnapshotOffer { seq: 1, .. })]
+        ));
+    }
+}

@@ -1,0 +1,300 @@
+//! Step-by-step Monte-Carlo simulation of the abstract attack model.
+//!
+//! One [`AbstractModel`] trial walks unit time-steps, sampling per-key
+//! Bernoulli hazards exactly as the analytic survival functions integrate
+//! them (broadcast-probe model, DESIGN.md §2): a without-replacement
+//! attacker's per-remaining-key hazard at step `i` is `ω/(χ − (i−1)ω)`; a
+//! PO defender resets keys (and the attacker's eliminations) every step.
+//!
+//! This engine costs O(steps) per trial — use it to validate the O(1)
+//! event-driven sampler and the closed forms, not for the `α = 10⁻⁵`
+//! corner of Figure 1.
+
+use fortress_markov::LaunchPad;
+use fortress_model::params::{AttackParams, Policy};
+use fortress_model::SystemKind;
+use rand::Rng;
+
+/// Abstract-model Monte-Carlo configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbstractModel {
+    /// System class (κ embedded for S2).
+    pub kind: SystemKind,
+    /// Obfuscation policy.
+    pub policy: Policy,
+    /// Attack parameters.
+    pub params: AttackParams,
+    /// Launch-pad semantics (S2 only).
+    pub launch_pad: LaunchPad,
+    /// Safety cap on simulated steps per trial.
+    pub max_steps: u64,
+}
+
+impl AbstractModel {
+    /// A model with the paper's launch-pad semantics and a generous cap.
+    pub fn new(kind: SystemKind, policy: Policy, params: AttackParams) -> AbstractModel {
+        AbstractModel {
+            kind,
+            policy,
+            params,
+            launch_pad: LaunchPad::NextStep,
+            max_steps: 100_000_000,
+        }
+    }
+
+    /// Simulates one trial; returns the step index (1-based) at which the
+    /// system was compromised, capped at `max_steps`.
+    pub fn simulate_once<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.kind {
+            SystemKind::S1Pb => self.run_shared_key(rng, 1.0),
+            SystemKind::S0Smr => self.run_s0(rng),
+            SystemKind::S2Fortress { kappa } => self.run_s2(rng, kappa),
+        }
+    }
+
+    /// Hazard of one specific key being among this step's probes, given
+    /// `eliminated` values already ruled out (SO) or a fresh space (PO).
+    fn hazard(&self, eliminated: f64, rate: f64) -> f64 {
+        let chi = self.params.chi();
+        let remaining = (chi - eliminated).max(1.0);
+        (rate / remaining).clamp(0.0, 1.0)
+    }
+
+    /// S1: one shared key probed by a broadcast stream at rate `scale·ω`.
+    fn run_shared_key<R: Rng + ?Sized>(&self, rng: &mut R, scale: f64) -> u64 {
+        let omega = self.params.omega() * scale;
+        let mut eliminated = 0.0;
+        for step in 1..=self.max_steps {
+            let h = self.hazard(eliminated, omega);
+            if rng.gen::<f64>() < h {
+                return step;
+            }
+            match self.policy {
+                Policy::Proactive => { /* fresh key, fresh guesses */ }
+                Policy::StartupOnly => eliminated += omega,
+            }
+        }
+        self.max_steps
+    }
+
+    /// S0: four distinct keys; compromised when two are simultaneously
+    /// uncovered (PO: within one step; SO: cumulatively).
+    fn run_s0<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let omega = self.params.omega();
+        let mut eliminated = 0.0;
+        let mut found = [false; 4];
+        for step in 1..=self.max_steps {
+            let h = self.hazard(eliminated, omega);
+            let mut this_step = 0;
+            for f in &mut found {
+                if !*f && rng.gen::<f64>() < h {
+                    *f = true;
+                }
+                if *f {
+                    this_step += 1;
+                }
+            }
+            if this_step >= 2 {
+                return step;
+            }
+            match self.policy {
+                Policy::Proactive => found = [false; 4],
+                Policy::StartupOnly => eliminated += omega,
+            }
+        }
+        self.max_steps
+    }
+
+    /// S2: three distinct proxy keys (direct stream at ω) plus one shared
+    /// server key (indirect stream at κω, plus the pad's ω once a proxy is
+    /// held at the start of a step).
+    fn run_s2<R: Rng + ?Sized>(&self, rng: &mut R, kappa: f64) -> u64 {
+        let omega = self.params.omega();
+        let mut proxy_eliminated = 0.0;
+        let mut server_eliminated = 0.0;
+        let mut proxies = [false; 3];
+        for step in 1..=self.max_steps {
+            let pad_active =
+                self.launch_pad == LaunchPad::NextStep && proxies.iter().any(|p| *p);
+            let server_rate = if pad_active {
+                (1.0 + kappa) * omega
+            } else {
+                kappa * omega
+            };
+            let hs = self.hazard(server_eliminated, server_rate);
+            let server_falls = rng.gen::<f64>() < hs;
+
+            let hp = self.hazard(proxy_eliminated, omega);
+            for p in &mut proxies {
+                if !*p && rng.gen::<f64>() < hp {
+                    *p = true;
+                }
+            }
+
+            if server_falls {
+                return step;
+            }
+            if proxies.iter().all(|p| *p) {
+                return step;
+            }
+            match self.policy {
+                Policy::Proactive => proxies = [false; 3],
+                Policy::StartupOnly => {
+                    proxy_eliminated += omega;
+                    server_eliminated += server_rate;
+                }
+            }
+        }
+        self.max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunningStats;
+    use fortress_model::lifetime::expected_lifetime;
+    use fortress_model::params::ProbeModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimate(model: &AbstractModel, trials: u64, seed: u64) -> crate::stats::Estimate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = RunningStats::new();
+        for _ in 0..trials {
+            stats.push(model.simulate_once(&mut rng) as f64);
+        }
+        stats.estimate()
+    }
+
+    fn params(alpha: f64) -> AttackParams {
+        // Small chi keeps SO trials short while alpha stays realistic.
+        AttackParams::from_alpha(4096.0, alpha).unwrap()
+    }
+
+    #[test]
+    fn s1_po_matches_geometric_lifetime() {
+        let alpha = 0.02;
+        let model = AbstractModel::new(SystemKind::S1Pb, Policy::Proactive, params(alpha));
+        let est = estimate(&model, 4000, 1);
+        let analytic =
+            expected_lifetime(SystemKind::S1Pb, Policy::Proactive, ProbeModel::Broadcast, &params(alpha))
+                .unwrap();
+        assert!(
+            est.contains(analytic) || (est.mean - analytic).abs() / analytic < 0.05,
+            "MC {est:?} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn s1_so_matches_uniform_lifetime() {
+        let alpha = 0.01;
+        let model = AbstractModel::new(SystemKind::S1Pb, Policy::StartupOnly, params(alpha));
+        let est = estimate(&model, 4000, 2);
+        let analytic = expected_lifetime(
+            SystemKind::S1Pb,
+            Policy::StartupOnly,
+            ProbeModel::Broadcast,
+            &params(alpha),
+        )
+        .unwrap();
+        assert!(
+            (est.mean - analytic).abs() / analytic < 0.05,
+            "MC {est:?} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn s0_so_matches_order_statistic_lifetime() {
+        let alpha = 0.01;
+        let model = AbstractModel::new(SystemKind::S0Smr, Policy::StartupOnly, params(alpha));
+        let est = estimate(&model, 4000, 3);
+        let analytic = expected_lifetime(
+            SystemKind::S0Smr,
+            Policy::StartupOnly,
+            ProbeModel::Broadcast,
+            &params(alpha),
+        )
+        .unwrap();
+        assert!(
+            (est.mean - analytic).abs() / analytic < 0.05,
+            "MC {est:?} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn s2_po_matches_closed_form() {
+        let alpha = 0.02;
+        let kappa = 0.5;
+        let model = AbstractModel::new(
+            SystemKind::S2Fortress { kappa },
+            Policy::Proactive,
+            params(alpha),
+        );
+        let est = estimate(&model, 4000, 4);
+        let analytic = expected_lifetime(
+            SystemKind::S2Fortress { kappa },
+            Policy::Proactive,
+            ProbeModel::Broadcast,
+            &params(alpha),
+        )
+        .unwrap();
+        assert!(
+            (est.mean - analytic).abs() / analytic < 0.06,
+            "MC {est:?} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn s2_so_matches_survival_integral() {
+        let alpha = 0.01;
+        let kappa = 0.4;
+        let model = AbstractModel::new(
+            SystemKind::S2Fortress { kappa },
+            Policy::StartupOnly,
+            params(alpha),
+        );
+        let est = estimate(&model, 4000, 5);
+        let analytic = fortress_model::lifetime::expected_lifetime_s2_so(
+            &params(alpha),
+            kappa,
+            LaunchPad::NextStep,
+        );
+        assert!(
+            (est.mean - analytic).abs() / analytic < 0.06,
+            "MC {est:?} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn s2_so_pad_ablation_ordering() {
+        let alpha = 0.01;
+        let kappa = 0.2;
+        let mut with_pad = AbstractModel::new(
+            SystemKind::S2Fortress { kappa },
+            Policy::StartupOnly,
+            params(alpha),
+        );
+        with_pad.launch_pad = LaunchPad::NextStep;
+        let mut without = with_pad;
+        without.launch_pad = LaunchPad::Disabled;
+        let e_with = estimate(&with_pad, 2000, 6);
+        let e_without = estimate(&without, 2000, 7);
+        assert!(
+            e_with.mean < e_without.mean,
+            "pads must shorten lifetimes: {e_with:?} vs {e_without:?}"
+        );
+    }
+
+    #[test]
+    fn max_steps_caps_runaway_trials() {
+        let mut model = AbstractModel::new(
+            SystemKind::S2Fortress { kappa: 0.0 },
+            Policy::Proactive,
+            AttackParams::from_alpha(1e9, 1e-9).unwrap(),
+        );
+        model.max_steps = 50;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(model.simulate_once(&mut rng), 50);
+    }
+}

@@ -1,0 +1,35 @@
+//! Monte-Carlo engines for the FORTRESS resilience evaluation (paper §5).
+//!
+//! Three fidelities, each validating the next:
+//!
+//! * [`event_mc`] — **event-driven** samplers: key-discovery times are
+//!   sampled directly from their closed-form distributions (uniform order
+//!   statistics for SO, geometrics for PO), so one trial costs O(1)
+//!   regardless of how many steps the system survives. This is what makes
+//!   Figure 1's `α = 10⁻⁵` points (expected lifetimes in the millions of
+//!   steps) computable by simulation at all.
+//! * [`abstract_mc`] — **step-by-step** simulation of the abstract attack
+//!   model, hazard by hazard; cross-validates the event-driven sampler and
+//!   the analytic survival functions.
+//! * [`protocol_mc`] — **protocol-level** simulation: the real FORTRESS /
+//!   PB / SMR stacks from `fortress-core` under the real probing attackers
+//!   from `fortress-attack`, over the deterministic network, with a scaled
+//!   key space; corroborates that the abstract model's shapes survive
+//!   contact with an actual implementation.
+//!
+//! Support: [`stats`] (Welford accumulators, Student-t confidence
+//! intervals), [`report`] (CSV emission for the figures harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstract_mc;
+pub mod event_mc;
+pub mod protocol_mc;
+pub mod report;
+pub mod stats;
+
+pub use abstract_mc::AbstractModel;
+pub use event_mc::sample_lifetime;
+pub use protocol_mc::ProtocolExperiment;
+pub use stats::{Estimate, RunningStats};

@@ -1,0 +1,275 @@
+//! Protocol-level Monte-Carlo: the real stacks under real attackers.
+//!
+//! One trial assembles a full [`Stack`] (randomized processes, replication
+//! engines, proxies, deterministic network) and a matching attacker, then
+//! walks unit time-steps until the class's compromise condition holds. Key
+//! spaces are scaled down (default 2^10) so trials finish in milliseconds;
+//! the *shape* of the results — who outlives whom — is what corroborates
+//! the abstract models (experiment `PROTO` in DESIGN.md).
+
+use fortress_attack::attacker::{DirectAttacker, FortressAttacker};
+use fortress_core::probelog::SuspicionPolicy;
+use fortress_core::system::{CompromiseState, Stack, StackConfig, SystemClass};
+use fortress_model::params::Policy;
+use fortress_obf::schedule::ObfuscationPolicy;
+use fortress_obf::scheme::Scheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::{Estimate, RunningStats};
+
+/// Configuration of one protocol-level experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolExperiment {
+    /// System class under attack.
+    pub class: SystemClass,
+    /// Obfuscation policy.
+    pub policy: Policy,
+    /// Key entropy in bits (scaled down from the paper's 16 for runtime).
+    pub entropy_bits: u32,
+    /// Attacker's unconstrained probe rate ω per unit time-step.
+    pub omega: f64,
+    /// Proxy suspicion policy (S2 only; determines the effective κ).
+    pub suspicion: SuspicionPolicy,
+    /// Randomization scheme under attack.
+    pub scheme: Scheme,
+    /// Cap on steps per trial (trials hitting the cap are censored at it).
+    pub max_steps: u64,
+}
+
+impl ProtocolExperiment {
+    /// A default experiment against the given class and policy.
+    pub fn new(class: SystemClass, policy: Policy) -> ProtocolExperiment {
+        ProtocolExperiment {
+            class,
+            policy,
+            entropy_bits: 10,
+            omega: 8.0,
+            suspicion: SuspicionPolicy {
+                window: 64,
+                threshold: 9,
+            },
+            scheme: Scheme::Aslr,
+            max_steps: 50_000,
+        }
+    }
+
+    /// The effective κ the suspicion policy imposes on this experiment's
+    /// attacker (1.0 for the 1-tier classes).
+    pub fn effective_kappa(&self) -> f64 {
+        match self.class {
+            SystemClass::S2Fortress => {
+                fortress_attack::pacing::Pacer::against(self.suspicion, self.omega).kappa()
+            }
+            _ => 1.0,
+        }
+    }
+
+    fn obf_policy(&self) -> ObfuscationPolicy {
+        match self.policy {
+            Policy::Proactive => ObfuscationPolicy::proactive_unit(),
+            Policy::StartupOnly => ObfuscationPolicy::StartupOnly,
+        }
+    }
+
+    /// Runs one trial; returns the 1-based step at which the system fell
+    /// (or `max_steps` if censored).
+    pub fn run_once(&self, seed: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut stack = Stack::new(StackConfig {
+            class: self.class,
+            entropy_bits: self.entropy_bits,
+            scheme: self.scheme,
+            policy: self.obf_policy(),
+            suspicion: self.suspicion,
+            seed,
+            ..StackConfig::default()
+        })
+        .expect("stack assembly is validated by construction");
+
+        match self.class {
+            SystemClass::S2Fortress => {
+                let mut attacker = FortressAttacker::new(
+                    &mut stack,
+                    "attacker",
+                    self.scheme,
+                    self.omega,
+                    self.suspicion,
+                    &mut rng,
+                );
+                for step in 1..=self.max_steps {
+                    attacker.step(&mut stack, &mut rng);
+                    let state = stack.end_step();
+                    if state != CompromiseState::Intact {
+                        return step;
+                    }
+                    if self.policy == Policy::Proactive {
+                        attacker.on_rerandomized(&mut rng);
+                    }
+                }
+            }
+            _ => {
+                let mut attacker = DirectAttacker::new(
+                    &mut stack,
+                    "attacker",
+                    self.scheme,
+                    self.omega,
+                    &mut rng,
+                );
+                for step in 1..=self.max_steps {
+                    attacker.step(&mut stack, &mut rng);
+                    let state = stack.end_step();
+                    if state != CompromiseState::Intact {
+                        return step;
+                    }
+                    if self.policy == Policy::Proactive {
+                        attacker.on_rerandomized(&mut rng);
+                    }
+                }
+            }
+        }
+        self.max_steps
+    }
+
+    /// Runs `trials` independent trials and returns the lifetime estimate.
+    pub fn estimate(&self, trials: u64, base_seed: u64) -> Estimate {
+        let mut stats = RunningStats::new();
+        for t in 0..trials {
+            stats.push(self.run_once(base_seed.wrapping_add(t)) as f64);
+        }
+        stats.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortress_model::params::{AttackParams, ProbeModel};
+    use fortress_model::{expected_lifetime, SystemKind};
+
+    /// Protocol S1SO lifetimes agree with the analytic model at scaled χ.
+    #[test]
+    fn s1_so_protocol_matches_model() {
+        let exp = ProtocolExperiment {
+            entropy_bits: 8,
+            omega: 8.0,
+            ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::StartupOnly)
+        };
+        let est = exp.estimate(60, 1000);
+        let params = AttackParams::new(256.0, 8.0).unwrap();
+        let analytic = expected_lifetime(
+            SystemKind::S1Pb,
+            Policy::StartupOnly,
+            ProbeModel::Broadcast,
+            &params,
+        )
+        .unwrap();
+        let rel = (est.mean - analytic).abs() / analytic;
+        assert!(rel < 0.25, "protocol {est:?} vs analytic {analytic}");
+    }
+
+    /// Protocol S1PO lifetimes agree with 1/α at scaled χ.
+    #[test]
+    fn s1_po_protocol_matches_model() {
+        let exp = ProtocolExperiment {
+            entropy_bits: 8,
+            omega: 16.0,
+            max_steps: 1000,
+            ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::Proactive)
+        };
+        let est = exp.estimate(60, 2000);
+        let analytic = 256.0 / 16.0; // 1/alpha = chi/omega
+        let rel = (est.mean - analytic).abs() / analytic;
+        assert!(rel < 0.3, "protocol {est:?} vs analytic {analytic}");
+    }
+
+    /// The protocol stacks reproduce S1SO → S0SO (trend 1).
+    #[test]
+    fn trend1_holds_at_protocol_level() {
+        let s1 = ProtocolExperiment {
+            entropy_bits: 8,
+            omega: 8.0,
+            ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::StartupOnly)
+        };
+        let s0 = ProtocolExperiment {
+            entropy_bits: 8,
+            omega: 8.0,
+            ..ProtocolExperiment::new(SystemClass::S0Smr, Policy::StartupOnly)
+        };
+        let e1 = s1.estimate(60, 3000);
+        let e0 = s0.estimate(60, 4000);
+        assert!(
+            e1.mean > e0.mean,
+            "S1SO ({:?}) must outlive S0SO ({:?})",
+            e1,
+            e0
+        );
+    }
+
+    /// PO outlives SO at protocol level (trend 2, S1 slice).
+    #[test]
+    fn trend2_holds_at_protocol_level() {
+        let po = ProtocolExperiment {
+            entropy_bits: 8,
+            omega: 8.0,
+            max_steps: 2000,
+            ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::Proactive)
+        };
+        let so = ProtocolExperiment {
+            entropy_bits: 8,
+            omega: 8.0,
+            ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::StartupOnly)
+        };
+        let e_po = po.estimate(50, 5000);
+        let e_so = so.estimate(50, 6000);
+        assert!(
+            e_po.mean > e_so.mean,
+            "S1PO ({:?}) must outlive S1SO ({:?})",
+            e_po,
+            e_so
+        );
+    }
+
+    #[test]
+    fn effective_kappa_reflects_suspicion_policy() {
+        let mut exp = ProtocolExperiment::new(SystemClass::S2Fortress, Policy::Proactive);
+        exp.omega = 8.0;
+        exp.suspicion = SuspicionPolicy {
+            window: 64,
+            threshold: 9,
+        };
+        // Safe rate 8/64 = 0.125 → kappa = 0.125/8.
+        assert!((exp.effective_kappa() - 0.015625).abs() < 1e-9);
+        let direct = ProtocolExperiment::new(SystemClass::S1Pb, Policy::Proactive);
+        assert_eq!(direct.effective_kappa(), 1.0);
+    }
+
+    /// FORTRESS under SO with a detection-constrained attacker outlives the
+    /// bare PB system under SO against the same attacker.
+    #[test]
+    fn proxies_add_resilience_at_protocol_level() {
+        let s2 = ProtocolExperiment {
+            entropy_bits: 7,
+            omega: 8.0,
+            suspicion: SuspicionPolicy {
+                window: 32,
+                threshold: 3,
+            },
+            max_steps: 4000,
+            ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+        };
+        let s1 = ProtocolExperiment {
+            entropy_bits: 7,
+            omega: 8.0,
+            ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::StartupOnly)
+        };
+        let e2 = s2.estimate(40, 7000);
+        let e1 = s1.estimate(40, 8000);
+        assert!(
+            e2.mean > e1.mean,
+            "S2SO ({:?}) must outlive S1SO ({:?}) when proxies pace the attacker",
+            e2,
+            e1
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! CSV emission for the figures harness.
+//!
+//! The bench harness regenerates every figure of the paper as CSV series
+//! (one row per grid point); this module is the tiny, dependency-free
+//! writer behind that, with proper quoting for the rare field that needs
+//! it.
+
+use std::fmt::Write as _;
+
+/// A CSV table: headers plus rows of stringly-typed cells.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> CsvTable {
+        CsvTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width — a harness
+    /// bug, not a data condition.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Renders a fixed-width text table for terminal output.
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        };
+        render(&self.headers, &widths, &mut out);
+        for row in &self.rows {
+            render(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Formats a float compactly for tables (scientific below 0.01 or above
+/// 10⁶, fixed otherwise).
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a < 0.01 || a >= 1e6 {
+        format!("{x:.3e}")
+    } else if a < 10.0 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = CsvTable::new(&["alpha", "system", "el"]);
+        t.push_row(vec!["0.001".into(), "S1PO".into(), "1000".into()]);
+        t.push_row(vec!["0.001".into(), "S0,weird".into(), "400".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("alpha,system,el\n"));
+        assert!(csv.contains("\"S0,weird\""));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn aligned_rendering() {
+        let mut t = CsvTable::new(&["x", "value"]);
+        t.push_row(vec!["1".into(), "10".into()]);
+        let text = t.to_aligned();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("value"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1234.5), "1234.5");
+        assert!(fmt_num(1e-5).contains('e'));
+        assert!(fmt_num(2.5e9).contains('e'));
+        assert_eq!(fmt_num(1.5), "1.5000");
+    }
+}

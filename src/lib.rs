@@ -1,0 +1,52 @@
+//! # FORTRESS — a fortified primary-backup system and its resilience lab
+//!
+//! Reproduction of *"Assessing the Attack Resilience Capabilities of a
+//! Fortified Primary-Backup System"* (Clarke & Ezhilchelvan, DSN 2010).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Crate | What it provides |
+//! |-------|------------------|
+//! | [`crypto`] | from-scratch SHA-256/HMAC, MAC-based signatures, trusted key authority |
+//! | [`net`] | deterministic simulated network with observable connection closure |
+//! | [`obf`] | simulated ASLR/ISR, forking daemons, SO/PO obfuscation schedules |
+//! | [`replication`] | primary-backup and PBFT-style SMR engines (sans-I/O) |
+//! | [`core`] | the FORTRESS architecture: name server, proxies, clients, full stacks |
+//! | [`attack`] | de-randomization attackers: scanning, pacing, launch pads |
+//! | [`markov`] | absorbing Markov chains and the period-P chain builders |
+//! | [`model`] | closed-form expected-lifetime models and the `outlives` relation |
+//! | [`sim`] | Monte-Carlo engines at three fidelities, statistics, CSV reports |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fortress::model::params::{AttackParams, Policy, ProbeModel};
+//! use fortress::model::{expected_lifetime, SystemKind};
+//!
+//! // How long does a FORTRESS system (kappa = 0.5) survive at alpha = 1e-3?
+//! let params = AttackParams::from_alpha(65536.0, 1e-3)?;
+//! let el = expected_lifetime(
+//!     SystemKind::S2Fortress { kappa: 0.5 },
+//!     Policy::Proactive,
+//!     ProbeModel::Broadcast,
+//!     &params,
+//! )?;
+//! assert!(el > 1900.0 && el < 2100.0); // ~2x the bare PB system's 1000
+//! # Ok::<(), fortress::model::ModelError>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index and paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fortress_attack as attack;
+pub use fortress_core as core;
+pub use fortress_crypto as crypto;
+pub use fortress_markov as markov;
+pub use fortress_model as model;
+pub use fortress_net as net;
+pub use fortress_obf as obf;
+pub use fortress_replication as replication;
+pub use fortress_sim as sim;
