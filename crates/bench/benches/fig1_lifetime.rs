@@ -5,13 +5,12 @@
 //! of the grid.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fortress_bench::figure1;
+use fortress_bench::figure1_with;
 use fortress_markov::LaunchPad;
 use fortress_model::lifetime::figure1_systems;
 use fortress_model::params::AttackParams;
 use fortress_sim::event_mc::sample_lifetime;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fortress_sim::runner::{Runner, TrialBudget};
 
 fn bench_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1");
@@ -37,19 +36,21 @@ fn bench_fig1(c: &mut Criterion) {
             |b, &alpha| {
                 let params = AttackParams::from_alpha(65536.0, alpha).unwrap();
                 let systems = figure1_systems(0.5);
+                let runner = Runner::new();
                 b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    let mut acc = 0u64;
+                    let mut acc = 0.0;
                     for s in &systems {
-                        for _ in 0..2_000 {
-                            acc += sample_lifetime(
-                                s.kind,
-                                s.policy,
-                                &params,
-                                LaunchPad::NextStep,
-                                &mut rng,
-                            );
-                        }
+                        acc += runner
+                            .run(7, TrialBudget::Fixed(2_000), |_, rng| {
+                                sample_lifetime(
+                                    s.kind,
+                                    s.policy,
+                                    &params,
+                                    LaunchPad::NextStep,
+                                    rng,
+                                ) as f64
+                            })
+                            .mean();
                     }
                     acc
                 })
@@ -57,9 +58,25 @@ fn bench_fig1(c: &mut Criterion) {
         );
     }
 
-    group.bench_function("full_table_small", |b| {
-        b.iter(|| figure1(1, 0.5, 200))
-    });
+    // The tentpole comparison: the same small figure-1 table generated
+    // serially (1 worker) and with all cores — the wall-clock ratio is
+    // the runner's speedup on this machine. On a 1-core box only the
+    // serial variant registers (duplicate benchmark IDs are an error
+    // under the real criterion crate).
+    let mut thread_counts = vec![1usize];
+    if Runner::new().threads() > 1 {
+        thread_counts.push(Runner::new().threads());
+    }
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("full_table_small", format!("threads_{threads}")),
+            &threads,
+            |b, &threads| {
+                let runner = Runner::with_threads(threads);
+                b.iter(|| figure1_with(&runner, 1, 0.5, TrialBudget::Fixed(200)))
+            },
+        );
+    }
 
     group.finish();
 }

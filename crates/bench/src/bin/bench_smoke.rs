@@ -1,0 +1,69 @@
+//! CI perf smoke: regenerates a fixed Figure 1 workload serially and in
+//! parallel, then emits `BENCH_fig1.json` with wall-clock, trials/sec
+//! and the measured speedup — the start of the perf trajectory tracked
+//! across PRs.
+//!
+//! ```text
+//! cargo run --release -p fortress-bench --bin bench_smoke [out_path]
+//! ```
+
+use fortress_bench::figure1_with;
+use fortress_sim::runner::{Runner, TrialBudget};
+use std::time::Instant;
+
+/// Grid cells × trials of the timed workload (ppd 2 ⇒ 7 α points, 5
+/// systems, each analytic + MC column).
+const POINTS_PER_DECADE: usize = 2;
+const TRIALS_PER_CELL: u64 = 50_000;
+
+fn time_figure1(runner: &Runner) -> (f64, u64) {
+    let start = Instant::now();
+    let table = figure1_with(
+        runner,
+        POINTS_PER_DECADE,
+        0.5,
+        TrialBudget::Fixed(TRIALS_PER_CELL),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    // 5 systems per row, TRIALS_PER_CELL each.
+    let trials = table.len() as u64 * 5 * TRIALS_PER_CELL;
+    (wall, trials)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fig1.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up pass so page faults and lazy init don't pollute the serial
+    // measurement.
+    let _ = time_figure1(&Runner::with_threads(1).with_chunk(4096));
+
+    let (serial_wall, trials) = time_figure1(&Runner::with_threads(1).with_chunk(4096));
+    let (parallel_wall, _) = time_figure1(&Runner::new().with_chunk(4096));
+    let speedup = serial_wall / parallel_wall;
+
+    let json = format!(
+        "{{\n  \"workload\": \"figure1 ppd={POINTS_PER_DECADE} kappa=0.5 trials_per_cell={TRIALS_PER_CELL}\",\n  \
+           \"threads\": {cores},\n  \
+           \"trials\": {trials},\n  \
+           \"serial_wall_s\": {serial_wall:.4},\n  \
+           \"parallel_wall_s\": {parallel_wall:.4},\n  \
+           \"speedup\": {speedup:.3},\n  \
+           \"serial_trials_per_sec\": {:.0},\n  \
+           \"parallel_trials_per_sec\": {:.0}\n}}\n",
+        trials as f64 / serial_wall,
+        trials as f64 / parallel_wall,
+    );
+    print!("{json}");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("[written {out_path}]"),
+        Err(e) => {
+            eprintln!("[could not write {out_path}: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,39 +16,68 @@ use fortress_markov::{LaunchPad, PeriodChainSpec};
 use fortress_model::lifetime::{expected_lifetime, figure1_systems};
 use fortress_model::ordering::verify_paper_ordering;
 use fortress_model::params::{
-    paper_alpha_grid, paper_kappa_grid, AttackParams, Policy, ProbeModel,
+    paper_alpha_grid, paper_alpha_params, paper_kappa_grid, AttackParams, Policy, ProbeModel,
 };
 use fortress_model::SystemKind;
 use fortress_sim::event_mc::sample_lifetime;
 use fortress_sim::protocol_mc::ProtocolExperiment;
 use fortress_sim::report::{fmt_num, CsvTable};
-use fortress_sim::stats::RunningStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fortress_sim::runner::{Runner, TrialBudget};
 
 /// The paper's key-space size: 16 bits of entropy (PaX ASLR).
 pub const PAPER_CHI: f64 = 65536.0;
 
-/// Monte-Carlo mean lifetime via the event-driven sampler.
+/// Monte-Carlo mean lifetime via the event-driven sampler, fanned out
+/// over `runner`. Deterministic in `(seed, budget)` at any thread count.
 fn mc_mean(
+    runner: &Runner,
     kind: SystemKind,
     policy: Policy,
     params: &AttackParams,
-    trials: u64,
+    budget: TrialBudget,
     seed: u64,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut stats = RunningStats::new();
-    for _ in 0..trials {
-        stats.push(sample_lifetime(kind, policy, params, LaunchPad::NextStep, &mut rng) as f64);
-    }
-    stats.mean()
+    runner
+        .run(seed, budget, |_, rng| {
+            sample_lifetime(kind, policy, params, LaunchPad::NextStep, rng) as f64
+        })
+        .mean()
 }
 
 /// **FIG1** — Figure 1: expected lifetime of the five systems across the
 /// α grid (S2PO at the given κ). Columns: analytic EL and event-driven
 /// Monte-Carlo EL per system.
 pub fn figure1(points_per_decade: usize, kappa: f64, mc_trials: u64) -> CsvTable {
+    figure1_with(
+        &Runner::new(),
+        points_per_decade,
+        kappa,
+        TrialBudget::Fixed(mc_trials),
+    )
+}
+
+/// [`figure1`] with an adaptive trial budget: each grid cell runs until
+/// its Monte-Carlo mean reaches `target_rse` relative standard error (or
+/// the budget's cap), so the high-variance small-α corner gets the
+/// trials it needs without over-sampling the cheap corner.
+pub fn figure1_adaptive(points_per_decade: usize, kappa: f64, target_rse: f64) -> CsvTable {
+    figure1_with(
+        &Runner::new(),
+        points_per_decade,
+        kappa,
+        TrialBudget::adaptive(target_rse),
+    )
+}
+
+/// [`figure1`] with explicit runner and per-cell trial budget — the
+/// entry point for thread-count-pinned determinism tests and the bench
+/// smoke harness.
+pub fn figure1_with(
+    runner: &Runner,
+    points_per_decade: usize,
+    kappa: f64,
+    budget: TrialBudget,
+) -> CsvTable {
     let systems = figure1_systems(kappa);
     let mut headers: Vec<String> = vec!["alpha".into()];
     for s in &systems {
@@ -57,12 +86,15 @@ pub fn figure1(points_per_decade: usize, kappa: f64, mc_trials: u64) -> CsvTable
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = CsvTable::new(&header_refs);
-    for (i, alpha) in paper_alpha_grid(points_per_decade).into_iter().enumerate() {
-        let params = AttackParams::from_alpha(PAPER_CHI, alpha).expect("grid is valid");
+    for (i, (alpha, params)) in paper_alpha_params(points_per_decade, PAPER_CHI)
+        .expect("grid is valid")
+        .into_iter()
+        .enumerate()
+    {
         let mut row = vec![fmt_num(alpha)];
         for s in &systems {
             let analytic = s.expected_lifetime(&params).expect("valid spec");
-            let mc = mc_mean(s.kind, s.policy, &params, mc_trials, 0x51 + i as u64);
+            let mc = mc_mean(runner, s.kind, s.policy, &params, budget, 0x51 + i as u64);
             row.push(fmt_num(analytic));
             row.push(fmt_num(mc));
         }

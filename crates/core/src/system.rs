@@ -571,12 +571,9 @@ impl Stack {
         if let Ok(req) = ClientRequest::decode(&payload) {
             if let Some(exploit) = ExploitPayload::from_bytes(&req.op) {
                 let addr = self.pb_servers[i].addr;
-                match self.pb_servers[i].daemon.deliver_exploit(exploit) {
-                    ProbeOutcome::Crashed => {
-                        self.net.crash(addr);
-                        self.net.restart(addr);
-                    }
-                    _ => {}
+                if self.pb_servers[i].daemon.deliver_exploit(exploit) == ProbeOutcome::Crashed {
+                    self.net.crash(addr);
+                    self.net.restart(addr);
                 }
                 return;
             }
@@ -645,12 +642,9 @@ impl Stack {
         if let Ok(req) = ClientRequest::decode(&payload) {
             if let Some(exploit) = ExploitPayload::from_bytes(&req.op) {
                 let addr = self.smr_servers[i].addr;
-                match self.smr_servers[i].daemon.deliver_exploit(exploit) {
-                    ProbeOutcome::Crashed => {
-                        self.net.crash(addr);
-                        self.net.restart(addr);
-                    }
-                    _ => {}
+                if self.smr_servers[i].daemon.deliver_exploit(exploit) == ProbeOutcome::Crashed {
+                    self.net.crash(addr);
+                    self.net.restart(addr);
                 }
                 return;
             }

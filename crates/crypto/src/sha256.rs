@@ -218,7 +218,7 @@ impl Sha256 {
         let mut remaining: Vec<u8> = Vec::with_capacity(self.buffer_len + tail.len());
         remaining.extend_from_slice(&self.buffer[..self.buffer_len]);
         remaining.extend_from_slice(&tail);
-        debug_assert!(remaining.len() % BLOCK_LEN == 0);
+        debug_assert!(remaining.len().is_multiple_of(BLOCK_LEN));
         for chunk in remaining.chunks_exact(BLOCK_LEN) {
             let mut owned = [0u8; BLOCK_LEN];
             owned.copy_from_slice(chunk);

@@ -197,7 +197,7 @@ fn build_s0(alpha: f64, period: usize) -> Result<AbsorbingChain, ChainError> {
             let remaining = 4 - f;
             // g = newly found keys this phase.
             let mut p_absorb = 0.0;
-            let mut p_stay = vec![0.0; 2]; // next found-count 0..=1
+            let mut p_stay = [0.0; 2]; // next found-count 0..=1
             for g in 0..=remaining {
                 let pg = binomial_pmf(remaining, g, alpha);
                 let total = f + g;
@@ -253,7 +253,7 @@ fn build_s2(
             let next_phase = (j + 1) % period;
             let mut p_server = 0.0;
             let mut p_proxies = 0.0;
-            let mut p_stay = vec![0.0; 3];
+            let mut p_stay = [0.0; 3];
             for g in 0..=remaining {
                 let pg = binomial_pmf(remaining, g, alpha);
                 let total = pf + g;

@@ -205,8 +205,8 @@ impl AbsorbingChain {
                 if *mass == 0.0 {
                     continue;
                 }
-                for to in 0..n {
-                    next[to] += mass * self.q.get(from, to);
+                for (to, slot) in next.iter_mut().enumerate() {
+                    *slot += mass * self.q.get(from, to);
                 }
             }
             dist = next;

@@ -156,9 +156,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = self.row(i);
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -304,8 +304,7 @@ impl Matrix {
 
             let p = perm[col];
             let pivot = lu[p * n + col];
-            for r in (col + 1)..n {
-                let pr = perm[r];
+            for &pr in &perm[(col + 1)..n] {
                 let factor = lu[pr * n + col] / pivot;
                 lu[pr * n + col] = factor;
                 for c in (col + 1)..n {
@@ -336,8 +335,8 @@ impl Matrix {
                 }
                 y[i] = sum / lu[pi * n + i];
             }
-            for i in 0..n {
-                rhs.set(i, j, y[i]);
+            for (i, val) in y.iter().enumerate() {
+                rhs.set(i, j, *val);
             }
         }
         Ok(())

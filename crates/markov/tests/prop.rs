@@ -14,8 +14,7 @@ fn random_chain(n: usize, weights: &[(u8, u8, u8)]) -> AbsorbingChain {
     for i in 0..n {
         b = b.transient(&format!("s{i}"));
     }
-    for i in 0..n {
-        let (stay_w, fwd_w, absorb_w) = weights[i];
+    for (i, &(stay_w, fwd_w, absorb_w)) in weights.iter().enumerate().take(n) {
         // Normalize; ensure the absorb weight is positive.
         let total = (stay_w as f64) + (fwd_w as f64) + (absorb_w as f64) + 1.0;
         let stay = stay_w as f64 / total;

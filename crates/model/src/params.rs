@@ -157,6 +157,20 @@ pub fn paper_kappa_grid() -> Vec<f64> {
     (0..=10).map(|i| i as f64 / 10.0).collect()
 }
 
+/// The α grid paired with ready-validated [`AttackParams`] at key-space
+/// size `chi` — the form every sweep consumer (figure generators, bench
+/// smoke harness, runner-based tests) actually wants, so the validation
+/// happens once per grid instead of once per consumer per row.
+pub fn paper_alpha_params(
+    points_per_decade: usize,
+    chi: f64,
+) -> Result<Vec<(f64, AttackParams)>, ModelError> {
+    paper_alpha_grid(points_per_decade)
+        .into_iter()
+        .map(|alpha| Ok((alpha, AttackParams::from_alpha(chi, alpha)?)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +213,20 @@ mod tests {
         assert!((grid.last().unwrap() - 1e-2).abs() < 1e-8);
         assert_eq!(grid.len(), 16);
         assert!(grid.windows(2).all(|w| w[0] < w[1]), "monotone");
+    }
+
+    #[test]
+    fn alpha_params_matches_grid() {
+        let grid = paper_alpha_grid(3);
+        let pairs = paper_alpha_params(3, 65536.0).unwrap();
+        assert_eq!(grid.len(), pairs.len());
+        for ((alpha, params), grid_alpha) in pairs.iter().zip(&grid) {
+            assert_eq!(alpha, grid_alpha);
+            assert!((params.alpha() - alpha).abs() < 1e-15);
+            assert_eq!(params.chi(), 65536.0);
+        }
+        // Invalid chi propagates instead of panicking mid-sweep.
+        assert!(paper_alpha_params(3, 1.0).is_err());
     }
 
     #[test]

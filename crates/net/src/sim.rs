@@ -425,9 +425,11 @@ mod tests {
 
     #[test]
     fn drop_rate_loses_messages_deterministically() {
-        let mut cfg = SimConfig::default();
-        cfg.drop_rate = 0.5;
-        cfg.seed = 42;
+        let cfg = SimConfig {
+            drop_rate: 0.5,
+            seed: 42,
+            ..SimConfig::default()
+        };
         let mut net = SimNet::new(cfg);
         let a = net.register("a");
         let s = net.register("s");
@@ -450,9 +452,11 @@ mod tests {
 
     #[test]
     fn uniform_latency_orders_by_due_time() {
-        let mut cfg = SimConfig::default();
-        cfg.latency = Latency::Uniform(1, 50);
-        cfg.seed = 7;
+        let cfg = SimConfig {
+            latency: Latency::Uniform(1, 50),
+            seed: 7,
+            ..SimConfig::default()
+        };
         let mut net = SimNet::new(cfg);
         let a = net.register("a");
         let s = net.register("s");

@@ -45,7 +45,7 @@ impl ObfuscationPolicy {
     pub fn rerandomizes_at(&self, step: u64) -> bool {
         match self {
             ObfuscationPolicy::StartupOnly => false,
-            ObfuscationPolicy::Proactive { period } => (step + 1) % period == 0,
+            ObfuscationPolicy::Proactive { period } => (step + 1).is_multiple_of(*period),
         }
     }
 }

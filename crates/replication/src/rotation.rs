@@ -190,7 +190,7 @@ mod tests {
             for slot in 0..(2 * s.batches_per_cycle()) as u64 {
                 let live = s.live_during(slot);
                 assert!(
-                    live.len() >= 2 * f + 1,
+                    live.len() > 2 * f,
                     "n={n} f={f} slot={slot}: only {} live",
                     live.len()
                 );
@@ -270,9 +270,9 @@ mod tests {
             outs.into_iter().map(|o| (0usize, o)).collect();
         while let Some((from, out)) = queue.pop() {
             if let crate::smr::SmrOutput::Broadcast(msg) = out {
-                for i in 0..4 {
+                for (i, replica) in replicas.iter_mut().enumerate() {
                     if i != from {
-                        for o in replicas[i].on_input(SmrInput::ReplicaMsg {
+                        for o in replica.on_input(SmrInput::ReplicaMsg {
                             from,
                             msg: msg.clone(),
                         }) {

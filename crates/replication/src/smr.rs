@@ -655,11 +655,11 @@ mod tests {
         // The client's broadcast reaches every live replica before any
         // protocol message does (they are all sent at the same instant).
         let mut batches = Vec::new();
-        for i in 0..replicas.len() {
+        for (i, replica) in replicas.iter_mut().enumerate() {
             if down.contains(&i) {
                 continue;
             }
-            let outs = replicas[i].on_input(SmrInput::Request {
+            let outs = replica.on_input(SmrInput::Request {
                 seq,
                 client: "alice".into(),
                 op: op.to_vec(),

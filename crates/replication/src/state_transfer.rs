@@ -80,7 +80,7 @@ impl RejoinCollector {
             .iter()
             .filter(|o| o.seq == offer.seq && o.digest == offer.digest)
             .count();
-        if matching >= self.f + 1 {
+        if matching > self.f {
             Some(offer)
         } else {
             None
@@ -97,7 +97,7 @@ impl RejoinCollector {
                 .iter()
                 .filter(|x| x.seq == o.seq && x.digest == o.digest)
                 .count();
-            if matching >= self.f + 1 && best.is_none_or(|b| o.seq > b.seq) {
+            if matching > self.f && best.is_none_or(|b| o.seq > b.seq) {
                 best = Some(o);
             }
         }

@@ -42,6 +42,28 @@ impl AbstractModel {
         }
     }
 
+    /// Runs `trials` step-by-step trials through the parallel runner and
+    /// returns the lifetime estimate (deterministic at any thread count).
+    pub fn estimate(&self, trials: u64, base_seed: u64) -> crate::stats::Estimate {
+        self.estimate_with(
+            &crate::runner::Runner::new(),
+            crate::runner::TrialBudget::Fixed(trials),
+            base_seed,
+        )
+    }
+
+    /// [`AbstractModel::estimate`] with explicit runner and budget.
+    pub fn estimate_with(
+        &self,
+        runner: &crate::runner::Runner,
+        budget: crate::runner::TrialBudget,
+        base_seed: u64,
+    ) -> crate::stats::Estimate {
+        runner
+            .run(base_seed, budget, |_, rng| self.simulate_once(rng) as f64)
+            .estimate()
+    }
+
     /// Simulates one trial; returns the step index (1-based) at which the
     /// system was compromised, capped at `max_steps`.
     pub fn simulate_once<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
@@ -152,19 +174,13 @@ impl AbstractModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::RunningStats;
     use fortress_model::lifetime::expected_lifetime;
     use fortress_model::params::ProbeModel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn estimate(model: &AbstractModel, trials: u64, seed: u64) -> crate::stats::Estimate {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut stats = RunningStats::new();
-        for _ in 0..trials {
-            stats.push(model.simulate_once(&mut rng) as f64);
-        }
-        stats.estimate()
+        model.estimate(trials, seed)
     }
 
     fn params(alpha: f64) -> AttackParams {

@@ -22,6 +22,12 @@ use rand::Rng;
 
 /// Samples a geometric step count (1-based) with success probability `p`
 /// by inversion.
+///
+/// The denominator is `ln(1−p)` computed as `(−p).ln_1p()`: for the tiny
+/// `p` of the small-α corner (`p ≈ 10⁻⁹` and below), `(1.0 - p).ln()`
+/// rounds `1.0 - p` to 1 and collapses to `ln(1) = 0`, turning the
+/// division into ±inf; `ln_1p` keeps full precision down to the smallest
+/// subnormal `p`.
 fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
     if p >= 1.0 {
         return 1;
@@ -30,7 +36,11 @@ fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
         return u64::MAX;
     }
     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+    let steps = u.ln() / (-p).ln_1p();
+    if steps >= u64::MAX as f64 {
+        return u64::MAX;
+    }
+    steps.ceil().max(1.0) as u64
 }
 
 /// Samples the discovery step of a key probed at `rate` values per step
@@ -67,17 +77,21 @@ pub fn sample_lifetime<R: Rng + ?Sized>(
         ),
         (SystemKind::S1Pb, Policy::StartupOnly) => sample_discovery_step(chi, omega, rng),
         (SystemKind::S0Smr, Policy::StartupOnly) => {
-            let mut steps: Vec<u64> = (0..4)
-                .map(|_| sample_discovery_step(chi, omega, rng))
-                .collect();
+            // Fixed-size arrays keep the hot path allocation-free; the
+            // runner executes this millions of times per figure.
+            let mut steps = [0u64; 4];
+            for s in &mut steps {
+                *s = sample_discovery_step(chi, omega, rng);
+            }
             steps.sort_unstable();
             steps[1] // second key uncovered compromises S0
         }
         (SystemKind::S2Fortress { kappa }, Policy::StartupOnly) => {
             // Proxy discovery steps (distinct keys, shared probe stream).
-            let mut proxies: Vec<u64> = (0..3)
-                .map(|_| sample_discovery_step(chi, omega, rng))
-                .collect();
+            let mut proxies = [0u64; 3];
+            for p in &mut proxies {
+                *p = sample_discovery_step(chi, omega, rng);
+            }
             proxies.sort_unstable();
             let first_proxy = proxies[0];
             let all_proxies = proxies[2];
@@ -113,6 +127,7 @@ pub fn sample_lifetime<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::{Runner, TrialBudget};
     use crate::stats::RunningStats;
     use fortress_model::lifetime::{expected_lifetime, expected_lifetime_s2_so};
     use rand::rngs::StdRng;
@@ -126,12 +141,11 @@ mod tests {
         trials: u64,
         seed: u64,
     ) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut stats = RunningStats::new();
-        for _ in 0..trials {
-            stats.push(sample_lifetime(kind, policy, params, pad, &mut rng) as f64);
-        }
-        stats.mean()
+        Runner::new()
+            .run(seed, TrialBudget::Fixed(trials), |_, rng| {
+                sample_lifetime(kind, policy, params, pad, rng) as f64
+            })
+            .mean()
     }
 
     fn params(alpha: f64) -> AttackParams {
@@ -228,6 +242,28 @@ mod tests {
             stats.push(sample_geometric(0.25, &mut rng) as f64);
         }
         assert!((stats.mean() - 4.0).abs() < 0.15, "{}", stats.mean());
+    }
+
+    #[test]
+    fn geometric_sampler_survives_tiny_p() {
+        // ln(1 - p) naively evaluates to 0 once p < 2⁻⁵³; the ln_1p form
+        // must keep producing finite, unbiased step counts. Mean of the
+        // geometric is 1/p = 2⁶⁰; check the log-scale magnitude.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = (2.0f64).powi(-60);
+        let mut stats = RunningStats::new();
+        for _ in 0..2_000 {
+            let steps = sample_geometric(p, &mut rng);
+            assert!(steps < u64::MAX, "inversion overflowed");
+            stats.push((steps as f64).ln());
+        }
+        // E[ln X] = ln(1/p) − γ for an exponential; γ ≈ 0.5772.
+        let expected = (1.0 / p).ln() - 0.5772;
+        assert!(
+            (stats.mean() - expected).abs() < 0.1,
+            "mean log-lifetime {} vs {expected}",
+            stats.mean()
+        );
     }
 
     #[test]

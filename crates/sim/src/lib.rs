@@ -17,8 +17,24 @@
 //!   key space; corroborates that the abstract model's shapes survive
 //!   contact with an actual implementation.
 //!
-//! Support: [`stats`] (Welford accumulators, Student-t confidence
-//! intervals), [`report`] (CSV emission for the figures harness).
+//! Support: [`runner`] (the parallel deterministic trial runner every
+//! consumer goes through), [`stats`] (Welford accumulators, parallel
+//! merge, Student-t confidence intervals), [`report`] (CSV emission for
+//! the figures harness).
+//!
+//! # Determinism contract
+//!
+//! All simulation entry points take a `u64` seed and are reproducible:
+//!
+//! * Trials executed through [`runner::Runner`] are seeded **per trial**
+//!   as [`runner::trial_seed`]`(base_seed, trial_index)` — a SplitMix64
+//!   mix of the run seed and the trial counter — so no trial's stream
+//!   depends on which thread ran it or on how work was chunked.
+//! * Per-chunk [`RunningStats`] reduce with [`RunningStats::merge`]
+//!   (Chan et al.'s parallel Welford combination) **in chunk-index
+//!   order**, fixing the floating-point reduction tree. Together these
+//!   make every result bit-identical across thread counts; the property
+//!   is asserted by `tests/runner_determinism.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +43,11 @@ pub mod abstract_mc;
 pub mod event_mc;
 pub mod protocol_mc;
 pub mod report;
+pub mod runner;
 pub mod stats;
 
 pub use abstract_mc::AbstractModel;
 pub use event_mc::sample_lifetime;
 pub use protocol_mc::ProtocolExperiment;
+pub use runner::{Runner, TrialBudget};
 pub use stats::{Estimate, RunningStats};

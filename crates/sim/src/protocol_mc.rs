@@ -16,7 +16,8 @@ use fortress_obf::scheme::Scheme;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::stats::{Estimate, RunningStats};
+use crate::runner::{Runner, TrialBudget};
+use crate::stats::Estimate;
 
 /// Configuration of one protocol-level experiment.
 #[derive(Clone, Copy, Debug)]
@@ -131,13 +132,25 @@ impl ProtocolExperiment {
         self.max_steps
     }
 
-    /// Runs `trials` independent trials and returns the lifetime estimate.
+    /// Runs `trials` independent trials through the parallel runner and
+    /// returns the lifetime estimate. Each trial's stack and attacker are
+    /// seeded from the runner's per-trial counter seed, so the estimate
+    /// is identical at any thread count.
     pub fn estimate(&self, trials: u64, base_seed: u64) -> Estimate {
-        let mut stats = RunningStats::new();
-        for t in 0..trials {
-            stats.push(self.run_once(base_seed.wrapping_add(t)) as f64);
-        }
-        stats.estimate()
+        self.estimate_with(&Runner::new(), TrialBudget::Fixed(trials), base_seed)
+    }
+
+    /// [`ProtocolExperiment::estimate`] with explicit runner and budget —
+    /// the hook for callers that pin thread counts (determinism tests) or
+    /// want adaptive stopping.
+    pub fn estimate_with(&self, runner: &Runner, budget: TrialBudget, base_seed: u64) -> Estimate {
+        runner
+            .run(base_seed, budget, |trial_index, _rng| {
+                // `run_once` builds its own stack + attacker RNGs from the
+                // seed, so derive the whole trial from the counter seed.
+                self.run_once(crate::runner::trial_seed(base_seed, trial_index)) as f64
+            })
+            .estimate()
     }
 }
 

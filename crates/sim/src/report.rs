@@ -94,7 +94,7 @@ pub fn fmt_num(x: f64) -> String {
         return "0".into();
     }
     let a = x.abs();
-    if a < 0.01 || a >= 1e6 {
+    if !(0.01..1e6).contains(&a) {
         format!("{x:.3e}")
     } else if a < 10.0 {
         format!("{x:.4}")

@@ -48,6 +48,50 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Merges another accumulator into this one (Chan et al.'s parallel
+    /// Welford update: counts add, means combine weighted, and the second
+    /// central moments combine with a between-groups correction).
+    ///
+    /// Merging is exact in infinite precision and, crucially for the
+    /// parallel runner, **deterministic**: merging the same sequence of
+    /// per-chunk accumulators in the same order gives bit-identical
+    /// results no matter which threads produced the chunks.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fortress_sim::stats::RunningStats;
+    ///
+    /// let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    /// let mut whole = RunningStats::new();
+    /// let mut left = RunningStats::new();
+    /// let mut right = RunningStats::new();
+    /// for x in &data[..3] { whole.push(*x); left.push(*x); }
+    /// for x in &data[3..] { whole.push(*x); right.push(*x); }
+    /// left.merge(&right);
+    /// assert_eq!(left.n(), whole.n());
+    /// assert!((left.mean() - whole.mean()).abs() < 1e-12);
+    /// assert!((left.variance() - whole.variance()).abs() < 1e-12);
+    /// ```
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of observations.
     pub fn n(&self) -> u64 {
         self.n
@@ -77,6 +121,16 @@ impl RunningStats {
             return 0.0;
         }
         self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Standard error of the mean relative to its magnitude — the
+    /// stopping criterion for adaptive trial budgets. Infinite until the
+    /// accumulator has two observations and a non-zero mean.
+    pub fn relative_std_error(&self) -> f64 {
+        if self.n < 2 || self.mean == 0.0 {
+            return f64::INFINITY;
+        }
+        self.std_error() / self.mean.abs()
     }
 
     /// Smallest observation.

@@ -11,16 +11,17 @@ use fortress::model::lifetime::figure1_systems;
 use fortress::model::ordering::verify_paper_ordering;
 use fortress::model::params::{paper_kappa_grid, AttackParams};
 use fortress::sim::event_mc::sample_lifetime;
-use fortress::sim::stats::RunningStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fortress::sim::runner::{Runner, TrialBudget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chi = 65536.0; // 16 bits of entropy, as under PaX ASLR
     let kappa = 0.5;
     let alphas = [1e-5, 1e-4, 1e-3, 1e-2];
+    let runner = Runner::new();
 
     println!("Expected lifetimes (unit time-steps until compromise), chi = 2^16, S2PO kappa = {kappa}");
+    let plural = if runner.threads() == 1 { "" } else { "s" };
+    println!("({} worker thread{plural}, per-trial counter seeding)", runner.threads());
     println!("{:>10}  {:>14}  {:>14}  {:>14}  {:>14}  {:>14}", "alpha", "S0PO", "S2PO", "S1PO", "S1SO", "S0SO");
 
     for alpha in alphas {
@@ -28,18 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cells = Vec::new();
         for system in figure1_systems(kappa) {
             let analytic = system.expected_lifetime(&params)?;
-            // Cross-check with the event-driven Monte-Carlo sampler.
-            let mut rng = StdRng::seed_from_u64(alpha.to_bits());
-            let mut stats = RunningStats::new();
-            for _ in 0..20_000 {
-                stats.push(sample_lifetime(
-                    system.kind,
-                    system.policy,
-                    &params,
-                    LaunchPad::NextStep,
-                    &mut rng,
-                ) as f64);
-            }
+            // Cross-check with the event-driven Monte-Carlo sampler,
+            // fanned out over the parallel deterministic runner.
+            let stats = runner.run(alpha.to_bits(), TrialBudget::Fixed(20_000), |_, rng| {
+                sample_lifetime(system.kind, system.policy, &params, LaunchPad::NextStep, rng)
+                    as f64
+            });
             cells.push(format!("{analytic:.3e}"));
             let rel = (stats.mean() - analytic).abs() / analytic;
             assert!(rel < 0.1, "{}: MC diverged from analytic", system.label());

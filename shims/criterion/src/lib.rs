@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, throughput annotation) on a plain
+//! wall-clock harness: warm up, then run timed batches until the
+//! measurement window closes, and report mean ns/iter on stdout. No
+//! statistics beyond the mean — these benches exist to regenerate figures
+//! and track coarse perf trajectories, not to resolve microsecond deltas.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            throughput: None,
+            _crit: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    throughput: Option<Throughput>,
+    _crit: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(&self.config);
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs a benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(&self.config);
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    config: Criterion,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(config: &Criterion) -> Bencher {
+        Bencher {
+            config: config.clone(),
+            mean_ns: None,
+            iters: 0,
+        }
+    }
+
+    /// Times `f`, storing the mean wall-clock nanoseconds per iteration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also calibrates the batch size so each timed batch is
+        // long enough for the clock to resolve.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let samples = self.config.sample_size as u64;
+        let deadline = Instant::now() + self.config.measurement;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / iters.max(1) as f64);
+        self.iters = iters;
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        match self.mean_ns {
+            Some(ns) => {
+                let extra = match throughput {
+                    Some(Throughput::Bytes(bytes)) => {
+                        let gib = bytes as f64 / ns * 1e9 / (1u64 << 30) as f64;
+                        format!("  {gib:.3} GiB/s")
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        let meps = n as f64 / ns * 1e9 / 1e6;
+                        format!("  {meps:.3} Melem/s")
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "bench: {group}/{id}: {:>12.1} ns/iter ({} iters){extra}",
+                    ns, self.iters
+                );
+            }
+            None => println!("bench: {group}/{id}: no measurement (iter never called)"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

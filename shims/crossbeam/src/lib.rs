@@ -1,0 +1,25 @@
+//! Offline stand-in for `crossbeam`: the workspace only uses unbounded
+//! MPSC channels, which `std::sync::mpsc` (Sender is `Sync` since Rust
+//! 1.72) covers directly.
+
+#![forbid(unsafe_code)]
+
+/// Channel types mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+    }
+}

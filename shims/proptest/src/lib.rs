@@ -1,0 +1,117 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements the subset of proptest the workspace's property tests
+//! use: the `proptest!` macro (including `#![proptest_config]`), range
+//! and tuple strategies, `Just`, `prop_oneof!`, `any::<T>()`,
+//! `collection::vec`, `prop::sample::Index` and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case panics with its generated inputs
+//!   in the assertion message instead of a minimized counterexample.
+//! * **Deterministic seeding** — cases derive from a fixed per-test seed
+//!   (FNV-1a of the test name), so failures reproduce bit-identically on
+//!   every run and machine.
+//! * `prop_assume!` must appear at the top level of the test body (true
+//!   of every call site in this workspace); it skips the current case.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::sample::Index` resolves.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+/// Expands property-test functions: each generates its inputs from
+/// strategies and runs the body for `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng =
+                $crate::strategy::TestRng::from_test_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Property assertion (panics with the message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. Must appear
+/// at the top level of the `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies of one type:
+/// `prop_oneof![Just(A), Just(B)]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![$($strategy),+])
+    };
+}

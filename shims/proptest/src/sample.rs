@@ -1,0 +1,35 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is only known at use-site:
+/// generated as raw entropy, projected with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Builds from raw entropy (used by `any::<Index>()`).
+    pub fn from_raw(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Projects onto `[0, len)`. Panics when `len == 0`, matching the
+    /// real crate's contract.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projects_in_bounds() {
+        for raw in [0u64, 1, 17, u64::MAX] {
+            let idx = Index::from_raw(raw);
+            for len in [1usize, 2, 31, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Runner configuration.
+
+/// Configuration consumed by the `proptest!` macro.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: enough to exercise the properties' branch structure while
+    /// keeping the suite fast (the real crate defaults to 256).
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}

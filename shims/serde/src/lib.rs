@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! unchanged. See `shims/serde_derive` for the swap-back story.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

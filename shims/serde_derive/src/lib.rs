@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no code
+//! calls serialization at runtime yet — CSV emission is hand-rolled), so
+//! these derives deliberately expand to nothing. When real serialization
+//! lands, replace the `serde`/`serde_derive` shims with the registry
+//! crates and every `#[derive(Serialize, Deserialize)]` in the tree
+//! becomes live without source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
