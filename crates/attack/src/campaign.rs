@@ -1,0 +1,719 @@
+//! Composable adversary campaign strategies.
+//!
+//! The paper evaluates FORTRESS against one attacker posture: probe every
+//! tier simultaneously, with the indirect stream paced just below the
+//! proxies' suspicion threshold. Survivability analysis methodology
+//! (Ellison et al.) argues a resilience claim only stands once it is swept
+//! across *adversary strategies* as well as defense configurations — so
+//! this module turns the attacker's posture into a first-class,
+//! enumerable axis.
+//!
+//! [`AdversaryStrategy`] is the per-step driver contract (object-safe, so
+//! grids can hold heterogeneous strategies), and [`StrategyKind`] is the
+//! serializable coordinate the campaign grids sweep:
+//!
+//! * [`StrategyKind::PacedBelowThreshold`] — the paper's baseline
+//!   (§2.2/§4.2): broadcast proxy probes at the full rate ω, indirect
+//!   server probes paced by [`Pacer::against`] so the attacker is never
+//!   flagged, launch-pad probes at ω from any held proxy.
+//! * [`StrategyKind::ScanThenStrike`] — a stealth two-phase attacker: it
+//!   never sends a single request through the proxies (so the suspicion
+//!   policy has nothing to log), focuses its whole probe budget on one
+//!   proxy process until that proxy falls, then strikes the servers at
+//!   the full rate from the captured launch pad.
+//! * [`StrategyKind::Burst`] — duty-cycle evasion: instead of smoothing
+//!   its indirect stream to the safe rate, it fires `threshold − 1`
+//!   probes in a single step and then goes silent for a full window, so
+//!   the sliding window never accumulates `threshold` events. Same
+//!   long-run rate as pacing, maximally bursty short-run profile.
+//! * [`StrategyKind::AdaptiveBackoff`] — a learning attacker that starts
+//!   at the full indirect rate, and, each time the proxy tier flags its
+//!   current identity, discards that identity (re-registering as a fresh
+//!   source, as a botnet rotates exit addresses) and halves its rate,
+//!   converging down toward the policy's safe rate from above.
+//!
+//! # Determinism contract
+//!
+//! A strategy instance is a pure function of `(stack, seed RNG stream)`:
+//! all randomness flows through the `StdRng` handed to
+//! [`StrategyKind::build`] and [`AdversaryStrategy::step`], so one trial
+//! is reproducible from its trial seed alone, which is what lets the
+//! campaign grids in `fortress-sim` promise bit-identical cells at any
+//! thread count.
+
+use fortress_core::messages::ClientRequest;
+use fortress_core::probelog::SuspicionPolicy;
+use fortress_core::system::Stack;
+use fortress_obf::scheme::Scheme;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::attacker::{AttackReport, FortressAttacker};
+use crate::pacing::Pacer;
+use crate::scan::{KeyScanner, ScanStrategy};
+use fortress_net::addr::Addr;
+
+/// The adversary-strategy axis of a campaign grid: which attacker posture
+/// a cell runs. `Copy + Eq` so grids can use it as a coordinate, and the
+/// discriminant feeds the content-derived cell seeding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// The paper's baseline three-pronged attacker, §4.2.
+    PacedBelowThreshold,
+    /// Stealth proxy capture, then full-rate launch-pad strike.
+    ScanThenStrike,
+    /// Threshold-width bursts separated by window-length silences.
+    Burst,
+    /// Full rate, halved (with a fresh identity) after every detection.
+    AdaptiveBackoff,
+}
+
+impl StrategyKind {
+    /// Every strategy, in the canonical grid order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::PacedBelowThreshold,
+        StrategyKind::ScanThenStrike,
+        StrategyKind::Burst,
+        StrategyKind::AdaptiveBackoff,
+    ];
+
+    /// Stable human-readable label (used in reports and golden files).
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::PacedBelowThreshold => "paced",
+            StrategyKind::ScanThenStrike => "scan_strike",
+            StrategyKind::Burst => "burst",
+            StrategyKind::AdaptiveBackoff => "adaptive",
+        }
+    }
+
+    /// Stable numeric id — part of the campaign seeding contract (cell
+    /// seeds mix this value, never a grid position, so reordering a
+    /// grid's strategy list cannot change any cell's trials).
+    pub fn id(self) -> u64 {
+        match self {
+            StrategyKind::PacedBelowThreshold => 1,
+            StrategyKind::ScanThenStrike => 2,
+            StrategyKind::Burst => 3,
+            StrategyKind::AdaptiveBackoff => 4,
+        }
+    }
+
+    /// Instantiates the strategy against `stack`, registering whatever
+    /// client identities it needs. `suspicion` is the proxies' policy,
+    /// which a competent attacker knows (Kerckhoffs) and shapes its
+    /// schedule around; `omega` is its unconstrained probe rate.
+    pub fn build(
+        self,
+        stack: &mut Stack,
+        name: &str,
+        scheme: Scheme,
+        omega: f64,
+        suspicion: SuspicionPolicy,
+        rng: &mut StdRng,
+    ) -> Box<dyn AdversaryStrategy> {
+        match self {
+            StrategyKind::PacedBelowThreshold => Box::new(Paced {
+                inner: FortressAttacker::new(stack, name, scheme, omega, suspicion, rng),
+            }),
+            StrategyKind::ScanThenStrike => {
+                Box::new(ScanThenStrike::new(stack, name, scheme, omega, rng))
+            }
+            StrategyKind::Burst => Box::new(Burst::new(
+                stack, name, scheme, omega, suspicion, rng,
+            )),
+            StrategyKind::AdaptiveBackoff => Box::new(AdaptiveBackoff::new(
+                stack, name, scheme, omega, suspicion, rng,
+            )),
+        }
+    }
+}
+
+/// One adversary posture driving a [`Stack`] one unit time-step at a
+/// time. Object-safe (the RNG is the concrete `StdRng` every protocol
+/// trial already uses) so campaign cells can box heterogeneous
+/// strategies behind one driver loop.
+pub trait AdversaryStrategy {
+    /// Which posture this is.
+    fn kind(&self) -> StrategyKind;
+
+    /// Launches one unit time-step of the campaign against `stack`.
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng);
+
+    /// Invalidates key knowledge after the defender re-randomized (PO).
+    fn on_rerandomized(&mut self, rng: &mut StdRng);
+
+    /// Probe statistics so far.
+    fn report(&self) -> AttackReport;
+}
+
+/// Shared probing mechanics: every strategy is some schedule over these
+/// three moves plus the closure observations.
+struct Arsenal {
+    name: String,
+    scheme: Scheme,
+    next_seq: u64,
+    report: AttackReport,
+}
+
+impl Arsenal {
+    fn new(stack: &mut Stack, name: &str, scheme: Scheme) -> Arsenal {
+        stack.add_client(name);
+        Arsenal {
+            name: name.to_owned(),
+            scheme,
+            next_seq: 0,
+            report: AttackReport::default(),
+        }
+    }
+
+    /// One guessed key broadcast raw at every proxy process. `addrs` is
+    /// the proxy tier, fetched once per step by the caller (not once per
+    /// probe — that is 10⁸ redundant allocations over a campaign grid).
+    fn probe_all_proxies(
+        &mut self,
+        stack: &mut Stack,
+        addrs: &[Addr],
+        scanner: &mut KeyScanner,
+        rng: &mut StdRng,
+    ) {
+        if let Some(guess) = scanner.next_guess(rng) {
+            let bytes = self.scheme.craft_exploit(guess).to_bytes();
+            for addr in addrs {
+                stack.send_raw(&self.name, *addr, bytes.clone());
+            }
+            self.report.proxy_probes += 1;
+            stack.pump();
+        }
+    }
+
+    /// One guessed key thrown raw at a single proxy (focus fire). A
+    /// no-op against classes without a proxy tier — S2-specific
+    /// strategies degrade to doing nothing rather than panicking inside
+    /// a runner trial.
+    fn probe_one_proxy(
+        &mut self,
+        stack: &mut Stack,
+        addrs: &[Addr],
+        target: usize,
+        scanner: &mut KeyScanner,
+        rng: &mut StdRng,
+    ) {
+        if target >= addrs.len() {
+            return;
+        }
+        if let Some(guess) = scanner.next_guess(rng) {
+            let bytes = self.scheme.craft_exploit(guess).to_bytes();
+            stack.send_raw(&self.name, addrs[target], bytes);
+            self.report.proxy_probes += 1;
+            stack.pump();
+        }
+    }
+
+    /// One guessed key submitted as a service request under `identity`
+    /// (logged by the proxies if wrong — the suspicion-visible move).
+    fn probe_servers_indirect(
+        &mut self,
+        stack: &mut Stack,
+        identity: &str,
+        scanner: &mut KeyScanner,
+        rng: &mut StdRng,
+    ) {
+        if let Some(guess) = scanner.next_guess(rng) {
+            self.next_seq += 1;
+            let req = ClientRequest {
+                seq: self.next_seq,
+                client: identity.to_owned(),
+                op: self.scheme.craft_exploit(guess).to_bytes(),
+            };
+            stack.submit(identity, &req);
+            self.report.server_probes += 1;
+            stack.pump();
+        }
+    }
+
+    /// One guessed key launched at the servers from held proxy `pad`
+    /// (nothing logs there).
+    fn probe_servers_from_pad(
+        &mut self,
+        stack: &mut Stack,
+        pad: usize,
+        scanner: &mut KeyScanner,
+        rng: &mut StdRng,
+    ) {
+        if let Some(guess) = scanner.next_guess(rng) {
+            self.next_seq += 1;
+            let req = ClientRequest {
+                seq: self.next_seq,
+                client: self.name.clone(),
+                op: self.scheme.craft_exploit(guess).to_bytes(),
+            };
+            stack.submit_via_proxy(pad, &req);
+            self.report.pad_probes += 1;
+            stack.pump();
+        }
+    }
+
+    /// The lowest-index proxy the attacker currently holds, if any.
+    fn held_proxy(stack: &Stack) -> Option<usize> {
+        (0..stack.proxy_count()).find(|i| stack.proxy_is_compromised(*i))
+    }
+
+    /// Collects crash observations from `identity`'s connections and, if
+    /// a proxy is held, from its leaked inbox.
+    fn observe(&mut self, stack: &mut Stack, identity: &str, pad: Option<usize>) {
+        let mut closures = stack
+            .drain_client(identity)
+            .iter()
+            .filter(|e| e.is_closure())
+            .count();
+        if let Some(pad) = pad {
+            if stack.proxy_is_compromised(pad) {
+                closures += stack
+                    .drain_proxy_inbox(pad)
+                    .iter()
+                    .filter(|e| e.is_closure())
+                    .count();
+            }
+        }
+        self.report.closures_observed += closures as u64;
+    }
+}
+
+/// [`StrategyKind::PacedBelowThreshold`]: the paper's three-pronged
+/// baseline. Deliberately a thin wrapper around the *same*
+/// [`FortressAttacker`] `ProtocolExperiment::run_once` drives — one
+/// implementation of §4.2, so the campaign's "paced" cells can never
+/// drift from the PROTO experiments' baseline.
+struct Paced {
+    inner: FortressAttacker,
+}
+
+impl AdversaryStrategy for Paced {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::PacedBelowThreshold
+    }
+
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+        self.inner.step(stack, rng);
+    }
+
+    fn on_rerandomized(&mut self, rng: &mut StdRng) {
+        self.inner.on_rerandomized(rng);
+    }
+
+    fn report(&self) -> AttackReport {
+        self.inner.report()
+    }
+}
+
+/// [`StrategyKind::ScanThenStrike`]: capture one proxy in radio silence,
+/// then strike the servers from it at full rate.
+struct ScanThenStrike {
+    arsenal: Arsenal,
+    proxy_scanner: KeyScanner,
+    server_scanner: KeyScanner,
+    scan_pacer: Pacer,
+    strike_pacer: Pacer,
+}
+
+impl ScanThenStrike {
+    fn new(
+        stack: &mut Stack,
+        name: &str,
+        scheme: Scheme,
+        omega: f64,
+        rng: &mut StdRng,
+    ) -> ScanThenStrike {
+        let arsenal = Arsenal::new(stack, name, scheme);
+        ScanThenStrike {
+            proxy_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            server_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            scan_pacer: Pacer::unconstrained(omega),
+            strike_pacer: Pacer::unconstrained(omega),
+            arsenal,
+        }
+    }
+}
+
+impl AdversaryStrategy for ScanThenStrike {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::ScanThenStrike
+    }
+
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+        // Phase decided at step start: scan until a pad exists, then
+        // strike from it. Focus fire on proxy 0 — spreading guesses
+        // across proxies buys nothing when one pad is all it needs, and
+        // focusing keeps the scan's cost independent of the fleet size.
+        let pad = Arsenal::held_proxy(stack);
+        match pad {
+            None => {
+                let addrs = stack.proxy_addrs();
+                for _ in 0..self.scan_pacer.probes_this_step() {
+                    self.arsenal
+                        .probe_one_proxy(stack, &addrs, 0, &mut self.proxy_scanner, rng);
+                    if !addrs.is_empty() && stack.proxy_is_compromised(0) {
+                        break; // pad acquired: strike next step
+                    }
+                }
+            }
+            Some(pad) => {
+                for _ in 0..self.strike_pacer.probes_this_step() {
+                    if !stack.proxy_is_compromised(pad) {
+                        break; // evicted mid-step (PO maintenance races)
+                    }
+                    self.arsenal
+                        .probe_servers_from_pad(stack, pad, &mut self.server_scanner, rng);
+                }
+            }
+        }
+        let name = self.arsenal.name.clone();
+        self.arsenal.observe(stack, &name, pad);
+    }
+
+    fn on_rerandomized(&mut self, rng: &mut StdRng) {
+        self.proxy_scanner.reset(rng);
+        self.server_scanner.reset(rng);
+    }
+
+    fn report(&self) -> AttackReport {
+        self.arsenal.report
+    }
+}
+
+/// [`StrategyKind::Burst`]: `threshold − 1` indirect probes in one step,
+/// then a full window of silence — the sliding window can never hold
+/// `threshold` events, so the attacker is never flagged, same as pacing
+/// but with the opposite short-run profile.
+struct Burst {
+    arsenal: Arsenal,
+    proxy_scanner: KeyScanner,
+    server_scanner: KeyScanner,
+    direct_pacer: Pacer,
+    pad_pacer: Pacer,
+    burst_size: u64,
+    period: u64,
+    clock: u64,
+}
+
+impl Burst {
+    fn new(
+        stack: &mut Stack,
+        name: &str,
+        scheme: Scheme,
+        omega: f64,
+        suspicion: SuspicionPolicy,
+        rng: &mut StdRng,
+    ) -> Burst {
+        let arsenal = Arsenal::new(stack, name, scheme);
+        Burst {
+            proxy_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            server_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            direct_pacer: Pacer::unconstrained(omega),
+            pad_pacer: Pacer::unconstrained(omega),
+            // threshold − 1 events at one timestamp stay strictly below
+            // the flagging count; an event aged exactly `window` steps is
+            // outside the half-open window, so period = window is safe.
+            burst_size: u64::from(suspicion.threshold.saturating_sub(1)),
+            period: suspicion.window.max(1),
+            clock: 0,
+            arsenal,
+        }
+    }
+}
+
+impl AdversaryStrategy for Burst {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Burst
+    }
+
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+        let addrs = stack.proxy_addrs();
+        for _ in 0..self.direct_pacer.probes_this_step() {
+            self.arsenal
+                .probe_all_proxies(stack, &addrs, &mut self.proxy_scanner, rng);
+        }
+        let name = self.arsenal.name.clone();
+        if self.clock.is_multiple_of(self.period) {
+            for _ in 0..self.burst_size {
+                self.arsenal
+                    .probe_servers_indirect(stack, &name, &mut self.server_scanner, rng);
+            }
+        }
+        self.clock += 1;
+        let pad = Arsenal::held_proxy(stack);
+        if let Some(pad) = pad {
+            for _ in 0..self.pad_pacer.probes_this_step() {
+                self.arsenal
+                    .probe_servers_from_pad(stack, pad, &mut self.server_scanner, rng);
+            }
+        }
+        self.arsenal.observe(stack, &name, pad);
+    }
+
+    fn on_rerandomized(&mut self, rng: &mut StdRng) {
+        self.proxy_scanner.reset(rng);
+        self.server_scanner.reset(rng);
+    }
+
+    fn report(&self) -> AttackReport {
+        self.arsenal.report
+    }
+}
+
+/// [`StrategyKind::AdaptiveBackoff`]: probe indirect at full rate; every
+/// time the current identity is flagged, rotate to a fresh identity at
+/// half the rate, never dropping below the policy's safe rate (where
+/// detection can no longer happen).
+struct AdaptiveBackoff {
+    arsenal: Arsenal,
+    proxy_scanner: KeyScanner,
+    server_scanner: KeyScanner,
+    direct_pacer: Pacer,
+    indirect_pacer: Pacer,
+    pad_pacer: Pacer,
+    omega: f64,
+    floor_rate: f64,
+    identity: u64,
+    current_name: String,
+    /// Identities already flagged and abandoned. Their registrations (and
+    /// network queues) outlive the rotation, so observations must keep
+    /// draining them or closure counts silently undercount.
+    burned: Vec<String>,
+}
+
+impl AdaptiveBackoff {
+    fn new(
+        stack: &mut Stack,
+        name: &str,
+        scheme: Scheme,
+        omega: f64,
+        suspicion: SuspicionPolicy,
+        rng: &mut StdRng,
+    ) -> AdaptiveBackoff {
+        let arsenal = Arsenal::new(stack, name, scheme);
+        AdaptiveBackoff {
+            proxy_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            server_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            direct_pacer: Pacer::unconstrained(omega),
+            indirect_pacer: Pacer::unconstrained(omega),
+            pad_pacer: Pacer::unconstrained(omega),
+            omega,
+            floor_rate: suspicion.max_safe_rate(),
+            identity: 0,
+            current_name: arsenal.name.clone(),
+            burned: Vec::new(),
+            arsenal,
+        }
+    }
+
+    /// A flagged identity is burned: rotate to a fresh one (modeling an
+    /// attacker cycling source addresses) at half the previous rate.
+    fn back_off(&mut self, stack: &mut Stack) {
+        self.identity += 1;
+        let fresh = format!("{}~{}", self.arsenal.name, self.identity);
+        self.burned
+            .push(std::mem::replace(&mut self.current_name, fresh));
+        stack.add_client(&self.current_name);
+        let halved = (self.indirect_pacer.rate() / 2.0).max(self.floor_rate);
+        self.indirect_pacer = Pacer::with_rate(halved, self.omega);
+    }
+}
+
+impl AdversaryStrategy for AdaptiveBackoff {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::AdaptiveBackoff
+    }
+
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+        let addrs = stack.proxy_addrs();
+        for _ in 0..self.direct_pacer.probes_this_step() {
+            self.arsenal
+                .probe_all_proxies(stack, &addrs, &mut self.proxy_scanner, rng);
+        }
+        let identity = self.current_name.clone();
+        for _ in 0..self.indirect_pacer.probes_this_step() {
+            self.arsenal
+                .probe_servers_indirect(stack, &identity, &mut self.server_scanner, rng);
+        }
+        let pad = Arsenal::held_proxy(stack);
+        if let Some(pad) = pad {
+            for _ in 0..self.pad_pacer.probes_this_step() {
+                self.arsenal
+                    .probe_servers_from_pad(stack, pad, &mut self.server_scanner, rng);
+            }
+        }
+        self.arsenal.observe(stack, &identity, pad);
+        // Burned identities still receive closure events for probes they
+        // sent before rotation — keep draining them.
+        for i in 0..self.burned.len() {
+            let old = self.burned[i].clone();
+            self.arsenal.observe(stack, &old, None);
+        }
+        // Detection feedback: the proxy tier publishes nothing, but a
+        // flagged source notices its service stops — modeled by reading
+        // the suspects list the stack exposes to the harness.
+        if stack.suspects().contains(&self.current_name) {
+            self.back_off(stack);
+        }
+    }
+
+    fn on_rerandomized(&mut self, rng: &mut StdRng) {
+        self.proxy_scanner.reset(rng);
+        self.server_scanner.reset(rng);
+    }
+
+    fn report(&self) -> AttackReport {
+        self.arsenal.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortress_core::system::{CompromiseState, StackConfig, SystemClass};
+    use fortress_obf::schedule::ObfuscationPolicy;
+    use rand::SeedableRng;
+
+    fn s2_stack(bits: u32, suspicion: SuspicionPolicy, np: usize, seed: u64) -> Stack {
+        Stack::new(StackConfig {
+            class: SystemClass::S2Fortress,
+            entropy_bits: bits,
+            policy: ObfuscationPolicy::StartupOnly,
+            suspicion,
+            np,
+            seed,
+            ..StackConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn drive(stack: &mut Stack, strategy: &mut dyn AdversaryStrategy, rng: &mut StdRng, cap: u64) -> Option<u64> {
+        for step in 1..=cap {
+            strategy.step(stack, rng);
+            if stack.end_step() != CompromiseState::Intact {
+                return Some(step);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn every_strategy_eventually_breaks_a_tiny_so_fortress() {
+        for kind in StrategyKind::ALL {
+            let suspicion = SuspicionPolicy {
+                window: 8,
+                threshold: 3,
+            };
+            let mut stack = s2_stack(5, suspicion, 3, 0xA0 + kind.id());
+            let mut rng = StdRng::seed_from_u64(kind.id());
+            let mut strategy =
+                kind.build(&mut stack, "mallory", Scheme::Aslr, 8.0, suspicion, &mut rng);
+            let fell = drive(&mut stack, strategy.as_mut(), &mut rng, 400);
+            assert!(
+                fell.is_some(),
+                "{} never broke a 32-key SO FORTRESS in 400 steps",
+                kind.label()
+            );
+            let report = strategy.report();
+            assert!(
+                report.proxy_probes + report.server_probes + report.pad_probes > 0,
+                "{} launched nothing",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn paced_and_burst_are_never_flagged() {
+        for kind in [StrategyKind::PacedBelowThreshold, StrategyKind::Burst] {
+            let suspicion = SuspicionPolicy {
+                window: 16,
+                threshold: 4,
+            };
+            let mut stack = s2_stack(8, suspicion, 3, 0xB0 + kind.id());
+            let mut rng = StdRng::seed_from_u64(100 + kind.id());
+            let mut strategy =
+                kind.build(&mut stack, "mallory", Scheme::Aslr, 6.0, suspicion, &mut rng);
+            for _ in 0..120 {
+                strategy.step(&mut stack, &mut rng);
+                if stack.end_step() != CompromiseState::Intact {
+                    break;
+                }
+            }
+            assert!(
+                stack.suspects().is_empty(),
+                "{} was flagged: {:?}",
+                kind.label(),
+                stack.suspects()
+            );
+        }
+    }
+
+    #[test]
+    fn scan_then_strike_sends_nothing_through_proxies() {
+        let suspicion = SuspicionPolicy {
+            window: 4,
+            threshold: 2, // hair-trigger policy: any indirect probing flags
+        };
+        let mut stack = s2_stack(6, suspicion, 3, 0xC1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut strategy = StrategyKind::ScanThenStrike.build(
+            &mut stack,
+            "mallory",
+            Scheme::Aslr,
+            8.0,
+            suspicion,
+            &mut rng,
+        );
+        let fell = drive(&mut stack, strategy.as_mut(), &mut rng, 400);
+        assert!(fell.is_some(), "strike phase must land");
+        assert!(
+            stack.suspects().is_empty(),
+            "radio-silent scanner got flagged"
+        );
+        let report = strategy.report();
+        assert_eq!(report.server_probes, 0, "no probe may cross the proxies");
+        assert!(report.pad_probes > 0, "the strike goes through the pad");
+    }
+
+    #[test]
+    fn adaptive_backoff_rotates_identities_under_hair_trigger_policy() {
+        let suspicion = SuspicionPolicy {
+            window: 64,
+            threshold: 2,
+        };
+        let mut stack = s2_stack(10, suspicion, 3, 0xD1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut strategy = StrategyKind::AdaptiveBackoff.build(
+            &mut stack,
+            "mallory",
+            Scheme::Aslr,
+            8.0,
+            suspicion,
+            &mut rng,
+        );
+        for _ in 0..40 {
+            strategy.step(&mut stack, &mut rng);
+            if stack.end_step() != CompromiseState::Intact {
+                break;
+            }
+        }
+        assert!(
+            stack.suspects().len() > 1,
+            "full-rate start against threshold 2 must burn identities, got {:?}",
+            stack.suspects()
+        );
+    }
+
+    #[test]
+    fn strategy_ids_and_labels_are_distinct() {
+        let mut ids = std::collections::HashSet::new();
+        let mut labels = std::collections::HashSet::new();
+        for kind in StrategyKind::ALL {
+            assert!(ids.insert(kind.id()));
+            assert!(labels.insert(kind.label()));
+        }
+    }
+}

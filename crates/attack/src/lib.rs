@@ -18,14 +18,21 @@
 //!   [`attacker::FortressAttacker`] which simultaneously probes proxies
 //!   directly, servers indirectly (paced), and servers at full rate from
 //!   any compromised proxy (the launch pad).
+//! * [`campaign`] — the attacker posture as a first-class axis: the
+//!   [`campaign::AdversaryStrategy`] trait and its implementations
+//!   (paced-below-threshold, scan-then-strike, burst, adaptive-backoff),
+//!   enumerated by [`campaign::StrategyKind`] for the grid sweeps in
+//!   `fortress-sim`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attacker;
+pub mod campaign;
 pub mod pacing;
 pub mod scan;
 
 pub use attacker::{AttackReport, DirectAttacker, FortressAttacker};
+pub use campaign::{AdversaryStrategy, StrategyKind};
 pub use pacing::Pacer;
 pub use scan::{KeyScanner, ScanStrategy};

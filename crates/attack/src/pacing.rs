@@ -60,6 +60,18 @@ impl Pacer {
         }
     }
 
+    /// A pacer at an explicit rate (clamped to `omega`) — the hook for
+    /// strategies that choose their own operating point, like the
+    /// adaptive-backoff campaign attacker walking its rate down after
+    /// each detection.
+    pub fn with_rate(rate: f64, omega: f64) -> Pacer {
+        Pacer {
+            rate: rate.clamp(0.0, omega.max(0.0)),
+            omega,
+            credit: 0.0,
+        }
+    }
+
     /// The effective indirect-attack coefficient `κ = rate / ω`.
     pub fn kappa(&self) -> f64 {
         if self.omega <= 0.0 {

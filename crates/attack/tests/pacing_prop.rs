@@ -1,0 +1,151 @@
+//! Property tests for [`Pacer::against`]: a correctly paced attacker
+//! never crosses the suspicion boundary, for *any* policy and attacker
+//! rate — the operational half of Definition 5's κ.
+//!
+//! The sliding-window log and the pacer are independent implementations
+//! of the same inequality (`rate ≤ (threshold − 1) / window`), so feeding
+//! the pacer's schedule into a [`ProbeLog`] is a genuine cross-check, not
+//! a tautology.
+
+use fortress_attack::pacing::Pacer;
+use fortress_core::probelog::{ProbeLog, SuspicionPolicy};
+use proptest::prelude::*;
+
+/// Runs `pacer`'s schedule into a fresh log under `policy` for `steps`
+/// unit time-steps; returns whether the source was ever flagged.
+fn schedule_gets_flagged(policy: SuspicionPolicy, mut pacer: Pacer, steps: u64) -> bool {
+    let mut log = ProbeLog::new(policy);
+    for t in 0..steps {
+        for _ in 0..pacer.probes_this_step() {
+            log.record_invalid("attacker", t);
+        }
+        if log.is_suspicious("attacker") {
+            return true; // sticky; no need to run further
+        }
+    }
+    log.is_suspicious("attacker")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A paced attacker is never flagged, across randomized windows,
+    /// thresholds and attacker rates — including ω far above and far
+    /// below the safe rate.
+    #[test]
+    fn paced_attacker_never_crosses_the_boundary(
+        window in 1u64..200,
+        threshold in 1u32..64,
+        omega in 0.05f64..32.0,
+    ) {
+        let policy = SuspicionPolicy { window, threshold };
+        prop_assume!(u64::from(threshold) <= window.saturating_mul(4)); // keep thresholds meaningful
+        let pacer = Pacer::against(policy, omega);
+        prop_assert!(
+            !schedule_gets_flagged(policy, pacer, 4 * window + 256),
+            "paced attacker flagged under window={window} threshold={threshold} omega={omega}"
+        );
+    }
+
+    /// The pacer's κ is exactly the policy's induced κ: the two
+    /// formulations of Definition 5 agree for every policy/ω pair.
+    #[test]
+    fn pacer_kappa_equals_policy_induced_kappa(
+        window in 1u64..500,
+        threshold in 1u32..100,
+        omega in 0.01f64..64.0,
+    ) {
+        let policy = SuspicionPolicy { window, threshold };
+        let pacer = Pacer::against(policy, omega);
+        let induced = policy.induced_kappa(omega);
+        prop_assert!(
+            (pacer.kappa() - induced).abs() < 1e-12,
+            "kappa {} vs induced {} at window={window} threshold={threshold} omega={omega}",
+            pacer.kappa(),
+            induced
+        );
+        // And the allowed rate never exceeds either bound.
+        prop_assert!(pacer.rate() <= omega + 1e-12);
+        prop_assert!(pacer.rate() <= policy.max_safe_rate() + 1e-12);
+    }
+
+    /// The long-run average of the integer schedule converges to the
+    /// real-valued rate: fractional credit carries, it never leaks.
+    #[test]
+    fn schedule_average_matches_rate(
+        window in 1u64..100,
+        threshold in 2u32..50,
+        omega in 0.5f64..16.0,
+    ) {
+        let policy = SuspicionPolicy { window, threshold };
+        let mut pacer = Pacer::against(policy, omega);
+        let steps = 10_000u64;
+        let total: u64 = (0..steps).map(|_| pacer.probes_this_step()).sum();
+        let expect = pacer.rate() * steps as f64;
+        // The credit mechanism bounds the error by one probe.
+        prop_assert!(
+            (total as f64 - expect).abs() <= 1.0 + 1e-9,
+            "schedule total {total} vs expected {expect}"
+        );
+    }
+}
+
+/// Edge case: a window of a single step. The safe rate is `threshold − 1`
+/// whole probes every step, and the pacer must sit exactly there.
+#[test]
+fn window_of_one_paces_at_threshold_minus_one_per_step() {
+    for threshold in [1u32, 2, 3, 9] {
+        let policy = SuspicionPolicy { window: 1, threshold };
+        let mut pacer = Pacer::against(policy, 1000.0);
+        assert!(
+            (pacer.rate() - f64::from(threshold - 1).min(1000.0)).abs() < 1e-12,
+            "threshold {threshold}"
+        );
+        for _ in 0..32 {
+            assert_eq!(pacer.probes_this_step(), u64::from(threshold - 1));
+        }
+        assert!(
+            !schedule_gets_flagged(policy, Pacer::against(policy, 1000.0), 512),
+            "threshold {threshold}"
+        );
+    }
+}
+
+/// Edge case: threshold equal to the window length. The safe rate is
+/// `(window − 1) / window`, a hair under one probe per step — the
+/// densest schedule that still never fills a window.
+#[test]
+fn threshold_equal_to_window_stays_unflagged() {
+    for window in [1u64, 2, 5, 33] {
+        let policy = SuspicionPolicy {
+            window,
+            threshold: u32::try_from(window).unwrap(),
+        };
+        let pacer = Pacer::against(policy, 64.0);
+        let expect = if window == 1 {
+            0.0
+        } else {
+            (window - 1) as f64 / window as f64
+        };
+        assert!((pacer.rate() - expect).abs() < 1e-12, "window {window}");
+        assert!(
+            !schedule_gets_flagged(policy, pacer, 4 * window + 128),
+            "window {window}"
+        );
+    }
+}
+
+/// Degenerate threshold 1: nothing is safe, so the pacer must emit zero
+/// probes forever rather than get the attacker flagged.
+#[test]
+fn threshold_one_means_radio_silence() {
+    let policy = SuspicionPolicy {
+        window: 10,
+        threshold: 1,
+    };
+    let mut pacer = Pacer::against(policy, 8.0);
+    assert_eq!(pacer.rate(), 0.0);
+    assert_eq!(pacer.kappa(), 0.0);
+    let total: u64 = (0..1000).map(|_| pacer.probes_this_step()).sum();
+    assert_eq!(total, 0);
+}

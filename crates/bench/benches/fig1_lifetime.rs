@@ -40,11 +40,12 @@ fn bench_fig1(c: &mut Criterion) {
                 b.iter(|| {
                     let mut acc = 0.0;
                     for s in &systems {
+                        let (kind, policy) = (s.kind, s.policy);
                         acc += runner
-                            .run(7, TrialBudget::Fixed(2_000), |_, rng| {
+                            .run(7, TrialBudget::Fixed(2_000), move |_, rng| {
                                 sample_lifetime(
-                                    s.kind,
-                                    s.policy,
+                                    kind,
+                                    policy,
                                     &params,
                                     LaunchPad::NextStep,
                                     rng,

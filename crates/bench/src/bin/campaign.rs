@@ -1,0 +1,125 @@
+//! CAMPAIGN — the protocol-level adversary campaign grid, plus the CI
+//! smoke artifact `BENCH_campaign.json`.
+//!
+//! Runs the default 3 (suspicion) × 3 (fleet size) × 4 (strategy) grid
+//! through the persistent-pool runner with an RSE-adaptive trial budget,
+//! checks the determinism contract the hard way (the full report JSON
+//! must be identical at 1 and 8 threads), and measures the worker pool's
+//! speedup over the old scoped-spawn-per-call execution on a rapid-fire
+//! small-batch workload — the regime the pool exists for.
+//!
+//! ```text
+//! cargo run --release -p fortress-bench --bin campaign [out_path]
+//! ```
+//!
+//! The per-cell table goes to stdout; the JSON artifact (cells/sec, pool
+//! speedup, determinism verdict) to `out_path` (default
+//! `BENCH_campaign.json`).
+
+use fortress_sim::campaign_mc::CampaignGrid;
+use fortress_sim::runner::{Runner, TrialBudget};
+use std::time::Instant;
+
+/// Adaptive per-cell budget: protocol trials are ms-scale, so spend them
+/// where the lifetime variance demands (burst cells are far noisier than
+/// paced cells) and cap the grid's total cost.
+const BUDGET: TrialBudget = TrialBudget::TargetRse {
+    target: 0.05,
+    min_trials: 64,
+    max_trials: 512,
+    batch: 64,
+};
+
+/// The pool-vs-spawn microbenchmark regime: many tiny batches, the shape
+/// of an adaptive campaign cell's stopping checks.
+const MICRO_CALLS: u64 = 400;
+const MICRO_TRIALS_PER_CALL: u64 = 64;
+
+fn micro_workload(runner: &Runner, scoped: bool) -> f64 {
+    use rand::Rng;
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for call in 0..MICRO_CALLS {
+        let stats = if scoped {
+            runner.run_scoped(call, TrialBudget::Fixed(MICRO_TRIALS_PER_CALL), |i, rng| {
+                rng.gen::<f64>() + (i % 5) as f64
+            })
+        } else {
+            runner.run(call, TrialBudget::Fixed(MICRO_TRIALS_PER_CALL), |i, rng| {
+                rng.gen::<f64>() + (i % 5) as f64
+            })
+        };
+        acc += stats.mean();
+    }
+    assert!(acc.is_finite());
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let grid = CampaignGrid::paper_default();
+    let n_cells = grid.cells().len();
+    let base_seed = 0xF0_47;
+
+    // Two passes double as the determinism check: the serial reference,
+    // then a timed 8-worker pooled pass whose report must match it bit
+    // for bit (1 vs 8 threads, per the runner contract).
+    let serial = grid.run(&Runner::with_threads(1), BUDGET, base_seed);
+    let start = Instant::now();
+    let report = grid.run(&Runner::with_threads(8), BUDGET, base_seed);
+    let wall = start.elapsed().as_secs_f64();
+    let deterministic = report.to_json() == serial.to_json();
+    assert!(
+        deterministic,
+        "campaign grid diverged between 1 and 8 threads — determinism contract broken"
+    );
+    let trials_total: u64 = report.cells.iter().map(|o| o.estimate.n).sum();
+    let cells_per_sec = n_cells as f64 / wall;
+
+    println!("{}", report.to_table().to_aligned());
+
+    // Pool vs per-call scoped spawning, µs-scale batch regime. Pin four
+    // workers (even on smaller machines): the comparison is the cost of
+    // four scoped spawns per call vs four persistent workers, which is
+    // about OS overhead, not core count. Warm both paths first.
+    let micro_runner = Runner::with_threads(4).with_chunk(16);
+    let _ = micro_workload(&micro_runner, false);
+    let _ = micro_workload(&micro_runner, true);
+    let pooled_wall = micro_workload(&micro_runner, false);
+    let scoped_wall = micro_workload(&micro_runner, true);
+    let pool_speedup = scoped_wall / pooled_wall;
+
+    let json = format!(
+        "{{\n  \"workload\": \"campaign grid {n_suspicion}x{n_fleet}x{n_strategy} \
+         (suspicion x fleet x strategy), adaptive rse<=0.05, 64..512 trials/cell\",\n  \
+         \"timed_pass_workers\": 8,\n  \
+         \"machine_cores\": {cores},\n  \
+         \"cells\": {n_cells},\n  \
+         \"trials_total\": {trials_total},\n  \
+         \"wall_s\": {wall:.4},\n  \
+         \"cells_per_sec\": {cells_per_sec:.2},\n  \
+         \"deterministic_1_vs_8_threads\": {deterministic},\n  \
+         \"pool_microbench\": {{\n    \
+           \"calls\": {MICRO_CALLS},\n    \
+           \"trials_per_call\": {MICRO_TRIALS_PER_CALL},\n    \
+           \"scoped_spawn_wall_s\": {scoped_wall:.4},\n    \
+           \"pooled_wall_s\": {pooled_wall:.4},\n    \
+           \"pool_speedup\": {pool_speedup:.3}\n  }}\n}}\n",
+        n_suspicion = grid.suspicions.len(),
+        n_fleet = grid.fleet_sizes.len(),
+        n_strategy = grid.strategies.len(),
+    );
+    print!("{json}");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("[written {out_path}]"),
+        Err(e) => {
+            eprintln!("[could not write {out_path}: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

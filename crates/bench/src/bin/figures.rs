@@ -40,10 +40,14 @@ fn main() {
 
     for what in wanted {
         match what {
+            // RSE-adaptive Monte-Carlo budget: the high-variance small-α
+            // corner buys the trials it needs for a 2% relative standard
+            // error, while the cheap large-α corner stops at the floor —
+            // no more flat 20k-trials-everywhere spending.
             "fig1" => emit(
                 "figure1_lifetimes",
-                "Figure 1 — Expected Lifetime Comparison (chi = 2^16, S2PO at kappa = 0.5)",
-                &figures::figure1(4, 0.5, 20_000),
+                "Figure 1 — Expected Lifetime Comparison (chi = 2^16, S2PO at kappa = 0.5, MC at rse<=2%)",
+                &figures::figure1_adaptive(4, 0.5, 0.02),
             ),
             "fig2" => emit(
                 "figure2_kappa",

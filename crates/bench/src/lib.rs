@@ -37,9 +37,10 @@ fn mc_mean(
     budget: TrialBudget,
     seed: u64,
 ) -> f64 {
+    let params = *params;
     runner
-        .run(seed, budget, |_, rng| {
-            sample_lifetime(kind, policy, params, LaunchPad::NextStep, rng) as f64
+        .run(seed, budget, move |_, rng| {
+            sample_lifetime(kind, policy, &params, LaunchPad::NextStep, rng) as f64
         })
         .mean()
 }

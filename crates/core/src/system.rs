@@ -284,6 +284,18 @@ impl Stack {
         self.cfg.class
     }
 
+    /// The full assembly-time configuration, read back for harnesses and
+    /// reports that label results by the knobs a stack was built with.
+    pub fn config(&self) -> StackConfig {
+        self.cfg
+    }
+
+    /// Number of deployed proxies (0 for the 1-tier classes) — the bound
+    /// the campaign strategies iterate when looking for a launch pad.
+    pub fn proxy_count(&self) -> usize {
+        self.proxies.len()
+    }
+
     /// The trusted authority (clients share it, as they share the NS).
     pub fn authority(&self) -> Arc<KeyAuthority> {
         Arc::clone(&self.authority)

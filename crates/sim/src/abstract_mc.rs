@@ -59,8 +59,11 @@ impl AbstractModel {
         budget: crate::runner::TrialBudget,
         base_seed: u64,
     ) -> crate::stats::Estimate {
+        let model = *self;
         runner
-            .run(base_seed, budget, |_, rng| self.simulate_once(rng) as f64)
+            .run(base_seed, budget, move |_, rng| {
+                model.simulate_once(rng) as f64
+            })
             .estimate()
     }
 

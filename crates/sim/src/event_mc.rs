@@ -141,9 +141,10 @@ mod tests {
         trials: u64,
         seed: u64,
     ) -> f64 {
+        let params = *params;
         Runner::new()
-            .run(seed, TrialBudget::Fixed(trials), |_, rng| {
-                sample_lifetime(kind, policy, params, pad, rng) as f64
+            .run(seed, TrialBudget::Fixed(trials), move |_, rng| {
+                sample_lifetime(kind, policy, &params, pad, rng) as f64
             })
             .mean()
     }

@@ -16,6 +16,10 @@
 //!   from `fortress-attack`, over the deterministic network, with a scaled
 //!   key space; corroborates that the abstract model's shapes survive
 //!   contact with an actual implementation.
+//! * [`campaign_mc`] — **multi-axis campaigns** over the protocol
+//!   engine: cartesian grids of suspicion policy × proxy fleet size ×
+//!   adversary strategy, with content-derived cell seeding so per-cell
+//!   results are independent of grid layout and thread count.
 //!
 //! Support: [`runner`] (the parallel deterministic trial runner every
 //! consumer goes through), [`stats`] (Welford accumulators, parallel
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod abstract_mc;
+pub mod campaign_mc;
 pub mod event_mc;
 pub mod protocol_mc;
 pub mod report;
@@ -47,6 +52,7 @@ pub mod runner;
 pub mod stats;
 
 pub use abstract_mc::AbstractModel;
+pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::sample_lifetime;
 pub use protocol_mc::ProtocolExperiment;
 pub use runner::{Runner, TrialBudget};

@@ -7,7 +7,7 @@
 //! the *shape* of the results — who outlives whom — is what corroborates
 //! the abstract models (experiment `PROTO` in DESIGN.md).
 
-use fortress_attack::attacker::{DirectAttacker, FortressAttacker};
+use fortress_attack::attacker::DirectAttacker;
 use fortress_core::probelog::SuspicionPolicy;
 use fortress_core::system::{CompromiseState, Stack, StackConfig, SystemClass};
 use fortress_model::params::Policy;
@@ -32,6 +32,9 @@ pub struct ProtocolExperiment {
     pub omega: f64,
     /// Proxy suspicion policy (S2 only; determines the effective κ).
     pub suspicion: SuspicionPolicy,
+    /// Proxy fleet size `np` (S2 only; the paper deploys 3). The campaign
+    /// grids sweep this axis.
+    pub np: usize,
     /// Randomization scheme under attack.
     pub scheme: Scheme,
     /// Cap on steps per trial (trials hitting the cap are censored at it).
@@ -50,6 +53,7 @@ impl ProtocolExperiment {
                 window: 64,
                 threshold: 9,
             },
+            np: 3,
             scheme: Scheme::Aslr,
             max_steps: 50_000,
         }
@@ -73,60 +77,55 @@ impl ProtocolExperiment {
         }
     }
 
-    /// Runs one trial; returns the 1-based step at which the system fell
-    /// (or `max_steps` if censored).
-    pub fn run_once(&self, seed: u64) -> u64 {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
-        let mut stack = Stack::new(StackConfig {
+    /// Assembles the stack one trial of this experiment attacks; `seed`
+    /// drives the network, key draws and principal keys. Shared by
+    /// [`ProtocolExperiment::run_once`] and the campaign grid driver,
+    /// which swaps in its own adversary strategies.
+    pub fn build_stack(&self, seed: u64) -> Stack {
+        Stack::new(StackConfig {
             class: self.class,
             entropy_bits: self.entropy_bits,
             scheme: self.scheme,
             policy: self.obf_policy(),
             suspicion: self.suspicion,
+            np: self.np,
             seed,
             ..StackConfig::default()
         })
-        .expect("stack assembly is validated by construction");
+        .expect("stack assembly is validated by construction")
+    }
 
-        match self.class {
-            SystemClass::S2Fortress => {
-                let mut attacker = FortressAttacker::new(
-                    &mut stack,
-                    "attacker",
-                    self.scheme,
-                    self.omega,
-                    self.suspicion,
-                    &mut rng,
-                );
-                for step in 1..=self.max_steps {
-                    attacker.step(&mut stack, &mut rng);
-                    let state = stack.end_step();
-                    if state != CompromiseState::Intact {
-                        return step;
-                    }
-                    if self.policy == Policy::Proactive {
-                        attacker.on_rerandomized(&mut rng);
-                    }
-                }
+    /// Runs one trial; returns the 1-based step at which the system fell
+    /// (or `max_steps` if censored).
+    ///
+    /// The S2 trial *is* a campaign cell under the paper's baseline
+    /// posture — one drive loop, shared with every other strategy, so
+    /// PROTO estimates and campaign `paced` cells cannot drift apart.
+    pub fn run_once(&self, seed: u64) -> u64 {
+        if self.class == SystemClass::S2Fortress {
+            return crate::campaign_mc::run_cell_once(
+                self,
+                fortress_attack::campaign::StrategyKind::PacedBelowThreshold,
+                seed,
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut stack = self.build_stack(seed);
+        let mut attacker = DirectAttacker::new(
+            &mut stack,
+            "attacker",
+            self.scheme,
+            self.omega,
+            &mut rng,
+        );
+        for step in 1..=self.max_steps {
+            attacker.step(&mut stack, &mut rng);
+            let state = stack.end_step();
+            if state != CompromiseState::Intact {
+                return step;
             }
-            _ => {
-                let mut attacker = DirectAttacker::new(
-                    &mut stack,
-                    "attacker",
-                    self.scheme,
-                    self.omega,
-                    &mut rng,
-                );
-                for step in 1..=self.max_steps {
-                    attacker.step(&mut stack, &mut rng);
-                    let state = stack.end_step();
-                    if state != CompromiseState::Intact {
-                        return step;
-                    }
-                    if self.policy == Policy::Proactive {
-                        attacker.on_rerandomized(&mut rng);
-                    }
-                }
+            if self.policy == Policy::Proactive {
+                attacker.on_rerandomized(&mut rng);
             }
         }
         self.max_steps
@@ -144,11 +143,12 @@ impl ProtocolExperiment {
     /// the hook for callers that pin thread counts (determinism tests) or
     /// want adaptive stopping.
     pub fn estimate_with(&self, runner: &Runner, budget: TrialBudget, base_seed: u64) -> Estimate {
+        let exp = *self;
         runner
-            .run(base_seed, budget, |trial_index, _rng| {
+            .run(base_seed, budget, move |trial_index, _rng| {
                 // `run_once` builds its own stack + attacker RNGs from the
                 // seed, so derive the whole trial from the counter seed.
-                self.run_once(crate::runner::trial_seed(base_seed, trial_index)) as f64
+                exp.run_once(crate::runner::trial_seed(base_seed, trial_index)) as f64
             })
             .estimate()
     }

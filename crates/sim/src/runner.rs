@@ -1,9 +1,9 @@
 //! Parallel, deterministic Monte-Carlo trial runner.
 //!
 //! Every Monte-Carlo consumer in the workspace (the `figure1` sweep, the
-//! protocol-level experiments, the validation helpers in the engine test
-//! suites) funnels trials through [`Runner::run`]. The design goals, in
-//! order:
+//! protocol-level experiments, the campaign grids, the validation helpers
+//! in the engine test suites) funnels trials through [`Runner::run`]. The
+//! design goals, in order:
 //!
 //! 1. **Bit-identical results at any thread count.** Each trial `i` gets
 //!    its own RNG, seeded by [`trial_seed`]`(base_seed, i)` — a SplitMix64
@@ -13,10 +13,20 @@
 //!    index order** (see [`RunningStats::merge`]), so the floating-point
 //!    reduction order is fixed too: `run(seed, …)` with 1 thread and with
 //!    64 threads return identical bits.
-//! 2. **No shared-state contention.** Threads pull chunk indices off one
-//!    atomic counter and accumulate into thread-local [`RunningStats`];
-//!    the only synchronization is the counter and the final join.
-//! 3. **Cheap per-trial RNG.** Trials use [`SmallRng`] (xoshiro256++ in
+//! 2. **No per-call thread spawns.** A [`Runner`] owns a persistent pool
+//!    of worker threads created once in [`Runner::with_threads`]; each
+//!    `run()` call posts a job descriptor to the pool and collects
+//!    per-chunk results over a channel. Microsecond-scale batches (the
+//!    protocol-level campaign cells, adaptive-budget stopping checks) no
+//!    longer pay an OS thread spawn per call. The previous
+//!    scoped-spawn-per-call execution survives as [`Runner::run_scoped`],
+//!    the bit-identity reference the determinism suite and the
+//!    `campaign` bench compare against.
+//! 3. **No shared-state contention.** Workers pull chunk indices off one
+//!    atomic counter and accumulate into per-chunk [`RunningStats`];
+//!    the only synchronization is the counter, the job channel and the
+//!    result channel.
+//! 4. **Cheap per-trial RNG.** Trials use [`SmallRng`] (xoshiro256++ in
 //!    the workspace's rand shim): seeding is four SplitMix64 steps, so
 //!    even microsecond-scale trials amortize it.
 //!
@@ -33,9 +43,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
-/// SplitMix64 finalizer.
-fn mix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer — the single definition of the bit mixer behind
+/// both [`trial_seed`] and the campaign grids' content-derived cell
+/// seeding (`campaign_mc`).
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -94,12 +108,149 @@ impl TrialBudget {
     }
 }
 
+/// The trial closure, type-erased so the persistent workers (which are
+/// `'static` threads) can hold it across the duration of one job.
+type TrialFn = Arc<dyn Fn(u64, &mut SmallRng) -> f64 + Send + Sync>;
+
+/// Everything one `run()` call hands the pool: the closure, the trial
+/// index range, and the rendezvous state (chunk counter in, per-chunk
+/// statistics out). Each worker receives its own copy.
+struct Job {
+    trial: TrialFn,
+    base_seed: u64,
+    start: u64,
+    end: u64,
+    chunk: u64,
+    next_chunk: Arc<AtomicUsize>,
+    n_chunks: usize,
+    results: Sender<(usize, RunningStats)>,
+}
+
+impl Job {
+    /// Claims chunk indices until the counter runs out, sending each
+    /// chunk's statistics (tagged with its index) back to the caller.
+    fn work(self) {
+        loop {
+            let index = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if index >= self.n_chunks {
+                break;
+            }
+            let stats = run_chunk(
+                &*self.trial,
+                self.base_seed,
+                self.start,
+                self.end,
+                self.chunk,
+                index,
+            );
+            if self.results.send((index, stats)).is_err() {
+                break; // caller gone; nothing left to report to
+            }
+        }
+    }
+}
+
+/// Runs one chunk of trials. This is the single definition of the
+/// per-chunk arithmetic — pooled, scoped and serial execution all call
+/// it, which is what makes their results bit-identical.
+fn run_chunk(
+    trial: &(dyn Fn(u64, &mut SmallRng) -> f64 + Sync),
+    base_seed: u64,
+    start: u64,
+    end: u64,
+    chunk: u64,
+    index: usize,
+) -> RunningStats {
+    let lo = start + index as u64 * chunk;
+    let hi = (lo + chunk).min(end);
+    let mut stats = RunningStats::new();
+    for t in lo..hi {
+        let mut rng = SmallRng::seed_from_u64(trial_seed(base_seed, t));
+        stats.push(trial(t, &mut rng));
+    }
+    stats
+}
+
+/// A fixed set of long-lived worker threads sharing one job queue.
+///
+/// Workers block on the queue between jobs; dropping the pool closes the
+/// queue, which shuts every worker down cleanly. The pool is deliberately
+/// dumb — all scheduling intelligence (chunking, ordering, merging) lives
+/// in [`Runner`], so pooled and scoped execution share it.
+struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only for the dequeue, never for the work.
+                    let job = {
+                        let guard: std::sync::MutexGuard<'_, Receiver<Job>> =
+                            receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job.work(),
+                        Err(_) => break, // queue closed: pool dropped
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(job)
+            .expect(
+                "no live pool worker to accept the job — every worker died, \
+                 which only happens after trial-closure panics killed them all; \
+                 fix the trial (run_scoped shows the original panic)",
+            );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel is the shutdown signal.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Parallel deterministic trial runner. See the module docs for the
 /// seeding and merge guarantees.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Runner {
     threads: usize,
     chunk: u64,
+    /// Persistent workers; `None` for 1-thread runners, which execute on
+    /// the caller's thread. Clones share the pool.
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("threads", &self.threads)
+            .field("chunk", &self.chunk)
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl Default for Runner {
@@ -120,11 +271,14 @@ impl Runner {
 
     /// Runner with an explicit worker count (1 = serial execution on the
     /// caller's thread, still chunk-merged so results match any other
-    /// thread count bit-for-bit).
+    /// thread count bit-for-bit). Worker threads are spawned here, once,
+    /// and reused by every subsequent [`Runner::run`] call.
     pub fn with_threads(threads: usize) -> Runner {
+        let threads = threads.max(1);
         Runner {
-            threads: threads.max(1),
+            threads,
             chunk: 1024,
+            pool: (threads > 1).then(|| Arc::new(WorkerPool::new(threads))),
         }
     }
 
@@ -145,16 +299,50 @@ impl Runner {
     }
 
     /// Runs `trial(index, rng)` over the budgeted trial indices and
-    /// returns the merged statistics of its returned values.
+    /// returns the merged statistics of its returned values, executing on
+    /// the persistent worker pool.
     ///
     /// `trial` must be a pure function of its arguments (plus captured
     /// immutable state) — that is what makes the run schedule-independent.
+    /// It must be `'static` because the pool's workers outlive the call;
+    /// capture parameter structs by value (they are all `Copy` in this
+    /// workspace) rather than by reference. Do **not** call `run` from
+    /// inside a trial closure: nested jobs can starve the pool.
     pub fn run<F>(&self, base_seed: u64, budget: TrialBudget, trial: F) -> RunningStats
+    where
+        F: Fn(u64, &mut SmallRng) -> f64 + Send + Sync + 'static,
+    {
+        let trial: TrialFn = Arc::new(trial);
+        self.run_budget(budget, |start, end| {
+            self.run_range_pooled(base_seed, start, end, &trial)
+        })
+    }
+
+    /// [`Runner::run`] executed with per-call scoped thread spawns — the
+    /// pre-pool execution model, kept as the bit-identity reference: for
+    /// any closure, seed and budget, `run` and `run_scoped` return
+    /// identical bits (asserted by `tests/runner_determinism.rs`), and
+    /// the `campaign` bench reports the pool's speedup over this path.
+    pub fn run_scoped<F>(&self, base_seed: u64, budget: TrialBudget, trial: F) -> RunningStats
     where
         F: Fn(u64, &mut SmallRng) -> f64 + Sync,
     {
+        self.run_budget(budget, |start, end| {
+            self.run_range_scoped(base_seed, start, end, &trial)
+        })
+    }
+
+    /// Shared budget logic: fixed budgets are one range; adaptive budgets
+    /// consume fixed-size batches of fixed index ranges and apply the
+    /// stopping rule to the (deterministic) merged statistics, so the
+    /// trial schedule is machine- and thread-count-independent.
+    fn run_budget(
+        &self,
+        budget: TrialBudget,
+        mut range: impl FnMut(u64, u64) -> RunningStats,
+    ) -> RunningStats {
         match budget {
-            TrialBudget::Fixed(n) => self.run_range(base_seed, 0, n, &trial),
+            TrialBudget::Fixed(n) => range(0, n),
             TrialBudget::TargetRse {
                 target,
                 min_trials,
@@ -167,7 +355,7 @@ impl Runner {
                 let mut done = 0u64;
                 while done < max_trials {
                     let next = (done + batch).min(max_trials);
-                    let chunk_stats = self.run_range(base_seed, done, next, &trial);
+                    let chunk_stats = range(done, next);
                     acc.merge(&chunk_stats);
                     done = next;
                     if done >= min_trials && acc.relative_std_error() <= target {
@@ -179,40 +367,102 @@ impl Runner {
         }
     }
 
-    /// Runs trials `start..end`, fanning fixed-size chunks out over the
-    /// worker threads and merging per-chunk statistics in index order.
-    fn run_range<F>(&self, base_seed: u64, start: u64, end: u64, trial: &F) -> RunningStats
+    /// Chunk count and worker count for a trial range.
+    fn plan(&self, start: u64, end: u64) -> (usize, usize) {
+        let n_chunks = usize::try_from((end - start).div_ceil(self.chunk))
+            .expect("chunk count fits in usize");
+        (n_chunks, self.threads.min(n_chunks))
+    }
+
+    /// Serial reference: same chunk-then-merge arithmetic as the parallel
+    /// paths, so a 1-thread run is the bit-exact reference for any thread
+    /// count.
+    fn run_range_serial(
+        &self,
+        base_seed: u64,
+        start: u64,
+        end: u64,
+        trial: &(dyn Fn(u64, &mut SmallRng) -> f64 + Sync),
+        n_chunks: usize,
+    ) -> RunningStats {
+        let mut acc = RunningStats::new();
+        for index in 0..n_chunks {
+            acc.merge(&run_chunk(trial, base_seed, start, end, self.chunk, index));
+        }
+        acc
+    }
+
+    /// Runs trials `start..end` on the persistent pool: posts one job per
+    /// participating worker, collects per-chunk statistics over the
+    /// result channel, and merges them in chunk index order.
+    fn run_range_pooled(
+        &self,
+        base_seed: u64,
+        start: u64,
+        end: u64,
+        trial: &TrialFn,
+    ) -> RunningStats {
+        if start >= end {
+            return RunningStats::new();
+        }
+        let (n_chunks, workers) = self.plan(start, end);
+        let pool = match &self.pool {
+            Some(pool) if workers > 1 => pool,
+            _ => return self.run_range_serial(base_seed, start, end, &**trial, n_chunks),
+        };
+        let next_chunk = Arc::new(AtomicUsize::new(0));
+        let (results, collected) = channel();
+        for _ in 0..workers {
+            pool.submit(Job {
+                trial: Arc::clone(trial),
+                base_seed,
+                start,
+                end,
+                chunk: self.chunk,
+                next_chunk: Arc::clone(&next_chunk),
+                n_chunks,
+                results: results.clone(),
+            });
+        }
+        // Drop the caller's sender: the channel closes when the last
+        // worker finishes its copy of the job, ending the iteration.
+        drop(results);
+        let mut per_chunk: Vec<Option<RunningStats>> = vec![None; n_chunks];
+        let mut received = 0usize;
+        for (index, stats) in collected {
+            per_chunk[index] = Some(stats);
+            received += 1;
+        }
+        // A worker that panics inside the trial closure dies without
+        // sending its chunk (and without being respawned) — surface the
+        // real cause instead of an opaque unwrap downstream.
+        assert_eq!(
+            received, n_chunks,
+            "a trial closure panicked on a pooled worker ({} of {n_chunks} chunks \
+             reported); this Runner's pool is now degraded — fix the trial, and \
+             use run_scoped to see the original panic",
+            received
+        );
+        let mut acc = RunningStats::new();
+        for stats in per_chunk {
+            acc.merge(&stats.expect("all chunks accounted for above"));
+        }
+        acc
+    }
+
+    /// Runs trials `start..end` with scoped threads spawned for this call
+    /// only (the reference execution model; see [`Runner::run_scoped`]).
+    fn run_range_scoped<F>(&self, base_seed: u64, start: u64, end: u64, trial: &F) -> RunningStats
     where
         F: Fn(u64, &mut SmallRng) -> f64 + Sync,
     {
-        let mut acc = RunningStats::new();
         if start >= end {
-            return acc;
+            return RunningStats::new();
         }
-        let n_chunks = usize::try_from((end - start).div_ceil(self.chunk))
-            .expect("chunk count fits in usize");
-        let workers = self.threads.min(n_chunks);
-
-        let run_chunk = |index: usize| -> RunningStats {
-            let lo = start + index as u64 * self.chunk;
-            let hi = (lo + self.chunk).min(end);
-            let mut stats = RunningStats::new();
-            for t in lo..hi {
-                let mut rng = SmallRng::seed_from_u64(trial_seed(base_seed, t));
-                stats.push(trial(t, &mut rng));
-            }
-            stats
-        };
-
+        let (n_chunks, workers) = self.plan(start, end);
         if workers <= 1 {
-            // Same chunk-then-merge arithmetic as the parallel path, so a
-            // 1-thread run is the bit-exact reference for any thread count.
-            for index in 0..n_chunks {
-                acc.merge(&run_chunk(index));
-            }
-            return acc;
+            return self.run_range_serial(base_seed, start, end, trial, n_chunks);
         }
-
         let next_chunk = AtomicUsize::new(0);
         let mut per_chunk: Vec<Option<RunningStats>> = vec![None; n_chunks];
         std::thread::scope(|scope| {
@@ -225,7 +475,10 @@ impl Runner {
                             if index >= n_chunks {
                                 break;
                             }
-                            produced.push((index, run_chunk(index)));
+                            produced.push((
+                                index,
+                                run_chunk(trial, base_seed, start, end, self.chunk, index),
+                            ));
                         }
                         produced
                     })
@@ -237,6 +490,7 @@ impl Runner {
                 }
             }
         });
+        let mut acc = RunningStats::new();
         for stats in per_chunk {
             acc.merge(&stats.expect("every chunk index was claimed exactly once"));
         }
@@ -289,6 +543,51 @@ mod tests {
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), reference, "{threads} threads diverged");
         }
+    }
+
+    #[test]
+    fn pooled_and_scoped_agree_bit_for_bit() {
+        let runner = Runner::with_threads(4);
+        let trial = |i: u64, rng: &mut SmallRng| rng.gen::<f64>() * ((i % 13) as f64 + 1.0);
+        for budget in [
+            TrialBudget::Fixed(5_000),
+            TrialBudget::TargetRse {
+                target: 0.02,
+                min_trials: 1_000,
+                max_trials: 30_000,
+                batch: 1_000,
+            },
+        ] {
+            let pooled = runner.run(0xABCD, budget, trial);
+            let scoped = runner.run_scoped(0xABCD, budget, trial);
+            assert_eq!(pooled, scoped, "pooled vs scoped diverged under {budget:?}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_small_runs() {
+        // The pool is reused across calls: rapid-fire µs-scale batches
+        // must neither leak threads nor change results. Chunk 16 so a
+        // 64-trial run really fans out (chunk 1024 would fall back to
+        // the serial path and never touch the pool).
+        let runner = Runner::with_threads(4).with_chunk(16);
+        let reference = Runner::with_threads(1).with_chunk(16);
+        for call in 0..200u64 {
+            let pooled = runner.run(call, TrialBudget::Fixed(64), |_, rng| rng.gen::<f64>());
+            let serial = reference.run(call, TrialBudget::Fixed(64), |_, rng| rng.gen::<f64>());
+            assert_eq!(pooled, serial, "call {call} diverged");
+        }
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let runner = Runner::with_threads(3);
+        let clone = runner.clone().with_chunk(128);
+        let a = runner.run(9, TrialBudget::Fixed(1_000), |_, rng| rng.gen::<f64>());
+        // Different chunk size changes the merge tree, not correctness.
+        let b = clone.run(9, TrialBudget::Fixed(1_000), |_, rng| rng.gen::<f64>());
+        assert_eq!(a.n(), b.n());
+        assert!((a.mean() - b.mean()).abs() < 1e-9);
     }
 
     #[test]

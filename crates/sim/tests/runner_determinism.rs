@@ -23,7 +23,7 @@ use proptest::prelude::*;
 
 fn event_stats(threads: usize, trials: u64, seed: u64) -> RunningStats {
     let params = AttackParams::from_alpha(65536.0, 1e-3).unwrap();
-    Runner::with_threads(threads).run(seed, TrialBudget::Fixed(trials), |_, rng| {
+    Runner::with_threads(threads).run(seed, TrialBudget::Fixed(trials), move |_, rng| {
         sample_lifetime(
             SystemKind::S2Fortress { kappa: 0.5 },
             Policy::StartupOnly,
@@ -164,7 +164,7 @@ fn event_driven_matches_step_by_step_through_runner() {
     let runner = Runner::new();
     for (seed, (kind, policy)) in cases.into_iter().enumerate() {
         let seed = seed as u64;
-        let event = runner.run(seed, TrialBudget::Fixed(6_000), |_, rng| {
+        let event = runner.run(seed, TrialBudget::Fixed(6_000), move |_, rng| {
             sample_lifetime(kind, policy, &params, LaunchPad::NextStep, rng) as f64
         });
         let step_model = AbstractModel::new(kind, policy, params);
@@ -179,7 +179,7 @@ fn event_driven_matches_step_by_step_through_runner() {
         );
         // Spread agreement too — same distribution, not just same mean.
         let ratio = event.std_dev() / runner
-            .run(seed + 200, TrialBudget::Fixed(6_000), |_, rng| {
+            .run(seed + 200, TrialBudget::Fixed(6_000), move |_, rng| {
                 step_model.simulate_once(rng) as f64
             })
             .std_dev();
@@ -211,11 +211,70 @@ fn adaptive_budget_tracks_analytic_lifetime() {
             max_trials: 400_000,
             batch: 2_000,
         },
-        |_, rng| sample_lifetime(SystemKind::S1Pb, Policy::Proactive, &params, LaunchPad::NextStep, rng) as f64,
+        move |_, rng| {
+            sample_lifetime(SystemKind::S1Pb, Policy::Proactive, &params, LaunchPad::NextStep, rng)
+                as f64
+        },
     );
     assert!(stats.relative_std_error() <= 0.01 || stats.n() == 400_000);
     let rel = (stats.mean() - analytic).abs() / analytic;
     assert!(rel < 0.04, "MC {} vs analytic {analytic} (rel {rel:.3})", stats.mean());
+}
+
+/// Contract 1, worker-pool refactor: the persistent pool behind
+/// [`Runner::run`] must return the same bits as the pre-pool
+/// scoped-spawn-per-call execution ([`Runner::run_scoped`]) for the
+/// event-driven workload, under both fixed and adaptive budgets.
+#[test]
+fn pooled_runner_matches_scoped_reference_bit_for_bit() {
+    let params = AttackParams::from_alpha(65536.0, 1e-3).unwrap();
+    let trial = move |_: u64, rng: &mut rand::rngs::SmallRng| {
+        sample_lifetime(
+            SystemKind::S2Fortress { kappa: 0.5 },
+            Policy::StartupOnly,
+            &params,
+            LaunchPad::NextStep,
+            rng,
+        ) as f64
+    };
+    let runner = Runner::with_threads(4);
+    for budget in [
+        TrialBudget::Fixed(30_000),
+        TrialBudget::TargetRse {
+            target: 0.02,
+            min_trials: 4_000,
+            max_trials: 60_000,
+            batch: 4_000,
+        },
+    ] {
+        let pooled = runner.run(0xCAFE, budget, trial);
+        let scoped = runner.run_scoped(0xCAFE, budget, trial);
+        assert_eq!(pooled, scoped, "pool diverged from scoped spawn under {budget:?}");
+    }
+}
+
+/// Contract 1, worker-pool refactor at the consumer level: the
+/// `figure1_with` / `mc_mean` paths in the bench crate and the protocol
+/// estimates all go through the pooled `run`; the pooled protocol
+/// estimate must match a scoped-execution replay of the same per-trial
+/// seeding, bit for bit.
+#[test]
+fn pooled_protocol_estimate_matches_scoped_replay() {
+    use fortress_core::system::SystemClass;
+    let exp = ProtocolExperiment {
+        entropy_bits: 7,
+        omega: 8.0,
+        max_steps: 2_000,
+        ..ProtocolExperiment::new(SystemClass::S1Pb, Policy::StartupOnly)
+    };
+    let runner = Runner::with_threads(4);
+    let pooled = exp.estimate_with(&runner, TrialBudget::Fixed(48), 91);
+    let scoped = runner
+        .run_scoped(91, TrialBudget::Fixed(48), |trial_index, _rng| {
+            exp.run_once(trial_seed(91, trial_index)) as f64
+        })
+        .estimate();
+    assert_eq!(pooled, scoped, "pooled protocol estimate diverged from scoped replay");
 }
 
 /// Contract 4: the parallel Figure 1 regeneration must beat the serial
@@ -234,7 +293,7 @@ fn parallel_runner_beats_serial_on_figure1_workload() {
     let required = if cores >= 8 { 4.0 } else { 0.45 * cores as f64 };
     let params = AttackParams::from_alpha(65536.0, 1e-3).unwrap();
     let workload = |runner: &Runner| {
-        runner.run(9, TrialBudget::Fixed(2_000_000), |_, rng| {
+        runner.run(9, TrialBudget::Fixed(2_000_000), move |_, rng| {
             sample_lifetime(
                 SystemKind::S2Fortress { kappa: 0.5 },
                 Policy::StartupOnly,

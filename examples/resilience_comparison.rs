@@ -31,9 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let analytic = system.expected_lifetime(&params)?;
             // Cross-check with the event-driven Monte-Carlo sampler,
             // fanned out over the parallel deterministic runner.
-            let stats = runner.run(alpha.to_bits(), TrialBudget::Fixed(20_000), |_, rng| {
-                sample_lifetime(system.kind, system.policy, &params, LaunchPad::NextStep, rng)
-                    as f64
+            let (kind, policy) = (system.kind, system.policy);
+            let stats = runner.run(alpha.to_bits(), TrialBudget::Fixed(20_000), move |_, rng| {
+                sample_lifetime(kind, policy, &params, LaunchPad::NextStep, rng) as f64
             });
             cells.push(format!("{analytic:.3e}"));
             let rel = (stats.mean() - analytic).abs() / analytic;
