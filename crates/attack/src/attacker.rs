@@ -7,10 +7,15 @@
 //! time-step and [`DirectAttacker::on_rerandomized`] /
 //! [`FortressAttacker::on_rerandomized`] whenever the defender's PO policy
 //! invalidated everything the attacker knew.
+//!
+//! Attackers are generic over the stack's transport (`Stack<T: Transport>`):
+//! the same probing loop drives the deterministic simulator in Monte-Carlo
+//! trials and a threaded deployment in the examples.
 
 use fortress_core::messages::ClientRequest;
 use fortress_core::probelog::SuspicionPolicy;
 use fortress_core::system::Stack;
+use fortress_net::transport::Transport;
 use fortress_obf::scheme::Scheme;
 use rand::Rng;
 
@@ -44,8 +49,8 @@ pub struct DirectAttacker {
 impl DirectAttacker {
     /// Registers the attacker as a client of `stack` with unconstrained
     /// probe rate `omega`.
-    pub fn new<R: Rng + ?Sized>(
-        stack: &mut Stack,
+    pub fn new<T: Transport, R: Rng + ?Sized>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -70,7 +75,7 @@ impl DirectAttacker {
 
     /// Launches this step's probe budget: each probe is one guessed key
     /// broadcast (as a service request) to every server.
-    pub fn step<R: Rng + ?Sized>(&mut self, stack: &mut Stack, rng: &mut R) {
+    pub fn step<T: Transport, R: Rng + ?Sized>(&mut self, stack: &mut Stack<T>, rng: &mut R) {
         let budget = self.pacer.probes_this_step();
         for _ in 0..budget {
             let Some(guess) = self.scanner.next_guess(rng) else {
@@ -90,7 +95,7 @@ impl DirectAttacker {
     }
 
     /// Collects crash observations from the attacker's own connections.
-    fn observe(&mut self, stack: &mut Stack) {
+    fn observe<T: Transport>(&mut self, stack: &mut Stack<T>) {
         let closures = stack
             .drain_client(&self.name)
             .iter()
@@ -131,8 +136,8 @@ pub struct FortressAttacker {
 impl FortressAttacker {
     /// Registers the attacker; `suspicion` is the proxies' policy, which a
     /// competent attacker knows (Kerckhoffs) and paces against.
-    pub fn new<R: Rng + ?Sized>(
-        stack: &mut Stack,
+    pub fn new<T: Transport, R: Rng + ?Sized>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -166,15 +171,13 @@ impl FortressAttacker {
     }
 
     /// Launches one unit time-step of the three-pronged attack.
-    pub fn step<R: Rng + ?Sized>(&mut self, stack: &mut Stack, rng: &mut R) {
-        // 1. Direct probes at proxies.
+    pub fn step<T: Transport, R: Rng + ?Sized>(&mut self, stack: &mut Stack<T>, rng: &mut R) {
+        // 1. Direct probes at proxies — one encode shared across the tier.
         let proxy_addrs = stack.proxy_addrs();
         for _ in 0..self.direct_pacer.probes_this_step() {
             if let Some(guess) = self.proxy_scanner.next_guess(rng) {
                 let bytes = self.scheme.craft_exploit(guess).to_bytes();
-                for addr in &proxy_addrs {
-                    stack.send_raw(&self.name, *addr, bytes.clone());
-                }
+                stack.broadcast_raw(&self.name, &proxy_addrs, bytes);
                 self.report.proxy_probes += 1;
                 stack.pump();
             }

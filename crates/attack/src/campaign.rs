@@ -179,9 +179,8 @@ impl Arsenal {
     ) {
         if let Some(guess) = scanner.next_guess(rng) {
             let bytes = self.scheme.craft_exploit(guess).to_bytes();
-            for addr in addrs {
-                stack.send_raw(&self.name, *addr, bytes.clone());
-            }
+            // One encode, one shared buffer across the whole tier.
+            stack.broadcast_raw(&self.name, addrs, bytes);
             self.report.proxy_probes += 1;
             stack.pump();
         }
@@ -546,11 +545,13 @@ impl AdversaryStrategy for AdaptiveBackoff {
         }
         self.arsenal.observe(stack, &identity, pad);
         // Burned identities still receive closure events for probes they
-        // sent before rotation — keep draining them.
-        for i in 0..self.burned.len() {
-            let old = self.burned[i].clone();
-            self.arsenal.observe(stack, &old, None);
+        // sent before rotation — keep draining them. (Take the list to
+        // observe without cloning each name every step.)
+        let burned = std::mem::take(&mut self.burned);
+        for old in &burned {
+            self.arsenal.observe(stack, old, None);
         }
+        self.burned = burned;
         // Detection feedback: the proxy tier publishes nothing, but a
         // flagged source notices its service stops — modeled by reading
         // the suspects list the stack exposes to the harness.

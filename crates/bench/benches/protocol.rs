@@ -6,7 +6,7 @@ use fortress_bench::proxy_overhead;
 use fortress_core::client::{AcceptMode, DirectClient};
 use fortress_core::system::{Stack, StackConfig, SystemClass};
 use fortress_model::params::Policy;
-use fortress_replication::message::SignedReply;
+use fortress_core::wire::WireMsg;
 use fortress_sim::protocol_mc::ProtocolExperiment;
 
 fn bench_protocol(c: &mut Criterion) {
@@ -70,8 +70,8 @@ fn bench_protocol(c: &mut Criterion) {
             let mut got = None;
             for ev in stack.drain_client("bench") {
                 if let Some(payload) = ev.payload() {
-                    if let Ok(reply) = SignedReply::decode(payload) {
-                        if let Some(r) = client.on_reply(&reply) {
+                    if let WireMsg::SignedReply(reply) = WireMsg::decode(payload) {
+                        if let Some(r) = client.on_reply(&reply.to_owned()) {
                             got = Some(r);
                         }
                     }

@@ -4,9 +4,12 @@
 //! Runs the default 3 (suspicion) × 3 (fleet size) × 4 (strategy) grid
 //! through the persistent-pool runner with an RSE-adaptive trial budget,
 //! checks the determinism contract the hard way (the full report JSON
-//! must be identical at 1 and 8 threads), and measures the worker pool's
+//! must be identical at 1 and 8 threads), measures the worker pool's
 //! speedup over the old scoped-spawn-per-call execution on a rapid-fire
-//! small-batch workload — the regime the pool exists for.
+//! small-batch workload — the regime the pool exists for — and times
+//! `Stack::pump` on a fixed S2 workload (deliveries/sec through the
+//! envelope dispatch), the protocol-level hot path the `WireMsg` /
+//! `Transport` redesign targets.
 //!
 //! ```text
 //! cargo run --release -p fortress-bench --bin campaign [out_path]
@@ -34,6 +37,48 @@ const BUDGET: TrialBudget = TrialBudget::TargetRse {
 /// of an adaptive campaign cell's stopping checks.
 const MICRO_CALLS: u64 = 400;
 const MICRO_TRIALS_PER_CALL: u64 = 64;
+
+/// Fixed S2 pump workload: benign requests plus wrong-key probes, the
+/// traffic mix a campaign trial pushes through `Stack::pump`.
+const PUMP_REQUESTS: u64 = 1_500;
+
+/// Drives the fixed S2 pump workload and returns
+/// `(deliveries, wall_s)` — deliveries as counted by the transport, so
+/// the metric tracks real per-hop dispatch work (proxy fan-out, server
+/// replies, exploit sniffing), not request count.
+fn pump_throughput() -> (u64, f64) {
+    use fortress_core::client::FortressClient;
+    use fortress_core::system::{Stack, StackConfig, SystemClass};
+    use fortress_obf::keys::RandomizationKey;
+    use fortress_obf::scheme::Scheme;
+
+    let mut stack = Stack::new(StackConfig {
+        class: SystemClass::S2Fortress,
+        seed: 0x9049,
+        ..StackConfig::default()
+    })
+    .expect("assembly");
+    stack.add_client("bench");
+    let mut client = FortressClient::new("bench", stack.authority(), stack.ns().clone());
+    let true_key = stack.server_keys()[0];
+    let start = Instant::now();
+    for i in 0..PUMP_REQUESTS {
+        // 3 benign requests to 1 wrong-key probe, round-robin.
+        let req = if i % 4 == 3 {
+            let wrong = RandomizationKey(true_key.0 ^ (i | 1));
+            let mut probe = client.request(b"");
+            probe.op = Scheme::Aslr.craft_exploit(wrong).to_bytes();
+            probe
+        } else {
+            client.request(b"PUT k v")
+        };
+        stack.submit("bench", &req);
+        stack.pump();
+        stack.drain_client("bench");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (stack.net_stats().delivered, wall)
+}
 
 fn micro_workload(runner: &Runner, scoped: bool) -> f64 {
     use rand::Rng;
@@ -94,6 +139,12 @@ fn main() {
     let scoped_wall = micro_workload(&micro_runner, true);
     let pool_speedup = scoped_wall / pooled_wall;
 
+    // Stack::pump hot-path throughput on the fixed S2 workload (warm
+    // once, then measure).
+    let _ = pump_throughput();
+    let (pump_deliveries, pump_wall) = pump_throughput();
+    let deliveries_per_sec = pump_deliveries as f64 / pump_wall;
+
     let json = format!(
         "{{\n  \"workload\": \"campaign grid {n_suspicion}x{n_fleet}x{n_strategy} \
          (suspicion x fleet x strategy), adaptive rse<=0.05, 64..512 trials/cell\",\n  \
@@ -109,7 +160,12 @@ fn main() {
            \"trials_per_call\": {MICRO_TRIALS_PER_CALL},\n    \
            \"scoped_spawn_wall_s\": {scoped_wall:.4},\n    \
            \"pooled_wall_s\": {pooled_wall:.4},\n    \
-           \"pool_speedup\": {pool_speedup:.3}\n  }}\n}}\n",
+           \"pool_speedup\": {pool_speedup:.3}\n  }},\n  \
+         \"pump\": {{\n    \
+           \"workload\": \"S2 default, {PUMP_REQUESTS} requests (3 benign : 1 wrong-key probe)\",\n    \
+           \"deliveries\": {pump_deliveries},\n    \
+           \"wall_s\": {pump_wall:.4},\n    \
+           \"deliveries_per_sec\": {deliveries_per_sec:.0}\n  }}\n}}\n",
         n_suspicion = grid.suspicions.len(),
         n_fleet = grid.fleet_sizes.len(),
         n_strategy = grid.strategies.len(),

@@ -359,9 +359,8 @@ pub fn protocol_comparison(trials: u64) -> CsvTable {
 /// the Saidane et al. observation that proxy overhead is modest, §2.2).
 pub fn proxy_overhead(requests: u64) -> CsvTable {
     use fortress_core::client::{AcceptMode, DirectClient, FortressClient};
-    use fortress_core::messages::ProxyResponse;
     use fortress_core::system::{Stack, StackConfig, SystemClass};
-    use fortress_replication::message::SignedReply;
+    use fortress_core::wire::WireMsg;
 
     let mut table = CsvTable::new(&["system", "requests", "ticks_per_request"]);
 
@@ -389,8 +388,8 @@ pub fn proxy_overhead(requests: u64) -> CsvTable {
             stack.pump();
             for ev in stack.drain_client("bench") {
                 if let Some(payload) = ev.payload() {
-                    if let Ok(reply) = SignedReply::decode(payload) {
-                        if client.on_reply(&reply).is_some() {
+                    if let WireMsg::SignedReply(reply) = WireMsg::decode(payload) {
+                        if client.on_reply(&reply.to_owned()).is_some() {
                             answered += 1;
                         }
                     }
@@ -424,7 +423,7 @@ pub fn proxy_overhead(requests: u64) -> CsvTable {
             stack.pump();
             for ev in stack.drain_client("bench") {
                 if let Some(payload) = ev.payload() {
-                    if let Ok(resp) = ProxyResponse::decode(payload) {
+                    if let WireMsg::ProxyResponse(resp) = WireMsg::decode(payload) {
                         if client.on_response(&resp).ok().flatten().is_some() {
                             answered += 1;
                         }

@@ -14,15 +14,22 @@
 //! * [`nameserver`] — the trusted, read-only directory (topology, principal
 //!   names, replication type, tolerance degree).
 //! * [`messages`] — client↔proxy wire formats, including the doubly-signed
-//!   [`messages::ProxyResponse`].
+//!   [`messages::ProxyResponse`] and the zero-copy
+//!   [`messages::ClientRequestRef`] view.
+//! * [`wire`] — the typed [`wire::WireMsg`] envelope over the
+//!   `fortress-net` tag registry: every delivered payload is classified
+//!   by one tag dispatch, and undecodable bytes are an explicit
+//!   `Malformed` outcome, never a silent fall-through.
 //! * [`probelog`] — per-source invalid-request accounting and the
 //!   suspicion threshold that bounds safe probing rates (κ's mechanism).
 //! * [`proxy`] — the sans-I/O proxy engine: forward, collect, over-sign,
 //!   log, suspect.
 //! * [`client`] — acceptance rules: doubly-signed for S2, `f+1` matching
 //!   for S0, any authentic signature for S1.
-//! * [`system`] — full-system assembly of S0/S1/S2 over the deterministic
-//!   `SimNet`, integrating randomized processes (`fortress-obf`),
+//! * [`system`] — full-system assembly of S0/S1/S2 over any
+//!   `fortress-net` `Transport`: [`system::Stack`] is generic over the
+//!   transport (deterministic `SimNet` by default, threaded `ThreadNet`
+//!   in the examples), integrating randomized processes (`fortress-obf`),
 //!   replication engines (`fortress-replication`) and the proxy/client
 //!   tiers; this is the stack the protocol-level Monte-Carlo drives.
 
@@ -36,10 +43,12 @@ pub mod nameserver;
 pub mod probelog;
 pub mod proxy;
 pub mod system;
+pub mod wire;
 
 pub use client::{DirectClient, FortressClient};
 pub use error::FortressError;
-pub use messages::{ClientRequest, ProxyResponse};
+pub use messages::{ClientRequest, ClientRequestRef, ProxyResponse};
 pub use nameserver::{NameServer, ReplicationType};
 pub use probelog::{ProbeLog, SuspicionPolicy};
 pub use proxy::{Proxy, ProxyInput, ProxyOutput};
+pub use wire::WireMsg;

@@ -8,7 +8,9 @@
 
 use fortress_crypto::sig::{Signature, Signer};
 use fortress_crypto::KeyAuthority;
-use fortress_net::codec::{Reader, Writer};
+use fortress_net::codec::{CodecError, Reader, Writer};
+use fortress_net::wire::WireKind;
+use fortress_obf::scheme::ExploitPayload;
 use fortress_replication::message::{decode_signature, encode_signature, SignedReply};
 
 use crate::error::FortressError;
@@ -26,9 +28,9 @@ pub struct ClientRequest {
 }
 
 impl ClientRequest {
-    /// Encodes for transport.
+    /// Encodes for transport: [`WireKind::ClientRequest`] tag, then body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::tagged(0x10);
+        let mut w = Writer::tagged(WireKind::ClientRequest.tag());
         w.put_u64(self.seq).put_str(&self.client).put_bytes(&self.op);
         w.finish()
     }
@@ -39,22 +41,64 @@ impl ClientRequest {
     ///
     /// Returns [`FortressError::Codec`] for malformed bytes.
     pub fn decode(bytes: &[u8]) -> Result<ClientRequest, FortressError> {
+        Ok(ClientRequestRef::decode(bytes)
+            .map_err(FortressError::Codec)?
+            .to_owned())
+    }
+}
+
+/// A borrowed decode view of a [`ClientRequest`]: `client` and `op`
+/// point into the wire frame. The exploit-probe hot path sniffs
+/// [`ClientRequestRef::exploit`] on the borrowed `op` and never copies
+/// the buffer unless the request turns out benign and must be handed to
+/// a replication engine (via [`ClientRequestRef::to_owned`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClientRequestRef<'a> {
+    /// Client-chosen request sequence number.
+    pub seq: u64,
+    /// Requesting client's name.
+    pub client: &'a str,
+    /// Service operation (possibly carrying an exploit).
+    pub op: &'a [u8],
+}
+
+impl<'a> ClientRequestRef<'a> {
+    /// Zero-copy decode of a client-request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for malformed bytes.
+    pub fn decode(bytes: &'a [u8]) -> Result<ClientRequestRef<'a>, CodecError> {
         let mut r = Reader::new(bytes);
         let tag = r.u8("creq.tag")?;
-        if tag != 0x10 {
-            return Err(fortress_net::codec::CodecError::BadTag {
+        if tag != WireKind::ClientRequest.tag() {
+            return Err(CodecError::BadTag {
                 message: "ClientRequest",
                 tag,
-            }
-            .into());
+            });
         }
-        let out = ClientRequest {
+        let out = ClientRequestRef {
             seq: r.u64("creq.seq")?,
-            client: r.str("creq.client")?,
-            op: r.bytes("creq.op")?,
+            client: r.str_ref("creq.client")?,
+            op: r.bytes_ref("creq.op")?,
         };
         r.expect_end()?;
         Ok(out)
+    }
+
+    /// The exploit embedded in `op`, if any — allocation-free sniffing on
+    /// the borrowed slice (what servers do to every arriving request).
+    pub fn exploit(&self) -> Option<ExploitPayload> {
+        ExploitPayload::from_bytes(self.op)
+    }
+
+    /// Materializes the owned [`ClientRequest`].
+    pub fn to_owned(&self) -> ClientRequest {
+        ClientRequest {
+            seq: self.seq,
+            client: self.client.to_owned(),
+            op: self.op.to_vec(),
+        }
     }
 }
 
@@ -113,9 +157,9 @@ impl ProxyResponse {
         Ok(())
     }
 
-    /// Encodes for transport.
+    /// Encodes for transport: [`WireKind::ProxyResponse`] tag, then body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::tagged(0x11);
+        let mut w = Writer::tagged(WireKind::ProxyResponse.tag());
         w.put_bytes(&self.reply.encode());
         encode_signature(&mut w, &self.proxy_sig);
         w.finish()
@@ -127,17 +171,22 @@ impl ProxyResponse {
     ///
     /// Returns [`FortressError::Codec`] for malformed bytes.
     pub fn decode(bytes: &[u8]) -> Result<ProxyResponse, FortressError> {
+        ProxyResponse::decode_frame(bytes).map_err(FortressError::Codec)
+    }
+
+    /// [`ProxyResponse::decode`] with the raw [`CodecError`] — what the
+    /// envelope dispatcher consumes.
+    pub(crate) fn decode_frame(bytes: &[u8]) -> Result<ProxyResponse, CodecError> {
         let mut r = Reader::new(bytes);
         let tag = r.u8("presp.tag")?;
-        if tag != 0x11 {
-            return Err(fortress_net::codec::CodecError::BadTag {
+        if tag != WireKind::ProxyResponse.tag() {
+            return Err(CodecError::BadTag {
                 message: "ProxyResponse",
                 tag,
-            }
-            .into());
+            });
         }
-        let reply_bytes = r.bytes("presp.reply")?;
-        let reply = SignedReply::decode(&reply_bytes)?;
+        let reply_bytes = r.bytes_ref("presp.reply")?;
+        let reply = fortress_replication::message::SignedReplyRef::decode(reply_bytes)?.to_owned();
         let proxy_sig = decode_signature(&mut r)?;
         r.expect_end()?;
         Ok(ProxyResponse { reply, proxy_sig })

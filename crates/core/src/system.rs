@@ -21,6 +21,28 @@
 //! client endpoints, proxy addresses, direct server addresses for 1-tier
 //! classes, plus `submit_via_proxy` which *requires* the proxy to be
 //! compromised (the launch-pad path of §3).
+//!
+//! # Transport genericity
+//!
+//! [`Stack`] is generic over the [`Transport`] it runs on, defaulting to
+//! the deterministic [`SimNet`] (what every Monte-Carlo trial uses).
+//! [`Stack::with_transport`] assembles the same system over any other
+//! backend — the `failover` example drives a stack over
+//! [`ThreadNet`](fortress_net::threaded::ThreadNet) while other threads
+//! inject load. The drive loop ([`Stack::pump`]) is written purely
+//! against the trait: batched [`Transport::drain_into`] with one reused
+//! scratch buffer, [`Transport::broadcast`] over address lists cached at
+//! assembly, and [`Transport::step`] for delivery progress.
+//!
+//! # Payload routing
+//!
+//! Every delivered payload is classified **once** through the typed
+//! [`WireMsg`] envelope and routed by a single `match` — there are no
+//! ordered try-decode chains. Frames that decode as no registered kind
+//! are counted per endpoint ([`Stack::malformed_at`]) and in the
+//! transport's [`NetStats::malformed`](fortress_net::NetStats) instead of
+//! being silently dropped: an adversary throwing corrupted bytes is an
+//! *event*, not noise.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,14 +51,14 @@ use bytes::Bytes;
 use fortress_crypto::sig::Signer;
 use fortress_crypto::KeyAuthority;
 use fortress_net::addr::Addr;
-use fortress_net::event::NetEvent;
+use fortress_net::event::{NetEvent, NetStats};
 use fortress_net::sim::{SimConfig, SimNet};
+use fortress_net::transport::Transport;
 use fortress_obf::daemon::ForkingDaemon;
 use fortress_obf::keys::KeySpace;
 use fortress_obf::process::ProbeOutcome;
 use fortress_obf::schedule::{KeyAssignment, ObfuscationPolicy, Rerandomizer};
-use fortress_obf::scheme::{ExploitPayload, Scheme};
-use fortress_replication::message::SignedReply;
+use fortress_obf::scheme::Scheme;
 use fortress_replication::pb::{PbConfig, PbInput, PbOutput, PbReplica};
 use fortress_replication::service::KvStore;
 use fortress_replication::smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica};
@@ -46,6 +68,7 @@ use crate::messages::ClientRequest;
 use crate::nameserver::{NameServer, ReplicationType};
 use crate::probelog::SuspicionPolicy;
 use crate::proxy::{Proxy, ProxyInput, ProxyOutput};
+use crate::wire::WireMsg;
 
 /// Which system class to assemble.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -121,6 +144,10 @@ struct PbNode {
     addr: Addr,
     daemon: ForkingDaemon,
     engine: PbReplica<KvStore>,
+    /// Machine-level outage injected via [`Stack::take_down_server`]: the
+    /// node neither ticks nor serves until brought back up (distinct from
+    /// a child-process crash, which the forking daemon heals instantly).
+    down: bool,
 }
 
 struct SmrNode {
@@ -129,10 +156,11 @@ struct SmrNode {
     engine: SmrReplica<KvStore>,
 }
 
-/// A fully wired S0/S1/S2 deployment over [`SimNet`].
-pub struct Stack {
+/// A fully wired S0/S1/S2 deployment over a [`Transport`] (the
+/// deterministic [`SimNet`] by default). See the [module docs](self).
+pub struct Stack<T: Transport = SimNet> {
     cfg: StackConfig,
-    net: SimNet,
+    net: T,
     authority: Arc<KeyAuthority>,
     ns: NameServer,
     rng: rand::rngs::StdRng,
@@ -144,22 +172,45 @@ pub struct Stack {
     server_rr: Rerandomizer,
     step: u64,
     suspects: Vec<String>,
+    /// Proxy-tier addresses, cached at assembly for broadcast dispatch.
+    proxy_targets: Vec<Addr>,
+    /// Server-tier addresses (PB or SMR per class), cached at assembly.
+    server_targets: Vec<Addr>,
+    /// Reused event buffer for the pump loop (no per-round allocation).
+    scratch: Vec<NetEvent>,
+    /// Malformed deliveries per endpoint address.
+    malformed: HashMap<Addr, u64>,
 }
 
-impl Stack {
-    /// Assembles a stack.
+impl Stack<SimNet> {
+    /// Assembles a stack over a fresh deterministic [`SimNet`] seeded
+    /// from the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`FortressError`] when any component rejects the
     /// configuration (e.g. an inconsistent name-server topology).
-    pub fn new(cfg: StackConfig) -> Result<Stack, FortressError> {
+    pub fn new(cfg: StackConfig) -> Result<Stack<SimNet>, FortressError> {
+        Stack::with_transport(
+            cfg,
+            SimNet::new(SimConfig {
+                seed: cfg.seed ^ 0x5eed,
+                ..SimConfig::default()
+            }),
+        )
+    }
+}
+
+impl<T: Transport> Stack<T> {
+    /// Assembles a stack over an existing transport — the generic
+    /// constructor the threaded examples use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stack::new`].
+    pub fn with_transport(cfg: StackConfig, mut net: T) -> Result<Stack<T>, FortressError> {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-        let mut net = SimNet::new(SimConfig {
-            seed: cfg.seed ^ 0x5eed,
-            ..SimConfig::default()
-        });
         let authority = Arc::new(KeyAuthority::with_seed(cfg.seed ^ 0xca11));
         let space = KeySpace::from_entropy_bits(cfg.entropy_bits);
 
@@ -257,10 +308,20 @@ impl Stack {
                         addr,
                         daemon: ForkingDaemon::boot(name, cfg.scheme, server_keys[i]),
                         engine,
+                        down: false,
                     });
                 }
             }
         }
+
+        // Address lists are fixed at assembly; cache them once so the
+        // dispatch hot paths broadcast over slices instead of
+        // re-collecting target vectors per call.
+        let proxy_targets: Vec<Addr> = proxies.iter().map(|p| p.addr).collect();
+        let server_targets: Vec<Addr> = match cfg.class {
+            SystemClass::S0Smr => smr_servers.iter().map(|s| s.addr).collect(),
+            _ => pb_servers.iter().map(|s| s.addr).collect(),
+        };
 
         Ok(Stack {
             cfg,
@@ -276,6 +337,10 @@ impl Stack {
             server_rr,
             step: 0,
             suspects: Vec::new(),
+            proxy_targets,
+            server_targets,
+            scratch: Vec::new(),
+            malformed: HashMap::new(),
         })
     }
 
@@ -312,14 +377,69 @@ impl Stack {
     }
 
     /// The network's logical clock (ticks; one tick per hop at the default
-    /// fixed latency). Useful for hop-count/latency measurements.
+    /// fixed latency; 0 on transports without one). Useful for
+    /// hop-count/latency measurements.
     pub fn network_now(&self) -> u64 {
         self.net.now()
+    }
+
+    /// Takes PB server `i` off the network entirely (machine outage, not
+    /// a child-process crash): connected peers observe the closure, and
+    /// the node neither ticks nor serves until
+    /// [`Stack::bring_up_server`]. This is the availability fault the
+    /// PB failover protocol exists for — see `examples/failover.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for S0 (use the SMR view-change machinery) or an
+    /// out-of-range index.
+    pub fn take_down_server(&mut self, i: usize) {
+        assert!(
+            self.cfg.class != SystemClass::S0Smr,
+            "take_down_server models PB-tier outages (S1/S2)"
+        );
+        let addr = self.pb_servers[i].addr;
+        self.pb_servers[i].down = true;
+        self.net.crash(addr);
+    }
+
+    /// Brings a downed PB server back online with a clean connection
+    /// table (state catch-up is the protocol's job, not the network's).
+    pub fn bring_up_server(&mut self, i: usize) {
+        let addr = self.pb_servers[i].addr;
+        self.net.restart(addr);
+        self.pb_servers[i].down = false;
+    }
+
+    /// Whether PB server `i` is currently taken down.
+    pub fn server_is_down(&self, i: usize) -> bool {
+        self.pb_servers[i].down
     }
 
     /// Sources the proxy tier has flagged.
     pub fn suspects(&self) -> &[String] {
         &self.suspects
+    }
+
+    /// Transport counters (including the malformed-delivery total).
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Malformed deliveries recorded at `addr` — the per-endpoint view of
+    /// what used to be silently swallowed by the decode chain.
+    pub fn malformed_at(&self, addr: Addr) -> u64 {
+        self.malformed.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Malformed deliveries across all endpoints.
+    pub fn malformed_total(&self) -> u64 {
+        self.malformed.values().sum()
+    }
+
+    fn record_malformed(&mut self, at: Addr) {
+        *self.malformed.entry(at).or_insert(0) += 1;
+        self.net.note_malformed();
     }
 
     /// The key space in use.
@@ -336,17 +456,14 @@ impl Stack {
 
     /// Addresses of the proxy tier (published by the NS).
     pub fn proxy_addrs(&self) -> Vec<Addr> {
-        self.proxies.iter().map(|p| p.addr).collect()
+        self.proxy_targets.clone()
     }
 
     /// Addresses of the server tier. Published only for 1-tier classes; in
     /// S2 clients know server *indices*, not addresses — but even a leaked
     /// address is useless because servers drop non-proxy traffic.
     pub fn server_addrs(&self) -> Vec<Addr> {
-        match self.cfg.class {
-            SystemClass::S0Smr => self.smr_servers.iter().map(|s| s.addr).collect(),
-            _ => self.pb_servers.iter().map(|s| s.addr).collect(),
-        }
+        self.server_targets.clone()
     }
 
     /// Oracle access for the evaluation harness: the server group's current
@@ -385,13 +502,11 @@ impl Stack {
     pub fn submit(&mut self, client: &str, req: &ClientRequest) {
         let from = *self.clients.get(client).expect("client not registered");
         let payload = Bytes::from(req.encode());
-        let targets: Vec<Addr> = match self.cfg.class {
-            SystemClass::S2Fortress => self.proxy_addrs(),
-            _ => self.server_addrs(),
+        let targets = match self.cfg.class {
+            SystemClass::S2Fortress => &self.proxy_targets,
+            _ => &self.server_targets,
         };
-        for t in targets {
-            self.net.send(from, t, payload.clone());
-        }
+        self.net.broadcast(from, targets, payload);
     }
 
     /// Sends raw bytes from `client` to an arbitrary address (the attacker
@@ -403,6 +518,18 @@ impl Stack {
     pub fn send_raw(&mut self, client: &str, to: Addr, bytes: Vec<u8>) {
         let from = *self.clients.get(client).expect("client not registered");
         self.net.send(from, to, Bytes::from(bytes));
+    }
+
+    /// Sends the same raw bytes from `client` to every target, encoding
+    /// into a shared buffer once — the broadcast-probe hot path (an
+    /// attacker hammering the whole proxy tier with one guess).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered.
+    pub fn broadcast_raw(&mut self, client: &str, to: &[Addr], bytes: Vec<u8>) {
+        let from = *self.clients.get(client).expect("client not registered");
+        self.net.broadcast(from, to, Bytes::from(bytes));
     }
 
     /// Launch-pad path: submit a request to the servers *from* proxy `i`.
@@ -419,16 +546,15 @@ impl Stack {
         );
         let from = self.proxies[proxy_index].addr;
         let payload = Bytes::from(req.encode());
-        let targets: Vec<Addr> = self.pb_servers.iter().map(|s| s.addr).collect();
-        for t in targets {
-            self.net.send(from, t, payload.clone());
-        }
+        self.net.broadcast(from, &self.server_targets, payload);
     }
 
     /// Drains network events pending at a client endpoint.
     pub fn drain_client(&mut self, client: &str) -> Vec<NetEvent> {
         let addr = *self.clients.get(client).expect("client not registered");
-        self.net.drain(addr)
+        let mut out = Vec::new();
+        self.net.drain_into(addr, &mut out);
+        out
     }
 
     /// Drains events at a compromised proxy (the attacker reads its inbox).
@@ -442,43 +568,62 @@ impl Stack {
             "only a compromised proxy leaks its inbox"
         );
         let addr = self.proxies[proxy_index].addr;
-        self.net.drain(addr)
+        let mut out = Vec::new();
+        self.net.drain_into(addr, &mut out);
+        out
     }
 
     /// Delivers all in-flight traffic, running node logic until quiescence.
     pub fn pump(&mut self) {
         loop {
             let worked = self.process_all_inboxes();
-            let advanced = self.net.advance();
+            let advanced = self.net.step();
             if !worked && !advanced {
                 break;
             }
         }
     }
 
+    /// Batch-drains every node inbox through one reused scratch buffer
+    /// and dispatches each event through the [`WireMsg`] envelope.
     fn process_all_inboxes(&mut self) -> bool {
         let mut worked = false;
+        // Take the scratch buffer so handlers may borrow `self` freely;
+        // its capacity is given back (and kept) at the end.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.proxies.len() {
-            let events = self.net.drain(self.proxies[i].addr);
-            for ev in events {
+            scratch.clear();
+            self.net.drain_into(self.proxies[i].addr, &mut scratch);
+            for ev in scratch.drain(..) {
                 worked = true;
                 self.handle_proxy_event(i, ev);
             }
         }
         for i in 0..self.pb_servers.len() {
-            let events = self.net.drain(self.pb_servers[i].addr);
-            for ev in events {
+            scratch.clear();
+            self.net.drain_into(self.pb_servers[i].addr, &mut scratch);
+            if self.pb_servers[i].down {
+                // A downed machine consumes nothing; events already
+                // dead-letter at the transport, this only covers a race
+                // with take_down.
+                scratch.clear();
+                continue;
+            }
+            for ev in scratch.drain(..) {
                 worked = true;
                 self.handle_pb_event(i, ev);
             }
         }
         for i in 0..self.smr_servers.len() {
-            let events = self.net.drain(self.smr_servers[i].addr);
-            for ev in events {
+            scratch.clear();
+            self.net.drain_into(self.smr_servers[i].addr, &mut scratch);
+            for ev in scratch.drain(..) {
                 worked = true;
                 self.handle_smr_event(i, ev);
             }
         }
+        scratch.clear();
+        self.scratch = scratch;
         worked
     }
 
@@ -493,6 +638,10 @@ impl Stack {
         self.proxies.iter().position(|p| p.addr == addr)
     }
 
+    /// Proxy endpoint dispatch — one [`WireMsg`] decode, one `match`.
+    /// Proxies handle client requests, server replies and raw exploit
+    /// probes; every other frame (well-formed but not proxy-facing, or
+    /// undecodable) is recorded as malformed at this endpoint.
     fn handle_proxy_event(&mut self, i: usize, ev: NetEvent) {
         match ev {
             NetEvent::ConnectionClosed { peer, .. } => {
@@ -508,33 +657,47 @@ impl Stack {
                     // The attacker holds this proxy; it serves no one.
                     return;
                 }
-                if let Some(exploit) = ExploitPayload::from_bytes(&payload) {
-                    let addr = self.proxies[i].addr;
-                    match self.proxies[i].daemon.deliver_exploit(exploit) {
-                        ProbeOutcome::Crashed => {
-                            // Peers see the closure; the forking daemon has
-                            // already brought up a fresh same-key child.
-                            self.net.crash(addr);
-                            self.net.restart(addr);
+                match WireMsg::decode(&payload) {
+                    WireMsg::Exploit(exploit) => {
+                        let addr = self.proxies[i].addr;
+                        match self.proxies[i].daemon.deliver_exploit(exploit) {
+                            ProbeOutcome::Crashed => {
+                                // Peers see the closure; the forking daemon
+                                // has already brought up a fresh same-key
+                                // child.
+                                self.net.crash(addr);
+                                self.net.restart(addr);
+                            }
+                            ProbeOutcome::Compromised
+                            | ProbeOutcome::Benign
+                            | ProbeOutcome::Unserved => {}
                         }
-                        ProbeOutcome::Compromised | ProbeOutcome::Benign
-                        | ProbeOutcome::Unserved => {}
                     }
-                    return;
-                }
-                self.proxies[i].daemon.deliver_benign();
-                if let Ok(req) = ClientRequest::decode(&payload) {
-                    let outs = self.proxies[i]
-                        .engine
-                        .on_input(ProxyInput::ClientRequest(req));
-                    self.dispatch_proxy_outputs(i, outs);
-                } else if let Ok(reply) = SignedReply::decode(&payload) {
-                    let server_index = reply.reply.server_index as usize;
-                    let outs = self.proxies[i].engine.on_input(ProxyInput::ServerReply {
-                        server_index,
-                        reply,
-                    });
-                    self.dispatch_proxy_outputs(i, outs);
+                    WireMsg::ClientRequest(req) => {
+                        self.proxies[i].daemon.deliver_benign();
+                        let outs = self.proxies[i]
+                            .engine
+                            .on_input(ProxyInput::ClientRequest(req.to_owned()));
+                        self.dispatch_proxy_outputs(i, outs);
+                    }
+                    WireMsg::SignedReply(reply) => {
+                        self.proxies[i].daemon.deliver_benign();
+                        let server_index = reply.server_index as usize;
+                        let reply = reply.to_owned();
+                        let outs = self.proxies[i].engine.on_input(ProxyInput::ServerReply {
+                            server_index,
+                            reply,
+                        });
+                        self.dispatch_proxy_outputs(i, outs);
+                    }
+                    WireMsg::ProxyResponse(_) | WireMsg::Pb(_) | WireMsg::Smr(_) => {
+                        // Decodable, but not part of the proxy's interface:
+                        // observably rejected rather than silently eaten.
+                        self.record_malformed(self.proxies[i].addr);
+                    }
+                    WireMsg::Malformed(_) => {
+                        self.record_malformed(self.proxies[i].addr);
+                    }
                 }
             }
         }
@@ -545,12 +708,10 @@ impl Stack {
         for out in outs {
             match out {
                 ProxyOutput::ForwardToServers(req) => {
+                    // Encode once; the transport shares the buffer across
+                    // the cached server targets.
                     let payload = Bytes::from(req.encode());
-                    let targets: Vec<Addr> =
-                        self.pb_servers.iter().map(|s| s.addr).collect();
-                    for t in targets {
-                        self.net.send(from, t, payload.clone());
-                    }
+                    self.net.broadcast(from, &self.server_targets, payload);
                 }
                 ProxyOutput::ToClient { client, response } => {
                     if let Some(addr) = self.clients.get(&client) {
@@ -566,6 +727,9 @@ impl Stack {
         }
     }
 
+    /// PB server dispatch. The exploit-probe hot path never copies the
+    /// request: the borrowed [`WireMsg::ClientRequest`] view is sniffed
+    /// in place and only benign requests are materialized for the engine.
     fn handle_pb_event(&mut self, i: usize, ev: NetEvent) {
         let NetEvent::Message { from, payload, .. } = ev else {
             return;
@@ -580,28 +744,43 @@ impl Stack {
         if self.pb_servers[i].daemon.is_compromised() {
             return;
         }
-        if let Ok(req) = ClientRequest::decode(&payload) {
-            if let Some(exploit) = ExploitPayload::from_bytes(&req.op) {
-                let addr = self.pb_servers[i].addr;
-                if self.pb_servers[i].daemon.deliver_exploit(exploit) == ProbeOutcome::Crashed {
-                    self.net.crash(addr);
-                    self.net.restart(addr);
+        match WireMsg::decode(&payload) {
+            WireMsg::ClientRequest(req) => {
+                if let Some(exploit) = req.exploit() {
+                    let addr = self.pb_servers[i].addr;
+                    if self.pb_servers[i].daemon.deliver_exploit(exploit) == ProbeOutcome::Crashed
+                    {
+                        self.net.crash(addr);
+                        self.net.restart(addr);
+                    }
+                    return;
                 }
-                return;
-            }
-            self.pb_servers[i].daemon.deliver_benign();
-            let outs = self.pb_servers[i].engine.on_input(PbInput::Request {
-                seq: req.seq,
-                client: req.client,
-                op: req.op,
-            });
-            self.dispatch_pb_outputs(i, outs);
-        } else if let Some(sender) = self.server_index_by_addr(from) {
-            if let Ok(msg) = fortress_replication::message::PbMsg::decode(&payload) {
-                let outs = self.pb_servers[i]
-                    .engine
-                    .on_input(PbInput::ReplicaMsg { from: sender, msg });
+                self.pb_servers[i].daemon.deliver_benign();
+                let outs = self.pb_servers[i].engine.on_input(PbInput::Request {
+                    seq: req.seq,
+                    client: req.client.to_owned(),
+                    op: req.op.to_vec(),
+                });
                 self.dispatch_pb_outputs(i, outs);
+            }
+            WireMsg::Pb(msg) => {
+                // Replica traffic is accepted only from group members.
+                if let Some(sender) = self.server_index_by_addr(from) {
+                    let outs = self.pb_servers[i]
+                        .engine
+                        .on_input(PbInput::ReplicaMsg { from: sender, msg });
+                    self.dispatch_pb_outputs(i, outs);
+                }
+            }
+            WireMsg::SignedReply(_) | WireMsg::ProxyResponse(_) | WireMsg::Smr(_)
+            | WireMsg::Exploit(_) => {
+                // Not part of a PB server's interface (raw exploits must
+                // arrive wrapped in a request op to reach the vulnerable
+                // parser): observably rejected.
+                self.record_malformed(self.pb_servers[i].addr);
+            }
+            WireMsg::Malformed(_) => {
+                self.record_malformed(self.pb_servers[i].addr);
             }
         }
     }
@@ -611,31 +790,21 @@ impl Stack {
         for out in outs {
             match out {
                 PbOutput::Broadcast(msg) => {
+                    // `broadcast` skips `from` itself, so the cached full
+                    // group list is the right target slice.
                     let payload = Bytes::from(msg.encode());
-                    let targets: Vec<Addr> = self
-                        .pb_servers
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != i)
-                        .map(|(_, s)| s.addr)
-                        .collect();
-                    for t in targets {
-                        self.net.send(from, t, payload.clone());
-                    }
+                    self.net.broadcast(from, &self.server_targets, payload);
                 }
                 PbOutput::Reply(reply) => {
                     let payload = Bytes::from(reply.encode());
                     match self.cfg.class {
                         SystemClass::S2Fortress => {
                             // "returns the signed response to every proxy"
-                            let targets = self.proxy_addrs();
-                            for t in targets {
-                                self.net.send(from, t, payload.clone());
-                            }
+                            self.net.broadcast(from, &self.proxy_targets, payload);
                         }
                         _ => {
                             if let Some(addr) = self.clients.get(&reply.reply.client) {
-                                self.net.send(from, *addr, payload.clone());
+                                self.net.send(from, *addr, payload);
                             }
                         }
                     }
@@ -644,6 +813,7 @@ impl Stack {
         }
     }
 
+    /// SMR replica dispatch — same single-match shape as the PB path.
     fn handle_smr_event(&mut self, i: usize, ev: NetEvent) {
         let NetEvent::Message { from, payload, .. } = ev else {
             return;
@@ -651,28 +821,40 @@ impl Stack {
         if self.smr_servers[i].daemon.is_compromised() {
             return;
         }
-        if let Ok(req) = ClientRequest::decode(&payload) {
-            if let Some(exploit) = ExploitPayload::from_bytes(&req.op) {
-                let addr = self.smr_servers[i].addr;
-                if self.smr_servers[i].daemon.deliver_exploit(exploit) == ProbeOutcome::Crashed {
-                    self.net.crash(addr);
-                    self.net.restart(addr);
+        match WireMsg::decode(&payload) {
+            WireMsg::ClientRequest(req) => {
+                if let Some(exploit) = req.exploit() {
+                    let addr = self.smr_servers[i].addr;
+                    if self.smr_servers[i].daemon.deliver_exploit(exploit)
+                        == ProbeOutcome::Crashed
+                    {
+                        self.net.crash(addr);
+                        self.net.restart(addr);
+                    }
+                    return;
                 }
-                return;
-            }
-            self.smr_servers[i].daemon.deliver_benign();
-            let outs = self.smr_servers[i].engine.on_input(SmrInput::Request {
-                seq: req.seq,
-                client: req.client,
-                op: req.op,
-            });
-            self.dispatch_smr_outputs(i, outs);
-        } else if let Some(sender) = self.server_index_by_addr(from) {
-            if let Ok(msg) = fortress_replication::message::SmrMsg::decode(&payload) {
-                let outs = self.smr_servers[i]
-                    .engine
-                    .on_input(SmrInput::ReplicaMsg { from: sender, msg });
+                self.smr_servers[i].daemon.deliver_benign();
+                let outs = self.smr_servers[i].engine.on_input(SmrInput::Request {
+                    seq: req.seq,
+                    client: req.client.to_owned(),
+                    op: req.op.to_vec(),
+                });
                 self.dispatch_smr_outputs(i, outs);
+            }
+            WireMsg::Smr(msg) => {
+                if let Some(sender) = self.server_index_by_addr(from) {
+                    let outs = self.smr_servers[i]
+                        .engine
+                        .on_input(SmrInput::ReplicaMsg { from: sender, msg });
+                    self.dispatch_smr_outputs(i, outs);
+                }
+            }
+            WireMsg::SignedReply(_) | WireMsg::ProxyResponse(_) | WireMsg::Pb(_)
+            | WireMsg::Exploit(_) => {
+                self.record_malformed(self.smr_servers[i].addr);
+            }
+            WireMsg::Malformed(_) => {
+                self.record_malformed(self.smr_servers[i].addr);
             }
         }
     }
@@ -683,16 +865,7 @@ impl Stack {
             match out {
                 SmrOutput::Broadcast(msg) => {
                     let payload = Bytes::from(msg.encode());
-                    let targets: Vec<Addr> = self
-                        .smr_servers
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != i)
-                        .map(|(_, s)| s.addr)
-                        .collect();
-                    for t in targets {
-                        self.net.send(from, t, payload.clone());
-                    }
+                    self.net.broadcast(from, &self.server_targets, payload);
                 }
                 SmrOutput::ToReplica(to, msg) => {
                     let addr = self.smr_servers[to].addr;
@@ -769,7 +942,7 @@ impl Stack {
             self.dispatch_proxy_outputs(i, outs);
         }
         for i in 0..self.pb_servers.len() {
-            if self.pb_servers[i].daemon.is_compromised() {
+            if self.pb_servers[i].daemon.is_compromised() || self.pb_servers[i].down {
                 continue;
             }
             let outs = self.pb_servers[i].engine.on_input(PbInput::Tick { now });
@@ -825,6 +998,7 @@ mod tests {
     use crate::client::{AcceptMode, DirectClient, FortressClient};
     use crate::messages::ProxyResponse;
     use fortress_obf::keys::RandomizationKey;
+    use fortress_replication::message::SignedReply;
 
     fn exploit_request(seq: u64, client: &str, scheme: Scheme, guess: RandomizationKey) -> ClientRequest {
         ClientRequest {
@@ -1122,6 +1296,121 @@ mod tests {
             ..StackConfig::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn garbage_probe_is_counted_not_swallowed() {
+        let mut stack = Stack::new(StackConfig {
+            seed: 29,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("fuzzer");
+        let proxy = stack.proxy_addrs()[0];
+        assert_eq!(stack.malformed_total(), 0);
+        // Unregistered tag byte.
+        stack.send_raw("fuzzer", proxy, vec![0x7f, 1, 2, 3]);
+        // Registered kind, truncated body.
+        let mut truncated = ClientRequest {
+            seq: 1,
+            client: "fuzzer".into(),
+            op: b"GET k".to_vec(),
+        }
+        .encode();
+        truncated.truncate(truncated.len() - 3);
+        stack.send_raw("fuzzer", proxy, truncated);
+        stack.pump();
+        assert_eq!(stack.malformed_at(proxy), 2, "both frames observed");
+        assert_eq!(stack.malformed_total(), 2);
+        assert_eq!(stack.net_stats().malformed, 2);
+        // The garbage neither compromised nor crashed anything.
+        assert!(!stack.is_compromised());
+        assert_eq!(stack.server_restarts(), 0);
+    }
+
+    #[test]
+    fn s2_round_trip_runs_generically_on_threadnet() {
+        // The same assembly + drive loop, compiled against ThreadNet:
+        // the Transport trait is what makes this a one-liner, not a port.
+        let net = fortress_net::threaded::ThreadNet::new();
+        let mut stack = Stack::with_transport(StackConfig::default(), net).unwrap();
+        stack.add_client("alice");
+        let mut client = FortressClient::new("alice", stack.authority(), stack.ns().clone());
+        let req = client.request(b"PUT color teal");
+        stack.submit("alice", &req);
+        stack.pump();
+        let mut accepted = None;
+        for ev in stack.drain_client("alice") {
+            if let Some(payload) = ev.payload() {
+                let resp = ProxyResponse::decode(payload).unwrap();
+                if let Some(got) = client.on_response(&resp).unwrap() {
+                    accepted = Some(got);
+                }
+            }
+        }
+        assert_eq!(accepted, Some((1, b"OK".to_vec())));
+        // Probing works over the trait too: a wrong-key exploit crashes
+        // the shared-key servers and the closure is observable.
+        let wrong = RandomizationKey(stack.server_keys()[0].0 ^ 1);
+        let probe = exploit_request(2, "alice", Scheme::Aslr, wrong);
+        stack.submit("alice", &probe);
+        stack.pump();
+        // Each of the 3 proxies forwards one copy to each of the 3
+        // shared-key servers: 9 child crashes, all healed by the daemons.
+        assert_eq!(stack.server_restarts(), 9);
+        assert!(!stack.is_compromised());
+    }
+
+    #[test]
+    fn pb_failover_survives_a_downed_primary() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            policy: ObfuscationPolicy::StartupOnly,
+            seed: 41,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("alice");
+        let mut alice = DirectClient::new(
+            "alice",
+            stack.authority(),
+            stack.ns().servers().to_vec(),
+            AcceptMode::AnyAuthentic,
+        );
+        let accept = |stack: &mut Stack, alice: &mut DirectClient| {
+            let mut got = None;
+            for ev in stack.drain_client("alice") {
+                if let Some(payload) = ev.payload() {
+                    if let WireMsg::SignedReply(reply) = WireMsg::decode(payload) {
+                        if let Some(ok) = alice.on_reply(&reply.to_owned()) {
+                            got = Some(ok);
+                        }
+                    }
+                }
+            }
+            got
+        };
+        let req = alice.request(b"PUT leader replica-0");
+        stack.submit("alice", &req);
+        stack.pump();
+        assert!(accept(&mut stack, &mut alice).is_some());
+
+        // The primary's machine goes down; heartbeat silence promotes a
+        // backup within the failover timeout (default 20 steps).
+        stack.take_down_server(0);
+        assert!(stack.server_is_down(0));
+        for _ in 0..25 {
+            stack.end_step();
+        }
+        let req = alice.request(b"GET leader");
+        stack.submit("alice", &req);
+        stack.pump();
+        let (_, body) = accept(&mut stack, &mut alice).expect("a backup must take over");
+        assert_eq!(
+            body, b"VALUE replica-0",
+            "state written under the old primary survived"
+        );
+        assert!(!stack.is_compromised(), "an outage is not an intrusion");
     }
 
     #[test]

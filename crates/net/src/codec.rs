@@ -207,11 +207,21 @@ impl<'a> Reader<'a> {
     /// [`CodecError::BadLength`] when the prefix exceeds the remaining
     /// buffer; [`CodecError::UnexpectedEnd`] when truncated.
     pub fn bytes(&mut self, field: &'static str) -> Result<Vec<u8>, CodecError> {
+        Ok(self.bytes_ref(field)?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte string as a **borrowed** slice of the
+    /// input — the zero-copy form the hot decode paths use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Reader::bytes`].
+    pub fn bytes_ref(&mut self, field: &'static str) -> Result<&'a [u8], CodecError> {
         let len = self.u32(field)? as usize;
         if len > self.remaining() {
             return Err(CodecError::BadLength { field, len });
         }
-        Ok(self.take(len, field)?.to_vec())
+        self.take(len, field)
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -220,8 +230,17 @@ impl<'a> Reader<'a> {
     ///
     /// As for [`Reader::bytes`], plus [`CodecError::BadUtf8`].
     pub fn str(&mut self, field: &'static str) -> Result<String, CodecError> {
-        let raw = self.bytes(field)?;
-        String::from_utf8(raw).map_err(|_| CodecError::BadUtf8 { field })
+        Ok(self.str_ref(field)?.to_owned())
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a **borrowed** `&str`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Reader::str`].
+    pub fn str_ref(&mut self, field: &'static str) -> Result<&'a str, CodecError> {
+        let raw = self.bytes_ref(field)?;
+        std::str::from_utf8(raw).map_err(|_| CodecError::BadUtf8 { field })
     }
 }
 

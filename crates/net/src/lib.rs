@@ -1,41 +1,83 @@
-//! Simulated network substrate for the FORTRESS protocol stack.
+//! Network substrate for the FORTRESS protocol stack: two transports
+//! behind one explicit interface, and the wire-tag registry every message
+//! family encodes against.
 //!
-//! De-randomization attacks (paper §2.1–2.2) hinge on a network-level side
-//! channel: "a process crash at the target machine results in the closure of
-//! the TCP connection that the attacker has with the child server process"
-//! (Shacham et al., Sovarel et al.). This crate reproduces exactly that
-//! observable:
+//! # The [`Transport`] interface
 //!
-//! * [`sim`] — [`sim::SimNet`], a deterministic logical-time network: seeded
-//!   latency sampling, message drops, partitions, crash/restart of endpoints
-//!   with **`ConnectionClosed` events to every connected peer**.
-//! * [`threaded`] — [`threaded::ThreadNet`], a crossbeam-channel runtime with
-//!   the same event vocabulary, used by the runnable examples.
-//! * [`addr`] / [`event`] — addresses, envelopes and the event vocabulary
-//!   shared by both transports.
+//! Protocol drive loops are written against the object-safe
+//! [`transport::Transport`] trait — endpoints ([`Transport::register`]),
+//! framed delivery ([`Transport::send`] /
+//! [`Transport::broadcast`]), batched inbox draining
+//! ([`Transport::drain_into`], which appends into a caller-reused
+//! buffer), crash semantics ([`Transport::crash`] / [`Transport::restart`])
+//! and counters ([`Transport::stats`]). Two backends implement it:
 //!
-//! Protocol engines in `fortress-replication` and `fortress-core` are
-//! written sans-I/O (they consume [`event::NetEvent`]s and emit outbound
-//! messages), so the same engine runs deterministically under `SimNet` in
-//! tests and multi-threaded under `ThreadNet` in the examples.
+//! * [`sim::SimNet`] — a deterministic logical-time network: seeded
+//!   latency sampling, message drops, partitions, and crash/restart of
+//!   endpoints with **`ConnectionClosed` events to every connected
+//!   peer**.
+//! * [`threaded::ThreadNet`] — a crossbeam-channel runtime with the same
+//!   semantics over real threads, used by the runnable examples.
+//!
+//! The crash observable is the point: de-randomization attacks (paper
+//! §2.1–2.2) hinge on "a process crash at the target machine results in
+//! the closure of the TCP connection that the attacker has with the child
+//! server process" (Shacham et al., Sovarel et al.). Both backends
+//! reproduce exactly that side channel, so the same sans-I/O engine runs
+//! deterministically under `SimNet` in tests and multi-threaded under
+//! `ThreadNet` in the examples — `Transport` is what makes that a
+//! guarantee instead of a convention.
+//!
+//! # The [`WireKind`] registry
+//!
+//! Every framed payload starts with one tag byte from [`wire::WireKind`].
+//! Receivers classify a frame once ([`WireKind::classify`]) and run
+//! exactly one family decoder; undecodable bytes are reported back via
+//! [`Transport::note_malformed`] and show up in
+//! [`event::NetStats::malformed`] instead of vanishing. The *typed*
+//! envelope over the registry (`WireMsg`, with a variant per kind plus an
+//! explicit `Malformed` outcome) lives in `fortress_core::wire`, where
+//! the payload types are in scope.
+//!
+//! [`Transport::register`]: transport::Transport::register
+//! [`Transport::send`]: transport::Transport::send
+//! [`Transport::broadcast`]: transport::Transport::broadcast
+//! [`Transport::drain_into`]: transport::Transport::drain_into
+//! [`Transport::crash`]: transport::Transport::crash
+//! [`Transport::restart`]: transport::Transport::restart
+//! [`Transport::stats`]: transport::Transport::stats
+//! [`Transport::note_malformed`]: transport::Transport::note_malformed
+//! [`WireKind::classify`]: wire::WireKind::classify
 //!
 //! # Example
 //!
+//! One function, both transports:
+//!
 //! ```
+//! use fortress_net::transport::Transport;
 //! use fortress_net::sim::{SimConfig, SimNet};
+//! use fortress_net::threaded::ThreadNet;
 //! use fortress_net::event::NetEvent;
 //! use bytes::Bytes;
 //!
-//! let mut net = SimNet::new(SimConfig::default());
-//! let a = net.register("attacker");
-//! let s = net.register("server");
-//! net.send(a, s, Bytes::from_static(b"probe"));
-//! net.run_until_quiet();
-//! assert!(matches!(net.recv(s), Some(NetEvent::Message { from, .. }) if from == a));
+//! fn probe_and_observe<T: Transport>(net: &mut T) -> Vec<NetEvent> {
+//!     let attacker = net.register("attacker");
+//!     let server = net.register("server");
+//!     net.send(attacker, server, Bytes::from_static(b"probe"));
+//!     while net.step() {}
+//!     // The server process crashes; the attacker observes the closure.
+//!     net.crash(server);
+//!     let mut seen = Vec::new();
+//!     net.drain_into(attacker, &mut seen);
+//!     seen
+//! }
 //!
-//! // The server process crashes; the attacker observes the closed connection.
-//! net.crash(s);
-//! assert!(matches!(net.recv(a), Some(NetEvent::ConnectionClosed { peer, .. }) if peer == s));
+//! for events in [
+//!     probe_and_observe(&mut SimNet::new(SimConfig::default())),
+//!     probe_and_observe(&mut ThreadNet::new()),
+//! ] {
+//!     assert!(events.iter().any(NetEvent::is_closure));
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,8 +88,12 @@ pub mod codec;
 pub mod event;
 pub mod sim;
 pub mod threaded;
+pub mod transport;
+pub mod wire;
 
 pub use addr::Addr;
-pub use event::NetEvent;
+pub use event::{NetEvent, NetStats};
 pub use sim::{Latency, SimConfig, SimNet};
 pub use threaded::{NetHandle, ThreadNet};
+pub use transport::Transport;
+pub use wire::WireKind;

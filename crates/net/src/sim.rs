@@ -232,6 +232,12 @@ impl SimNet {
         self.endpoints[addr.raw() as usize].inbox.drain(..).collect()
     }
 
+    /// Appends all pending events at `addr` to `out` — the batched,
+    /// allocation-reusing form of [`SimNet::drain`] the pump loops use.
+    pub fn drain_into(&mut self, addr: Addr, out: &mut Vec<NetEvent>) {
+        out.extend(self.endpoints[addr.raw() as usize].inbox.drain(..));
+    }
+
     /// Number of pending events at `addr`.
     pub fn pending(&self, addr: Addr) -> usize {
         self.endpoints[addr.raw() as usize].inbox.len()
@@ -302,6 +308,46 @@ impl SimNet {
             self.stats.closures += 1;
         }
         self.endpoints[to.raw() as usize].inbox.push_back(event);
+    }
+}
+
+impl crate::transport::Transport for SimNet {
+    fn register(&mut self, name: &str) -> Addr {
+        SimNet::register(self, name)
+    }
+
+    fn send(&mut self, from: Addr, to: Addr, payload: Bytes) {
+        SimNet::send(self, from, to, payload);
+    }
+
+    fn drain_into(&mut self, at: Addr, out: &mut Vec<NetEvent>) {
+        SimNet::drain_into(self, at, out);
+    }
+
+    /// One [`SimNet::advance`]: delivers everything due at the next
+    /// logical instant.
+    fn step(&mut self) -> bool {
+        self.advance()
+    }
+
+    fn crash(&mut self, addr: Addr) {
+        SimNet::crash(self, addr);
+    }
+
+    fn restart(&mut self, addr: Addr) {
+        SimNet::restart(self, addr);
+    }
+
+    fn note_malformed(&mut self) {
+        self.stats.malformed += 1;
+    }
+
+    fn stats(&self) -> NetStats {
+        SimNet::stats(self)
+    }
+
+    fn now(&self) -> u64 {
+        SimNet::now(self)
     }
 }
 

@@ -1,9 +1,15 @@
 //! Multi-threaded transport over crossbeam channels.
 //!
-//! [`ThreadNet`] offers the same event vocabulary as the simulator but with
-//! real threads: each registered endpoint gets a [`NetHandle`] that can be
-//! moved into its own thread. Used by the runnable examples, where proxies,
-//! servers and clients live on separate threads.
+//! [`ThreadNet`] implements the same [`Transport`] interface as the
+//! simulator but with real threads. Endpoints come in two flavors:
+//!
+//! * [`ThreadNet::register`] returns a [`NetHandle`] owning the inbox
+//!   receiver, which can be moved into its own thread — the classic
+//!   one-thread-per-node examples.
+//! * [`Transport::register`] keeps the receiver inside the bus, so a
+//!   single-threaded drive loop (e.g. a generic `Stack<ThreadNet>`) can
+//!   batch-drain any endpoint via [`Transport::drain_into`] while other
+//!   threads keep sending.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,18 +17,23 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::addr::Addr;
-use crate::event::NetEvent;
+use crate::event::{NetEvent, NetStats};
+use crate::transport::Transport;
 
 #[derive(Debug)]
 struct Registry {
     names: Vec<String>,
     senders: Vec<Sender<NetEvent>>,
+    /// Inbox receivers the bus retained (trait-registered endpoints);
+    /// `None` where a [`NetHandle`] owns the receiver instead.
+    receivers: Vec<Option<Mutex<Receiver<NetEvent>>>>,
     crashed: Vec<bool>,
     /// Connection table: pairs that have exchanged messages.
     connections: Vec<Vec<Addr>>,
+    stats: NetStats,
 }
 
 /// A thread-safe message bus with crash/closure semantics.
@@ -52,14 +63,27 @@ impl ThreadNet {
             registry: Arc::new(RwLock::new(Registry {
                 names: Vec::new(),
                 senders: Vec::new(),
+                receivers: Vec::new(),
                 crashed: Vec::new(),
                 connections: Vec::new(),
+                stats: NetStats::default(),
             })),
         }
     }
 
     /// Registers a named endpoint, returning its handle (receiver included).
     pub fn register(&self, name: &str) -> NetHandle {
+        let (addr, rx) = self.register_endpoint(name, false);
+        NetHandle {
+            addr,
+            rx: rx.expect("receiver kept by the handle"),
+            net: self.clone(),
+        }
+    }
+
+    /// Shared registration: `retain` keeps the receiver in the bus (for
+    /// [`Transport::drain_into`]), otherwise it is returned to the caller.
+    fn register_endpoint(&self, name: &str, retain: bool) -> (Addr, Option<Receiver<NetEvent>>) {
         let (tx, rx) = unbounded();
         let mut reg = self.registry.write();
         let addr = Addr::from_raw(reg.names.len() as u32);
@@ -67,11 +91,18 @@ impl ThreadNet {
         reg.senders.push(tx);
         reg.crashed.push(false);
         reg.connections.push(Vec::new());
-        NetHandle {
-            addr,
-            rx,
-            net: self.clone(),
+        if retain {
+            reg.receivers.push(Some(Mutex::new(rx)));
+            (addr, None)
+        } else {
+            reg.receivers.push(None);
+            (addr, Some(rx))
         }
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> NetStats {
+        self.registry.read().stats
     }
 
     /// The name an endpoint registered under.
@@ -81,6 +112,14 @@ impl ThreadNet {
 
     /// Marks `addr` crashed and notifies connected peers with
     /// [`NetEvent::ConnectionClosed`].
+    ///
+    /// Queued-but-unread traffic is discarded for bus-retained endpoints
+    /// ([`Transport::register`]), matching the simulator's
+    /// crash-loses-the-inbox semantics. For [`NetHandle`] endpoints the
+    /// handle *is* the process's inbox — it lives on the endpoint's own
+    /// thread, so already-queued events stay readable there (like bytes a
+    /// TCP client read into userspace before its peer died); the handle's
+    /// owner decides what a crash means for them.
     pub fn crash(&self, addr: Addr) {
         let mut reg = self.registry.write();
         let idx = addr.raw() as usize;
@@ -90,11 +129,19 @@ impl ThreadNet {
         reg.crashed[idx] = true;
         let peers = std::mem::take(&mut reg.connections[idx]);
         for peer in peers {
-            let _ = reg.senders[peer.raw() as usize].send(NetEvent::ConnectionClosed {
-                peer: addr,
-                at: 0,
-            });
+            if reg.senders[peer.raw() as usize]
+                .send(NetEvent::ConnectionClosed { peer: addr, at: 0 })
+                .is_ok()
+            {
+                reg.stats.closures += 1;
+            }
             reg.connections[peer.raw() as usize].retain(|p| *p != addr);
+        }
+        // Drain the crashed endpoint's retained inbox: its process state
+        // (and with it any queued traffic) is gone, matching the simulator.
+        if let Some(rx) = &reg.receivers[idx] {
+            let rx = rx.lock();
+            while rx.try_recv().is_ok() {}
         }
     }
 
@@ -113,12 +160,16 @@ impl ThreadNet {
 
     fn send_from(&self, from: Addr, to: Addr, payload: Bytes) {
         let mut reg = self.registry.write();
+        reg.stats.sent += 1;
         let to_idx = to.raw() as usize;
         if reg.crashed[to_idx] {
-            let _ = reg.senders[from.raw() as usize].send(NetEvent::ConnectionClosed {
-                peer: to,
-                at: 0,
-            });
+            reg.stats.dead_lettered += 1;
+            if reg.senders[from.raw() as usize]
+                .send(NetEvent::ConnectionClosed { peer: to, at: 0 })
+                .is_ok()
+            {
+                reg.stats.closures += 1;
+            }
             return;
         }
         if !reg.connections[to_idx].contains(&from) {
@@ -128,11 +179,54 @@ impl ThreadNet {
         if !reg.connections[from_idx].contains(&to) {
             reg.connections[from_idx].push(to);
         }
-        let _ = reg.senders[to_idx].send(NetEvent::Message {
-            from,
-            payload,
-            at: 0,
-        });
+        if reg.senders[to_idx]
+            .send(NetEvent::Message { from, payload, at: 0 })
+            .is_ok()
+        {
+            reg.stats.delivered += 1;
+        }
+    }
+}
+
+impl Transport for ThreadNet {
+    /// Registers an endpoint whose inbox stays inside the bus, so the
+    /// drive loop can batch-drain it with [`Transport::drain_into`].
+    fn register(&mut self, name: &str) -> Addr {
+        self.register_endpoint(name, true).0
+    }
+
+    fn send(&mut self, from: Addr, to: Addr, payload: Bytes) {
+        self.send_from(from, to, payload);
+    }
+
+    /// Appends everything currently queued at `at`. Panics if `at` was
+    /// registered via [`ThreadNet::register`] (its [`NetHandle`] owns the
+    /// receiver) — an assembly bug, not a runtime condition.
+    fn drain_into(&mut self, at: Addr, out: &mut Vec<NetEvent>) {
+        let reg = self.registry.read();
+        let rx = reg.receivers[at.raw() as usize]
+            .as_ref()
+            .expect("endpoint's receiver is owned by a NetHandle, not the bus")
+            .lock();
+        while let Ok(ev) = rx.try_recv() {
+            out.push(ev);
+        }
+    }
+
+    fn crash(&mut self, addr: Addr) {
+        ThreadNet::crash(self, addr);
+    }
+
+    fn restart(&mut self, addr: Addr) {
+        ThreadNet::restart(self, addr);
+    }
+
+    fn note_malformed(&mut self) {
+        self.registry.write().stats.malformed += 1;
+    }
+
+    fn stats(&self) -> NetStats {
+        ThreadNet::stats(self)
     }
 }
 

@@ -1,0 +1,137 @@
+//! The transport abstraction both network backends implement.
+//!
+//! [`Transport`] is the **explicit interface** between protocol drive
+//! loops (e.g. `fortress_core::system::Stack`) and the two backends:
+//! the deterministic logical-time [`SimNet`](crate::sim::SimNet) and the
+//! multi-threaded [`ThreadNet`](crate::threaded::ThreadNet). The trait is
+//! object-safe and deliberately small — endpoints, framed byte delivery,
+//! crash/restart with observable connection closure, and counters. A
+//! drive loop written against `T: Transport` runs unchanged on the
+//! simulator in tests and on real threads in the examples.
+//!
+//! Hot-path contract:
+//!
+//! * [`Transport::drain_into`] **appends** into a caller-owned buffer, so
+//!   a pump loop reuses one `Vec<NetEvent>` allocation across rounds
+//!   instead of collecting a fresh vector per endpoint per round.
+//! * [`Transport::broadcast`] takes one encoded [`Bytes`] payload and a
+//!   pre-built target slice: the payload is encoded once and shared
+//!   (cheap `Bytes` clones) across all targets, and the target list can
+//!   be cached by the caller instead of re-collected per call.
+
+use bytes::Bytes;
+
+use crate::addr::Addr;
+use crate::event::{NetEvent, NetStats};
+
+/// A message transport with crash-observable endpoints. See the
+/// [module docs](self) for the contract.
+pub trait Transport {
+    /// Registers a named endpoint and returns its address.
+    fn register(&mut self, name: &str) -> Addr;
+
+    /// Sends one framed payload from `from` to `to`.
+    fn send(&mut self, from: Addr, to: Addr, payload: Bytes);
+
+    /// Sends one payload to every target except `from` itself, sharing
+    /// the payload buffer across targets (no re-encode, no deep copies).
+    fn broadcast(&mut self, from: Addr, targets: &[Addr], payload: Bytes) {
+        for &to in targets {
+            if to != from {
+                self.send(from, to, payload.clone());
+            }
+        }
+    }
+
+    /// Appends every event pending at `at` to `out` (which the caller
+    /// clears and reuses across pump rounds).
+    fn drain_into(&mut self, at: Addr, out: &mut Vec<NetEvent>);
+
+    /// Makes delivery progress: advances logical time on the simulator
+    /// (returning `true` while traffic is in flight), a no-op returning
+    /// `false` on transports that deliver eagerly.
+    fn step(&mut self) -> bool {
+        false
+    }
+
+    /// Crashes the endpoint: its inbox is lost and every connected peer
+    /// observes a [`NetEvent::ConnectionClosed`].
+    fn crash(&mut self, addr: Addr);
+
+    /// Restarts a crashed endpoint with a clean connection table.
+    fn restart(&mut self, addr: Addr);
+
+    /// Records that a delivered payload failed envelope decoding — the
+    /// consumer (which is the only party that can tell) reports it here
+    /// so [`NetStats::malformed`] observes what used to vanish.
+    fn note_malformed(&mut self);
+
+    /// Transport counters.
+    fn stats(&self) -> NetStats;
+
+    /// The transport's logical clock (0 where there is none).
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, SimNet};
+    use crate::threaded::ThreadNet;
+
+    /// The point of the trait: one drive loop, both backends.
+    fn round_trip<T: Transport>(net: &mut T) -> Vec<NetEvent> {
+        let a = net.register("a");
+        let b = net.register("b");
+        let c = net.register("c");
+        net.broadcast(a, &[a, b, c], Bytes::from_static(b"ping"));
+        while net.step() {}
+        let mut out = Vec::new();
+        net.drain_into(b, &mut out);
+        net.drain_into(c, &mut out);
+        // Broadcast skipped the sender itself.
+        net.drain_into(a, &mut out);
+        out
+    }
+
+    #[test]
+    fn generic_round_trip_on_both_backends() {
+        let mut sim = SimNet::new(SimConfig::default());
+        let got = round_trip(&mut sim);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|e| e.payload().unwrap().as_ref() == b"ping"));
+
+        let mut threaded = ThreadNet::new();
+        let got = round_trip(&mut threaded);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|e| e.payload().unwrap().as_ref() == b"ping"));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut nets: Vec<Box<dyn Transport>> = vec![
+            Box::new(SimNet::new(SimConfig::default())),
+            Box::new(ThreadNet::new()),
+        ];
+        for net in &mut nets {
+            let a = net.register("a");
+            let b = net.register("b");
+            net.send(a, b, Bytes::from_static(b"x"));
+            while net.step() {}
+            let mut out = Vec::new();
+            net.drain_into(b, &mut out);
+            assert_eq!(out.len(), 1);
+            assert_eq!(net.stats().delivered, 1);
+        }
+    }
+
+    #[test]
+    fn malformed_counter_is_caller_reported() {
+        let mut net = SimNet::new(SimConfig::default());
+        assert_eq!(net.stats().malformed, 0);
+        Transport::note_malformed(&mut net);
+        assert_eq!(net.stats().malformed, 1);
+    }
+}

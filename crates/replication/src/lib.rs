@@ -46,7 +46,7 @@ pub mod smr;
 pub mod state_transfer;
 
 pub use error::ReplicationError;
-pub use message::{PbMsg, ReplyBody, SignedReply, SmrMsg};
+pub use message::{PbMsg, ReplyBody, SignedReply, SignedReplyRef, SmrMsg};
 pub use pb::{PbConfig, PbInput, PbOutput, PbReplica};
 pub use service::{KvStore, Service, TicketedKv};
 pub use smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica};

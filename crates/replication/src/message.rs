@@ -3,15 +3,29 @@
 //!
 //! All formats are hand-encoded with the bounds-checked codec from
 //! `fortress-net`; decoding untrusted bytes returns errors rather than
-//! panicking. Every message type has an exhaustive round-trip test.
+//! panicking. Every frame's first byte is its family's
+//! [`WireKind`] tag ([`WireKind::SignedReply`], [`WireKind::Pb`],
+//! [`WireKind::Smr`]), so receivers route with one tag dispatch instead
+//! of trying decoders in order. Every message type has an exhaustive
+//! round-trip test.
 
 use fortress_crypto::keys::KeyId;
 use fortress_crypto::sha256::Digest;
 use fortress_crypto::sig::{Signature, Signer};
 use fortress_crypto::KeyAuthority;
 use fortress_net::codec::{CodecError, Reader, Writer};
+use fortress_net::wire::WireKind;
 
 use crate::error::ReplicationError;
+
+/// Checks a frame's leading tag byte against the family's [`WireKind`].
+fn expect_kind(r: &mut Reader<'_>, kind: WireKind, message: &'static str) -> Result<(), CodecError> {
+    let tag = r.u8("wire.tag")?;
+    if tag != kind.tag() {
+        return Err(CodecError::BadTag { message, tag });
+    }
+    Ok(())
+}
 
 /// The response a server produces for one client request.
 ///
@@ -67,9 +81,10 @@ impl SignedReply {
         )
     }
 
-    /// Encodes for transport.
+    /// Encodes for transport (and for the proxy's over-signature, which
+    /// covers exactly these bytes).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::tagged(WireKind::SignedReply.tag());
         w.put_u64(self.reply.request_seq)
             .put_str(&self.reply.client)
             .put_bytes(&self.reply.body)
@@ -84,16 +99,74 @@ impl SignedReply {
     ///
     /// Returns [`ReplicationError::Codec`] for malformed bytes.
     pub fn decode(bytes: &[u8]) -> Result<SignedReply, ReplicationError> {
+        Ok(SignedReplyRef::decode(bytes)?.to_owned())
+    }
+}
+
+/// A borrowed decode view of a [`SignedReply`]: `client`, `body` and the
+/// signature fields point into the wire frame, so routing decisions
+/// (which server index? worth over-signing?) cost no allocation. Call
+/// [`SignedReplyRef::to_owned`] only on the frames that are kept.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SignedReplyRef<'a> {
+    /// The client-chosen request sequence number this answers.
+    pub request_seq: u64,
+    /// The requesting client's name.
+    pub client: &'a str,
+    /// Response payload.
+    pub body: &'a [u8],
+    /// Index of the responding server.
+    pub server_index: u32,
+    /// The signing server's principal name.
+    pub signer: &'a str,
+    /// The signing key's id.
+    pub key_id: KeyId,
+    /// The 32-byte signature tag (length enforced by the type, so
+    /// [`SignedReplyRef::to_owned`] cannot fail).
+    pub sig_tag: &'a [u8; 32],
+}
+
+impl<'a> SignedReplyRef<'a> {
+    /// Zero-copy decode of a full signed-reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for malformed bytes.
+    pub fn decode(bytes: &'a [u8]) -> Result<SignedReplyRef<'a>, CodecError> {
         let mut r = Reader::new(bytes);
-        let reply = ReplyBody {
-            request_seq: r.u64("reply.request_seq")?,
-            client: r.str("reply.client")?,
-            body: r.bytes("reply.body")?,
-            server_index: r.u32("reply.server_index")?,
-        };
-        let signature = decode_signature(&mut r)?;
+        expect_kind(&mut r, WireKind::SignedReply, "SignedReply")?;
+        let request_seq = r.u64("reply.request_seq")?;
+        let client = r.str_ref("reply.client")?;
+        let body = r.bytes_ref("reply.body")?;
+        let server_index = r.u32("reply.server_index")?;
+        let (signer, key_id, sig_tag) = decode_signature_ref(&mut r)?;
         r.expect_end()?;
-        Ok(SignedReply { reply, signature })
+        Ok(SignedReplyRef {
+            request_seq,
+            client,
+            body,
+            server_index,
+            signer,
+            key_id,
+            sig_tag,
+        })
+    }
+
+    /// Materializes the owned [`SignedReply`].
+    pub fn to_owned(&self) -> SignedReply {
+        SignedReply {
+            reply: ReplyBody {
+                request_seq: self.request_seq,
+                client: self.client.to_owned(),
+                body: self.body.to_vec(),
+                server_index: self.server_index,
+            },
+            signature: Signature::from_parts(
+                self.signer.to_owned(),
+                self.key_id,
+                Digest(*self.sig_tag),
+            ),
+        }
     }
 }
 
@@ -108,19 +181,30 @@ pub fn encode_signature(w: &mut Writer, sig: &Signature) {
 ///
 /// # Errors
 ///
-/// Returns [`ReplicationError::Codec`] for malformed bytes.
-pub fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, ReplicationError> {
-    let signer = r.str("sig.signer")?;
+/// Returns [`CodecError`] for malformed bytes.
+pub fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, CodecError> {
+    let (signer, key_id, tag) = decode_signature_ref(r)?;
+    Ok(Signature::from_parts(signer.to_owned(), key_id, Digest(*tag)))
+}
+
+/// Borrowed signature decode — the single definition of the signature
+/// wire layout, shared by [`decode_signature`] and the zero-copy reply
+/// view.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for malformed bytes.
+pub fn decode_signature_ref<'a>(
+    r: &mut Reader<'a>,
+) -> Result<(&'a str, KeyId, &'a [u8; 32]), CodecError> {
+    let signer = r.str_ref("sig.signer")?;
     let key_id = KeyId(r.u64("sig.key_id")?);
-    let tag_bytes = r.bytes("sig.tag")?;
-    let tag: [u8; 32] = tag_bytes
-        .as_slice()
-        .try_into()
-        .map_err(|_| CodecError::BadLength {
-            field: "sig.tag",
-            len: tag_bytes.len(),
-        })?;
-    Ok(Signature::from_parts(signer, key_id, Digest(tag)))
+    let raw = r.bytes_ref("sig.tag")?;
+    let tag: &[u8; 32] = raw.try_into().map_err(|_| CodecError::BadLength {
+        field: "sig.tag",
+        len: raw.len(),
+    })?;
+    Ok((signer, key_id, tag))
 }
 
 /// Messages of the primary-backup protocol.
@@ -166,12 +250,20 @@ pub enum PbMsg {
     },
 }
 
+/// Starts a sub-tagged frame: the family's [`WireKind`] tag byte, then
+/// the variant's sub-tag.
+fn family_writer(kind: WireKind, sub: u8) -> Writer {
+    let mut w = Writer::tagged(kind.tag());
+    w.put_u8(sub);
+    w
+}
+
 impl PbMsg {
-    /// Encodes for transport.
+    /// Encodes for transport: [`WireKind::Pb`] tag, variant sub-tag, body.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             PbMsg::Request { seq, client, op } => {
-                let mut w = Writer::tagged(0);
+                let mut w = family_writer(WireKind::Pb, 0);
                 w.put_u64(*seq).put_str(client).put_bytes(op);
                 w.finish()
             }
@@ -183,7 +275,7 @@ impl PbMsg {
                 response,
                 delta,
             } => {
-                let mut w = Writer::tagged(1);
+                let mut w = family_writer(WireKind::Pb, 1);
                 w.put_u64(*view)
                     .put_u64(*seq)
                     .put_u64(*request_seq)
@@ -193,12 +285,12 @@ impl PbMsg {
                 w.finish()
             }
             PbMsg::Heartbeat { view, seq } => {
-                let mut w = Writer::tagged(2);
+                let mut w = family_writer(WireKind::Pb, 2);
                 w.put_u64(*view).put_u64(*seq);
                 w.finish()
             }
             PbMsg::NewView { view, seq } => {
-                let mut w = Writer::tagged(3);
+                let mut w = family_writer(WireKind::Pb, 3);
                 w.put_u64(*view).put_u64(*seq);
                 w.finish()
             }
@@ -212,7 +304,8 @@ impl PbMsg {
     /// Returns [`ReplicationError::Codec`] for malformed bytes.
     pub fn decode(bytes: &[u8]) -> Result<PbMsg, ReplicationError> {
         let mut r = Reader::new(bytes);
-        let tag = r.u8("pb.tag")?;
+        expect_kind(&mut r, WireKind::Pb, "PbMsg")?;
+        let tag = r.u8("pb.subtag")?;
         let msg = match tag {
             0 => PbMsg::Request {
                 seq: r.u64("pb.seq")?,
@@ -322,11 +415,11 @@ pub enum SmrMsg {
 }
 
 impl SmrMsg {
-    /// Encodes for transport.
+    /// Encodes for transport: [`WireKind::Smr`] tag, variant sub-tag, body.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             SmrMsg::Request { seq, client, op } => {
-                let mut w = Writer::tagged(0);
+                let mut w = family_writer(WireKind::Smr, 0);
                 w.put_u64(*seq).put_str(client).put_bytes(op);
                 w.finish()
             }
@@ -337,7 +430,7 @@ impl SmrMsg {
                 client,
                 op,
             } => {
-                let mut w = Writer::tagged(1);
+                let mut w = family_writer(WireKind::Smr, 1);
                 w.put_u64(*view)
                     .put_u64(*seq)
                     .put_u64(*request_seq)
@@ -346,12 +439,12 @@ impl SmrMsg {
                 w.finish()
             }
             SmrMsg::Prepare { view, seq, digest } => {
-                let mut w = Writer::tagged(2);
+                let mut w = family_writer(WireKind::Smr, 2);
                 w.put_u64(*view).put_u64(*seq).put_bytes(&digest.0);
                 w.finish()
             }
             SmrMsg::Commit { view, seq, digest } => {
-                let mut w = Writer::tagged(3);
+                let mut w = family_writer(WireKind::Smr, 3);
                 w.put_u64(*view).put_u64(*seq).put_bytes(&digest.0);
                 w.finish()
             }
@@ -359,17 +452,17 @@ impl SmrMsg {
                 new_view,
                 last_exec,
             } => {
-                let mut w = Writer::tagged(4);
+                let mut w = family_writer(WireKind::Smr, 4);
                 w.put_u64(*new_view).put_u64(*last_exec);
                 w.finish()
             }
             SmrMsg::NewView { view, next_seq } => {
-                let mut w = Writer::tagged(5);
+                let mut w = family_writer(WireKind::Smr, 5);
                 w.put_u64(*view).put_u64(*next_seq);
                 w.finish()
             }
             SmrMsg::SnapshotRequest { last_exec } => {
-                let mut w = Writer::tagged(6);
+                let mut w = family_writer(WireKind::Smr, 6);
                 w.put_u64(*last_exec);
                 w.finish()
             }
@@ -378,7 +471,7 @@ impl SmrMsg {
                 digest,
                 snapshot,
             } => {
-                let mut w = Writer::tagged(7);
+                let mut w = family_writer(WireKind::Smr, 7);
                 w.put_u64(*seq).put_bytes(&digest.0).put_bytes(snapshot);
                 w.finish()
             }
@@ -392,7 +485,8 @@ impl SmrMsg {
     /// Returns [`ReplicationError::Codec`] for malformed bytes.
     pub fn decode(bytes: &[u8]) -> Result<SmrMsg, ReplicationError> {
         let mut r = Reader::new(bytes);
-        let tag = r.u8("smr.tag")?;
+        expect_kind(&mut r, WireKind::Smr, "SmrMsg")?;
+        let tag = r.u8("smr.subtag")?;
         let msg = match tag {
             0 => SmrMsg::Request {
                 seq: r.u64("smr.seq")?,
@@ -516,6 +610,7 @@ mod tests {
 
     #[test]
     fn bad_tags_rejected() {
+        // Family (wire-kind) tag flipped.
         let mut bytes = PbMsg::Heartbeat { view: 0, seq: 0 }.encode();
         bytes[0] = 99;
         assert!(matches!(
@@ -525,6 +620,28 @@ mod tests {
         let mut bytes = SmrMsg::NewView { view: 0, next_seq: 0 }.encode();
         bytes[0] = 99;
         assert!(SmrMsg::decode(&bytes).is_err());
+        // Variant sub-tag flipped.
+        let mut bytes = PbMsg::Heartbeat { view: 0, seq: 0 }.encode();
+        bytes[1] = 99;
+        assert!(matches!(
+            PbMsg::decode(&bytes),
+            Err(ReplicationError::Codec(CodecError::BadTag { .. }))
+        ));
+        let mut bytes = SmrMsg::NewView { view: 0, next_seq: 0 }.encode();
+        bytes[1] = 99;
+        assert!(SmrMsg::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_lead_with_their_wire_kind() {
+        assert_eq!(
+            PbMsg::Heartbeat { view: 0, seq: 0 }.encode()[0],
+            WireKind::Pb.tag()
+        );
+        assert_eq!(
+            SmrMsg::SnapshotRequest { last_exec: 0 }.encode()[0],
+            WireKind::Smr.tag()
+        );
     }
 
     #[test]
@@ -562,9 +679,36 @@ mod tests {
         };
         let signed = SignedReply::sign(reply, &signer);
         assert!(signed.verify(&authority));
-        let decoded = SignedReply::decode(&signed.encode()).unwrap();
+        let bytes = signed.encode();
+        assert_eq!(bytes[0], WireKind::SignedReply.tag());
+        let decoded = SignedReply::decode(&bytes).unwrap();
         assert_eq!(decoded, signed);
         assert!(decoded.verify(&authority));
+    }
+
+    #[test]
+    fn signed_reply_ref_borrows_and_matches_owned() {
+        let authority = KeyAuthority::with_seed(8);
+        let signer = Signer::register("s1-server-0", &authority);
+        let signed = SignedReply::sign(
+            ReplyBody {
+                request_seq: 4,
+                client: "alice".into(),
+                body: b"VALUE teal".to_vec(),
+                server_index: 2,
+            },
+            &signer,
+        );
+        let bytes = signed.encode();
+        let view = SignedReplyRef::decode(&bytes).unwrap();
+        assert_eq!(view.request_seq, 4);
+        assert_eq!(view.client, "alice");
+        assert_eq!(view.body, b"VALUE teal");
+        assert_eq!(view.server_index, 2);
+        assert_eq!(view.signer, "s1-server-0");
+        let owned = view.to_owned();
+        assert_eq!(owned, signed);
+        assert!(owned.verify(&authority));
     }
 
     #[test]

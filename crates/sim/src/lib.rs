@@ -55,5 +55,5 @@ pub use abstract_mc::AbstractModel;
 pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::sample_lifetime;
 pub use protocol_mc::ProtocolExperiment;
-pub use runner::{Runner, TrialBudget};
+pub use runner::{Runner, RunnerError, TrialBudget};
 pub use stats::{Estimate, RunningStats};

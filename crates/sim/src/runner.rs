@@ -41,10 +41,50 @@
 use crate::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+
+/// Distinguishes worker pools so nested-run detection can tell "running
+/// on *this* pool's worker" (deadlock-prone) from "running on some other
+/// pool's worker" (fine). Monotonic process-local ids; 0 is reserved for
+/// "not a pool worker".
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The id of the pool the current thread works for (0 outside pools).
+    static WORKER_OF_POOL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Why a run could not be executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum RunnerError {
+    /// [`Runner::run`] was called from inside one of this runner's own
+    /// pool workers (e.g. a campaign cell calling back into the pool).
+    /// Posting the nested job would have every worker waiting on workers
+    /// that no longer exist — a deadlock, not a slowdown. Restructure the
+    /// trial, or give the nested work its own `Runner` (a 1-thread runner
+    /// executes serially and is always safe to nest).
+    NestedPoolRun,
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::NestedPoolRun => write!(
+                f,
+                "Runner::run called from inside one of its own pool workers; \
+                 nested jobs on the same pool deadlock — use a separate Runner \
+                 (1-thread runners nest safely) or restructure the trial"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
 
 /// SplitMix64 finalizer — the single definition of the bit mixer behind
 /// both [`trial_seed`] and the campaign grids' content-derived cell
@@ -178,32 +218,39 @@ fn run_chunk(
 /// dumb — all scheduling intelligence (chunking, ordering, merging) lives
 /// in [`Runner`], so pooled and scoped execution share it.
 struct WorkerPool {
+    id: u64,
     sender: Option<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
     fn new(workers: usize) -> WorkerPool {
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let handles = (0..workers)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
-                std::thread::spawn(move || loop {
-                    // Hold the lock only for the dequeue, never for the work.
-                    let job = {
-                        let guard: std::sync::MutexGuard<'_, Receiver<Job>> =
-                            receiver.lock().unwrap_or_else(|e| e.into_inner());
-                        guard.recv()
-                    };
-                    match job {
-                        Ok(job) => job.work(),
-                        Err(_) => break, // queue closed: pool dropped
+                std::thread::spawn(move || {
+                    WORKER_OF_POOL.with(|w| w.set(id));
+                    loop {
+                        // Hold the lock only for the dequeue, never for
+                        // the work.
+                        let job = {
+                            let guard: std::sync::MutexGuard<'_, Receiver<Job>> =
+                                receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job.work(),
+                            Err(_) => break, // queue closed: pool dropped
+                        }
                     }
                 })
             })
             .collect();
         WorkerPool {
+            id,
             sender: Some(sender),
             handles,
         }
@@ -306,16 +353,50 @@ impl Runner {
     /// immutable state) — that is what makes the run schedule-independent.
     /// It must be `'static` because the pool's workers outlive the call;
     /// capture parameter structs by value (they are all `Copy` in this
-    /// workspace) rather than by reference. Do **not** call `run` from
-    /// inside a trial closure: nested jobs can starve the pool.
+    /// workspace) rather than by reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with [`RunnerError::NestedPoolRun`]'s message) when called
+    /// from inside one of this runner's own pool workers — the nested job
+    /// would deadlock the pool. Use [`Runner::try_run`] to handle the
+    /// condition instead of aborting.
     pub fn run<F>(&self, base_seed: u64, budget: TrialBudget, trial: F) -> RunningStats
     where
         F: Fn(u64, &mut SmallRng) -> f64 + Send + Sync + 'static,
     {
+        match self.try_run(base_seed, budget, trial) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Runner::run`] that surfaces pool-reentrancy as an error instead
+    /// of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`RunnerError::NestedPoolRun`] when called from inside one of this
+    /// runner's own pool workers (same pool — a *different* runner's pool,
+    /// or a 1-thread runner, nests fine).
+    pub fn try_run<F>(
+        &self,
+        base_seed: u64,
+        budget: TrialBudget,
+        trial: F,
+    ) -> Result<RunningStats, RunnerError>
+    where
+        F: Fn(u64, &mut SmallRng) -> f64 + Send + Sync + 'static,
+    {
+        if let Some(pool) = &self.pool {
+            if WORKER_OF_POOL.with(Cell::get) == pool.id {
+                return Err(RunnerError::NestedPoolRun);
+            }
+        }
         let trial: TrialFn = Arc::new(trial);
-        self.run_budget(budget, |start, end| {
+        Ok(self.run_budget(budget, |start, end| {
             self.run_range_pooled(base_seed, start, end, &trial)
-        })
+        }))
     }
 
     /// [`Runner::run`] executed with per-call scoped thread spawns — the
@@ -615,6 +696,52 @@ mod tests {
             |_, rng| rng.gen::<f64>() - 0.5,
         );
         assert_eq!(capped.n(), 500);
+    }
+
+    #[test]
+    fn nested_run_on_same_pool_is_a_clear_error() {
+        // Chunk 1 forces every trial onto the pool's workers, so the
+        // nested call below really executes inside a worker thread.
+        let runner = Runner::with_threads(2).with_chunk(1);
+        let inner = runner.clone();
+        let stats = runner.run(1, TrialBudget::Fixed(8), move |_, _| {
+            match inner.try_run(2, TrialBudget::Fixed(2), |_, rng| rng.gen::<f64>()) {
+                Err(RunnerError::NestedPoolRun) => 1.0,
+                Ok(_) => 0.0,
+            }
+        });
+        assert_eq!(stats.n(), 8);
+        assert_eq!(
+            stats.mean(),
+            1.0,
+            "every nested same-pool run must be detected"
+        );
+    }
+
+    #[test]
+    fn nested_run_on_a_separate_runner_is_fine() {
+        // A distinct pool (or a pool-less 1-thread runner) has idle
+        // workers to serve the nested job: nesting is safe and allowed.
+        let runner = Runner::with_threads(2).with_chunk(1);
+        let serial = Runner::with_threads(1);
+        let stats = runner.run(3, TrialBudget::Fixed(4), move |_, _| {
+            serial
+                .try_run(4, TrialBudget::Fixed(16), |_, rng| rng.gen::<f64>())
+                .expect("serial runners nest safely")
+                .mean()
+        });
+        assert_eq!(stats.n(), 4);
+        assert!(stats.mean() > 0.0 && stats.mean() < 1.0);
+    }
+
+    #[test]
+    fn try_run_outside_a_pool_matches_run() {
+        let runner = Runner::with_threads(2);
+        let a = runner
+            .try_run(9, TrialBudget::Fixed(1000), |_, rng| rng.gen::<f64>())
+            .unwrap();
+        let b = runner.run(9, TrialBudget::Fixed(1000), |_, rng| rng.gen::<f64>());
+        assert_eq!(a, b);
     }
 
     #[test]

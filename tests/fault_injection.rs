@@ -29,13 +29,16 @@ fn decoders_survive_fuzz_bytes() {
         let _ = ClientRequest::decode(&bytes);
         let _ = ProxyResponse::decode(&bytes);
         let _ = fortress::obf::scheme::ExploitPayload::from_bytes(&bytes);
+        // The envelope is total: garbage classifies, it never errors out.
+        let _ = fortress::core::wire::WireMsg::decode(&bytes);
     }
 }
 
-/// Unknown blobs delivered to live stacks are ignored without state
-/// changes or panics.
+/// Unknown blobs delivered to live stacks cause no state changes or
+/// panics — and, since the envelope redesign, they are *counted* per
+/// endpoint rather than silently swallowed.
 #[test]
-fn stacks_shrug_off_garbage_traffic() {
+fn stacks_shrug_off_garbage_traffic_and_count_it() {
     for class in [SystemClass::S0Smr, SystemClass::S1Pb, SystemClass::S2Fortress] {
         let mut stack = Stack::new(StackConfig {
             class,
@@ -46,12 +49,29 @@ fn stacks_shrug_off_garbage_traffic() {
         stack.add_client("fuzzer");
         let mut targets = stack.server_addrs();
         targets.extend(stack.proxy_addrs());
-        for (i, t) in targets.into_iter().enumerate() {
-            stack.send_raw("fuzzer", t, vec![i as u8; i + 1]);
+        let n_targets = targets.len() as u64;
+        for (i, t) in targets.iter().enumerate() {
+            stack.send_raw("fuzzer", *t, vec![i as u8; i + 1]);
         }
         stack.pump();
         assert!(!stack.is_compromised());
         assert_eq!(stack.server_restarts(), 0, "garbage is not an exploit");
+        // In S2, servers drop non-proxy traffic before decoding, so only
+        // the proxy tier records the garbage; 1-tier classes record it
+        // at every server.
+        let expect = match class {
+            SystemClass::S2Fortress => stack.proxy_addrs().len() as u64,
+            _ => n_targets,
+        };
+        assert_eq!(
+            stack.malformed_total(),
+            expect,
+            "{class:?}: garbage deliveries must be observable"
+        );
+        assert_eq!(stack.net_stats().malformed, expect);
+        for t in stack.proxy_addrs() {
+            assert_eq!(stack.malformed_at(t), 1, "{class:?}: per-endpoint count");
+        }
     }
 }
 
