@@ -31,6 +31,13 @@
 //!   current identity, discards that identity (re-registering as a fresh
 //!   source, as a botnet rotates exit addresses) and halves its rate,
 //!   converging down toward the policy's safe rate from above.
+//! * [`StrategyKind::SybilPaced`] — the Sybil gap in per-source
+//!   suspicion: `k` coordinated identities split one probe budget ω, each
+//!   paced below the per-source threshold, together sustaining up to
+//!   `min(k · safe_rate, ω)` indirect probes per step without any single
+//!   source ever being flagged. The identities share one key scanner
+//!   (coordinated: no guess is wasted twice), which is exactly what makes
+//!   a botnet stronger than `k` independent attackers.
 //!
 //! # Determinism contract
 //!
@@ -66,36 +73,103 @@ pub enum StrategyKind {
     Burst,
     /// Full rate, halved (with a fresh identity) after every detection.
     AdaptiveBackoff,
+    /// `identities` coordinated sources splitting one probe budget, each
+    /// paced below the per-source threshold.
+    SybilPaced {
+        /// Number of coordinated identities (0 is treated as 1).
+        identities: u8,
+    },
 }
 
 impl StrategyKind {
     /// Every strategy, in the canonical grid order.
-    pub const ALL: [StrategyKind; 4] = [
+    pub const ALL: [StrategyKind; 5] = [
         StrategyKind::PacedBelowThreshold,
         StrategyKind::ScanThenStrike,
         StrategyKind::Burst,
         StrategyKind::AdaptiveBackoff,
+        StrategyKind::SybilPaced { identities: 4 },
     ];
 
-    /// Stable human-readable label (used in reports and golden files).
+    /// Stable human-readable family label (used in reports and golden
+    /// files). Parameterized kinds share one family label — use
+    /// [`StrategyKind::display_label`] where cells differing in the
+    /// parameter must stay distinguishable.
     pub fn label(self) -> &'static str {
         match self {
             StrategyKind::PacedBelowThreshold => "paced",
             StrategyKind::ScanThenStrike => "scan_strike",
             StrategyKind::Burst => "burst",
             StrategyKind::AdaptiveBackoff => "adaptive",
+            StrategyKind::SybilPaced { .. } => "sybil",
+        }
+    }
+
+    /// Full display label, parameters included: two distinct kinds never
+    /// share a display label (`SybilPaced { identities: 4 }` renders as
+    /// `"sybil x4"`). The scenario sweep labels cells with this, so
+    /// sweeping the identity-count axis stays readable in reports and
+    /// unambiguous in golden comparators.
+    pub fn display_label(self) -> String {
+        match self {
+            StrategyKind::SybilPaced { identities } => format!("sybil x{identities}"),
+            other => other.label().to_string(),
         }
     }
 
     /// Stable numeric id — part of the campaign seeding contract (cell
     /// seeds mix this value, never a grid position, so reordering a
-    /// grid's strategy list cannot change any cell's trials).
+    /// grid's strategy list cannot change any cell's trials). Must be
+    /// pairwise distinct across every constructible kind (asserted by the
+    /// tests below): parameterized kinds fold their parameters into the
+    /// high bits so `SybilPaced { identities: 2 }` and `{ identities: 3 }`
+    /// are different cells with different seeds.
     pub fn id(self) -> u64 {
         match self {
             StrategyKind::PacedBelowThreshold => 1,
             StrategyKind::ScanThenStrike => 2,
             StrategyKind::Burst => 3,
             StrategyKind::AdaptiveBackoff => 4,
+            StrategyKind::SybilPaced { identities } => 5 | (u64::from(identities) << 8),
+        }
+    }
+
+    /// The per-identity indirect rate a [`StrategyKind::SybilPaced`]
+    /// attacker with `identities` sources runs at: the probe budget ω
+    /// split evenly, capped at the policy's per-source safe rate. One
+    /// definition, shared by the strategy and its property tests.
+    pub fn sybil_rate_per_identity(
+        suspicion: SuspicionPolicy,
+        omega: f64,
+        identities: u8,
+    ) -> f64 {
+        let k = f64::from(identities.max(1));
+        suspicion.max_safe_rate().min(omega.max(0.0) / k)
+    }
+
+    /// The indirect-attack coefficient κ this strategy's long-run
+    /// schedule realizes against `suspicion` at unconstrained rate
+    /// `omega` — `None` for strategies whose indirect stream is not a
+    /// steady rate (scan-then-strike sends nothing indirect; adaptive
+    /// backoff only converges toward the safe rate). This is what the
+    /// scenario layer's cross-check reads the abstract S2 model at.
+    pub fn indirect_kappa(self, suspicion: SuspicionPolicy, omega: f64) -> Option<f64> {
+        match self {
+            // Pacing and bursting realize the same long-run rate: the
+            // largest per-source rate that never fills a window.
+            StrategyKind::PacedBelowThreshold | StrategyKind::Burst => {
+                Some(suspicion.induced_kappa(omega))
+            }
+            StrategyKind::SybilPaced { identities } => {
+                if omega <= 0.0 {
+                    return Some(1.0);
+                }
+                let k = f64::from(identities.max(1));
+                let per_identity =
+                    StrategyKind::sybil_rate_per_identity(suspicion, omega, identities);
+                Some(((per_identity * k) / omega).min(1.0))
+            }
+            StrategyKind::ScanThenStrike | StrategyKind::AdaptiveBackoff => None,
         }
     }
 
@@ -124,6 +198,9 @@ impl StrategyKind {
             )),
             StrategyKind::AdaptiveBackoff => Box::new(AdaptiveBackoff::new(
                 stack, name, scheme, omega, suspicion, rng,
+            )),
+            StrategyKind::SybilPaced { identities } => Box::new(SybilPaced::new(
+                stack, name, scheme, omega, suspicion, identities, rng,
             )),
         }
     }
@@ -570,6 +647,102 @@ impl AdversaryStrategy for AdaptiveBackoff {
     }
 }
 
+/// [`StrategyKind::SybilPaced`]: `k` coordinated identities, each paced
+/// at `min(safe_rate, ω/k)`, sharing one server scanner so no guess is
+/// spent twice. Per-source accounting sees `k` independent slow sources;
+/// the servers see up to `min(k · safe_rate, ω)` probes per step.
+struct SybilPaced {
+    arsenal: Arsenal,
+    proxy_scanner: KeyScanner,
+    server_scanner: KeyScanner,
+    direct_pacer: Pacer,
+    pad_pacer: Pacer,
+    /// One `(name, pacer)` per coordinated identity. Pacers are stateful
+    /// (fractional credit), so each identity owns its own schedule.
+    identity_pacers: Vec<(String, Pacer)>,
+}
+
+impl SybilPaced {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        stack: &mut Stack,
+        name: &str,
+        scheme: Scheme,
+        omega: f64,
+        suspicion: SuspicionPolicy,
+        identities: u8,
+        rng: &mut StdRng,
+    ) -> SybilPaced {
+        let arsenal = Arsenal::new(stack, name, scheme);
+        let k = identities.max(1);
+        let per_identity = StrategyKind::sybil_rate_per_identity(suspicion, omega, identities);
+        let identity_pacers = (0..k)
+            .map(|j| {
+                let sybil = format!("{name}#{j}");
+                stack.add_client(&sybil);
+                (sybil, Pacer::with_rate(per_identity, omega))
+            })
+            .collect();
+        SybilPaced {
+            proxy_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            server_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            direct_pacer: Pacer::unconstrained(omega),
+            pad_pacer: Pacer::unconstrained(omega),
+            identity_pacers,
+            arsenal,
+        }
+    }
+}
+
+impl AdversaryStrategy for SybilPaced {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::SybilPaced {
+            identities: u8::try_from(self.identity_pacers.len()).unwrap_or(u8::MAX),
+        }
+    }
+
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+        let addrs = stack.proxy_addrs();
+        for _ in 0..self.direct_pacer.probes_this_step() {
+            self.arsenal
+                .probe_all_proxies(stack, &addrs, &mut self.proxy_scanner, rng);
+        }
+        // Take the identity list so each name can be borrowed across the
+        // arsenal calls without cloning it every step.
+        let mut identities = std::mem::take(&mut self.identity_pacers);
+        for (name, pacer) in &mut identities {
+            for _ in 0..pacer.probes_this_step() {
+                self.arsenal
+                    .probe_servers_indirect(stack, name, &mut self.server_scanner, rng);
+            }
+        }
+        self.identity_pacers = identities;
+        let pad = Arsenal::held_proxy(stack);
+        if let Some(pad) = pad {
+            for _ in 0..self.pad_pacer.probes_this_step() {
+                self.arsenal
+                    .probe_servers_from_pad(stack, pad, &mut self.server_scanner, rng);
+            }
+        }
+        let name = self.arsenal.name.clone();
+        self.arsenal.observe(stack, &name, pad);
+        let identities = std::mem::take(&mut self.identity_pacers);
+        for (identity, _) in &identities {
+            self.arsenal.observe(stack, identity, None);
+        }
+        self.identity_pacers = identities;
+    }
+
+    fn on_rerandomized(&mut self, rng: &mut StdRng) {
+        self.proxy_scanner.reset(rng);
+        self.server_scanner.reset(rng);
+    }
+
+    fn report(&self) -> AttackReport {
+        self.arsenal.report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,8 +800,12 @@ mod tests {
     }
 
     #[test]
-    fn paced_and_burst_are_never_flagged() {
-        for kind in [StrategyKind::PacedBelowThreshold, StrategyKind::Burst] {
+    fn paced_burst_and_sybil_are_never_flagged() {
+        for kind in [
+            StrategyKind::PacedBelowThreshold,
+            StrategyKind::Burst,
+            StrategyKind::SybilPaced { identities: 3 },
+        ] {
             let suspicion = SuspicionPolicy {
                 window: 16,
                 threshold: 4,
@@ -708,13 +885,101 @@ mod tests {
         );
     }
 
+    /// Content-derived cell seeds silently collide if two distinct
+    /// strategies share an id, so ids must be pairwise distinct across
+    /// every constructible kind — including the parameterized Sybil
+    /// family, whose identity count is part of the cell coordinate.
     #[test]
     fn strategy_ids_and_labels_are_distinct() {
         let mut ids = std::collections::HashSet::new();
         let mut labels = std::collections::HashSet::new();
         for kind in StrategyKind::ALL {
-            assert!(ids.insert(kind.id()));
+            assert!(ids.insert(kind.id()), "id collision at {kind:?}");
             assert!(labels.insert(kind.label()));
         }
+        let mut display_labels: std::collections::HashSet<String> =
+            StrategyKind::ALL.iter().map(|k| k.display_label()).collect();
+        assert_eq!(display_labels.len(), StrategyKind::ALL.len());
+        for identities in 0..=u8::MAX {
+            let kind = StrategyKind::SybilPaced { identities };
+            if kind == (StrategyKind::SybilPaced { identities: 4 }) {
+                continue; // already inserted via ALL
+            }
+            assert!(ids.insert(kind.id()), "id collision at {kind:?}");
+            assert!(
+                display_labels.insert(kind.display_label()),
+                "display label collision at {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sybil_split_respects_both_caps() {
+        let policy = SuspicionPolicy { window: 10, threshold: 6 }; // safe 0.5
+        // Budget-bound: omega/k below the safe rate.
+        let r = StrategyKind::sybil_rate_per_identity(policy, 1.0, 4);
+        assert!((r - 0.25).abs() < 1e-12);
+        // Threshold-bound: omega/k above the safe rate.
+        let r = StrategyKind::sybil_rate_per_identity(policy, 8.0, 4);
+        assert!((r - 0.5).abs() < 1e-12);
+        // identities = 0 treated as 1.
+        let r = StrategyKind::sybil_rate_per_identity(policy, 0.3, 0);
+        assert!((r - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sybil_kappa_scales_with_identity_count_until_budget_bound() {
+        let policy = SuspicionPolicy { window: 64, threshold: 9 }; // safe 0.125
+        let omega = 8.0;
+        let k1 = StrategyKind::SybilPaced { identities: 1 }
+            .indirect_kappa(policy, omega)
+            .unwrap();
+        let k4 = StrategyKind::SybilPaced { identities: 4 }
+            .indirect_kappa(policy, omega)
+            .unwrap();
+        assert!((k1 - policy.induced_kappa(omega)).abs() < 1e-12);
+        assert!((k4 - 4.0 * k1).abs() < 1e-12, "below budget, κ scales with k");
+        // Enough identities to spend the whole budget: κ caps at 1.
+        let k_many = StrategyKind::SybilPaced { identities: 255 }
+            .indirect_kappa(policy, omega)
+            .unwrap();
+        assert!((k_many - 1.0).abs() < 1e-12);
+        // Non-rate strategies have no κ to cross-check.
+        assert!(StrategyKind::ScanThenStrike.indirect_kappa(policy, omega).is_none());
+        assert!(StrategyKind::AdaptiveBackoff.indirect_kappa(policy, omega).is_none());
+    }
+
+    #[test]
+    fn sybil_sustains_a_multiple_of_the_single_source_indirect_budget() {
+        // The Sybil gap quantified: against the same tight policy, 6
+        // coordinated identities push ~6× the indirect probes of one
+        // paced source through the proxies — all of it unflagged.
+        let suspicion = SuspicionPolicy { window: 32, threshold: 2 }; // safe 1/32
+        let mut probes = [0u64; 2];
+        for (slot, kind) in [
+            StrategyKind::SybilPaced { identities: 6 },
+            StrategyKind::PacedBelowThreshold,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut stack = s2_stack(12, suspicion, 3, 0xE1);
+            let mut rng = StdRng::seed_from_u64(0x51B);
+            let mut strategy =
+                kind.build(&mut stack, "mallory", Scheme::Aslr, 8.0, suspicion, &mut rng);
+            for _ in 0..160 {
+                strategy.step(&mut stack, &mut rng);
+                if stack.end_step() != CompromiseState::Intact {
+                    break;
+                }
+            }
+            assert!(stack.suspects().is_empty(), "{} was flagged", kind.label());
+            probes[slot] = strategy.report().server_probes;
+        }
+        let [sybil, paced] = probes;
+        assert!(
+            sybil >= 4 * paced.max(1),
+            "6 identities must multiply the indirect budget: sybil {sybil} vs paced {paced}"
+        );
     }
 }

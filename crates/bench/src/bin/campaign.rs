@@ -1,31 +1,38 @@
-//! CAMPAIGN — the protocol-level adversary campaign grid, plus the CI
+//! CAMPAIGN — the protocol-level adversary scenario sweep, plus the CI
 //! smoke artifact `BENCH_campaign.json`.
 //!
-//! Runs the default 3 (suspicion) × 3 (fleet size) × 4 (strategy) grid
-//! through the persistent-pool runner with an RSE-adaptive trial budget,
-//! checks the determinism contract the hard way (the full report JSON
-//! must be identical at 1 and 8 threads), measures the worker pool's
-//! speedup over the old scoped-spawn-per-call execution on a rapid-fire
-//! small-batch workload — the regime the pool exists for — and times
-//! `Stack::pump` on a fixed S2 workload (deliveries/sec through the
-//! envelope dispatch), the protocol-level hot path the `WireMsg` /
-//! `Transport` redesign targets.
+//! Runs the default sweep (`scenario::paper_default_sweep`: the SO
+//! suspicion × fleet × strategy grid, Sybil included, plus a PO-policy
+//! slice) three ways over the persistent-pool runner:
+//!
+//! 1. a 1-thread `SweepScheduler` pass — the serial reference;
+//! 2. a cell-at-a-time pass on an 8-worker runner (trial-level
+//!    parallelism only — the pre-scenario execution model), timed as
+//!    `cells_per_sec`;
+//! 3. a cell-parallel `SweepScheduler` pass on the same 8-worker runner
+//!    (cells and trials share one pool via the two-level work queue),
+//!    timed as `cells_per_sec_parallel`.
+//!
+//! All three reports must be bit-identical — the binary exits non-zero
+//! (failing the CI job) if the parallel and serial reports differ. It
+//! also prints the `CrossCheck` of every rate-disciplined cell against
+//! the abstract S2 model, measures the worker pool's speedup over
+//! scoped spawns, and times `Stack::pump` on a fixed S2 workload.
 //!
 //! ```text
 //! cargo run --release -p fortress-bench --bin campaign [out_path]
 //! ```
-//!
-//! The per-cell table goes to stdout; the JSON artifact (cells/sec, pool
-//! speedup, determinism verdict) to `out_path` (default
-//! `BENCH_campaign.json`).
 
-use fortress_sim::campaign_mc::CampaignGrid;
 use fortress_sim::runner::{Runner, TrialBudget};
+use fortress_sim::scenario::{
+    paper_default_sweep, run_scenario, CrossCheck, SweepCell, SweepOutcome, SweepReport,
+    SweepScheduler, CELL_CHUNK,
+};
 use std::time::Instant;
 
 /// Adaptive per-cell budget: protocol trials are ms-scale, so spend them
 /// where the lifetime variance demands (burst cells are far noisier than
-/// paced cells) and cap the grid's total cost.
+/// paced cells) and cap the sweep's total cost.
 const BUDGET: TrialBudget = TrialBudget::TargetRse {
     target: 0.05,
     min_trials: 64,
@@ -100,6 +107,20 @@ fn micro_workload(runner: &Runner, scoped: bool) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// The pre-scenario execution model, kept as the timing baseline: cells
+/// strictly one at a time, each fanning its trials over `runner`'s pool.
+fn run_cells_serially(cells: &[SweepCell], runner: &Runner) -> SweepReport {
+    let runner = runner.clone().with_chunk(CELL_CHUNK);
+    SweepReport {
+        cells: cells
+            .iter()
+            .map(|cell| {
+                SweepOutcome::of(cell, run_scenario(cell.spec, &runner, BUDGET, cell.seed))
+            })
+            .collect(),
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -107,26 +128,38 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let grid = CampaignGrid::paper_default();
-    let n_cells = grid.cells().len();
     let base_seed = 0xF0_47;
+    let cells = paper_default_sweep(base_seed);
+    let n_cells = cells.len();
+    let runner8 = Runner::with_threads(8);
 
-    // Two passes double as the determinism check: the serial reference,
-    // then a timed 8-worker pooled pass whose report must match it bit
-    // for bit (1 vs 8 threads, per the runner contract).
-    let serial = grid.run(&Runner::with_threads(1), BUDGET, base_seed);
+    // Pass 1: the 1-thread scheduler — the bit-exact serial reference.
+    let serial = SweepScheduler::new(&Runner::with_threads(1), BUDGET).run(&cells);
+    // Pass 2 (timed): cell-at-a-time on 8 workers — trial parallelism
+    // only, the pre-scenario model and the denominator of the speedup.
     let start = Instant::now();
-    let report = grid.run(&Runner::with_threads(8), BUDGET, base_seed);
+    let cell_serial = run_cells_serially(&cells, &runner8);
     let wall = start.elapsed().as_secs_f64();
-    let deterministic = report.to_json() == serial.to_json();
+    // Pass 3 (timed): the cell-parallel scheduler on the same 8 workers.
+    let start = Instant::now();
+    let parallel = SweepScheduler::new(&runner8, BUDGET).run(&cells);
+    let parallel_wall = start.elapsed().as_secs_f64();
+
+    let deterministic = parallel.to_json() == serial.to_json()
+        && cell_serial.to_json() == serial.to_json();
     assert!(
         deterministic,
-        "campaign grid diverged between 1 and 8 threads — determinism contract broken"
+        "sweep reports diverged between the serial reference, the cell-serial \
+         pass and the cell-parallel scheduler — determinism contract broken"
     );
-    let trials_total: u64 = report.cells.iter().map(|o| o.estimate.n).sum();
+    let trials_total: u64 = parallel.cells.iter().map(|o| o.estimate.n).sum();
     let cells_per_sec = n_cells as f64 / wall;
+    let cells_per_sec_parallel = n_cells as f64 / parallel_wall;
+    let parallel_speedup = cells_per_sec_parallel / cells_per_sec;
 
-    println!("{}", report.to_table().to_aligned());
+    println!("{}", parallel.to_table().to_aligned());
+    println!("== cross-check: protocol cells vs abstract S2 kappa predictions ==");
+    println!("{}", CrossCheck::of(&parallel).to_table().to_aligned());
 
     // Pool vs per-call scoped spawning, µs-scale batch regime. Pin four
     // workers (even on smaller machines): the comparison is the cost of
@@ -146,15 +179,18 @@ fn main() {
     let deliveries_per_sec = pump_deliveries as f64 / pump_wall;
 
     let json = format!(
-        "{{\n  \"workload\": \"campaign grid {n_suspicion}x{n_fleet}x{n_strategy} \
-         (suspicion x fleet x strategy), adaptive rse<=0.05, 64..512 trials/cell\",\n  \
+        "{{\n  \"workload\": \"paper default sweep (SO suspicion x fleet x strategy grid \
+         incl sybil + PO slice), adaptive rse<=0.05, 64..512 trials/cell\",\n  \
          \"timed_pass_workers\": 8,\n  \
          \"machine_cores\": {cores},\n  \
          \"cells\": {n_cells},\n  \
          \"trials_total\": {trials_total},\n  \
          \"wall_s\": {wall:.4},\n  \
          \"cells_per_sec\": {cells_per_sec:.2},\n  \
-         \"deterministic_1_vs_8_threads\": {deterministic},\n  \
+         \"parallel_wall_s\": {parallel_wall:.4},\n  \
+         \"cells_per_sec_parallel\": {cells_per_sec_parallel:.2},\n  \
+         \"cell_parallel_speedup\": {parallel_speedup:.3},\n  \
+         \"deterministic_serial_vs_parallel\": {deterministic},\n  \
          \"pool_microbench\": {{\n    \
            \"calls\": {MICRO_CALLS},\n    \
            \"trials_per_call\": {MICRO_TRIALS_PER_CALL},\n    \
@@ -166,9 +202,6 @@ fn main() {
            \"deliveries\": {pump_deliveries},\n    \
            \"wall_s\": {pump_wall:.4},\n    \
            \"deliveries_per_sec\": {deliveries_per_sec:.0}\n  }}\n}}\n",
-        n_suspicion = grid.suspicions.len(),
-        n_fleet = grid.fleet_sizes.len(),
-        n_strategy = grid.strategies.len(),
     );
     print!("{json}");
     match std::fs::write(&out_path, &json) {

@@ -38,6 +38,26 @@ impl Default for SuspicionPolicy {
 }
 
 impl SuspicionPolicy {
+    /// The paper-default suspicion axis every campaign sweep shares: safe
+    /// rates 1/64, 4/32 and 8/16 per step, so at ω = 8 the induced κ
+    /// spans 0.002–0.0625 (a 32× spread). One definition — the campaign
+    /// grid defaults, the scenario sweeps and the bench binaries all call
+    /// this instead of re-typing the literals.
+    pub fn paper_grid() -> [SuspicionPolicy; 3] {
+        [
+            SuspicionPolicy::hair_trigger(),
+            SuspicionPolicy { window: 32, threshold: 5 },
+            SuspicionPolicy { window: 16, threshold: 9 },
+        ]
+    }
+
+    /// The tightest policy of [`SuspicionPolicy::paper_grid`]: threshold
+    /// 2 in a 64-step window (safe rate 1/64) — the "any repeat probing
+    /// burns you" posture the tightness tests sweep against.
+    pub fn hair_trigger() -> SuspicionPolicy {
+        SuspicionPolicy { window: 64, threshold: 2 }
+    }
+
     /// The largest per-step invalid-request rate a source can sustain
     /// indefinitely without being flagged.
     pub fn max_safe_rate(&self) -> f64 {

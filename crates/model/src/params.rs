@@ -24,11 +24,26 @@ pub enum Policy {
 }
 
 impl Policy {
+    /// Both policies in the paper's presentation order — the
+    /// service-order axis a scenario sweep enumerates.
+    pub const ALL: [Policy; 2] = [Policy::StartupOnly, Policy::Proactive];
+
     /// Short suffix used in figure labels ("SO"/"PO").
     pub fn suffix(&self) -> &'static str {
         match self {
             Policy::StartupOnly => "SO",
             Policy::Proactive => "PO",
+        }
+    }
+
+    /// Stable numeric id, part of the scenario-sweep seeding contract:
+    /// content-derived cell seeds fold this value (never an axis
+    /// position), so SO and PO cells of the same coordinate draw
+    /// decorrelated trial streams.
+    pub fn id(&self) -> u64 {
+        match self {
+            Policy::StartupOnly => 0,
+            Policy::Proactive => 1,
         }
     }
 }

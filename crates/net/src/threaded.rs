@@ -12,7 +12,7 @@
 //!   threads keep sending.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -23,6 +23,13 @@ use crate::addr::Addr;
 use crate::event::{NetEvent, NetStats};
 use crate::transport::Transport;
 
+/// Upper bound on one [`Transport::step`] park while sender threads are
+/// live. Bounded so a pump loop re-checks its exit condition at a steady
+/// cadence even if a notification is missed, and short enough that
+/// time-stepped drive loops (e.g. `examples/failover.rs`) see no added
+/// latency worth naming.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
 #[derive(Debug)]
 struct Registry {
     names: Vec<String>,
@@ -31,6 +38,11 @@ struct Registry {
     /// `None` where a [`NetHandle`] owns the receiver instead.
     receivers: Vec<Option<Mutex<Receiver<NetEvent>>>>,
     crashed: Vec<bool>,
+    /// Whether the endpoint's [`NetHandle`] still exists (always `false`
+    /// for bus-retained endpoints). A dropped handle can never send
+    /// again, so it stops counting as a live sender thread for
+    /// [`Transport::step`]'s park decision.
+    handle_present: Vec<bool>,
     /// Connection table: pairs that have exchanged messages.
     connections: Vec<Vec<Addr>>,
     stats: NetStats,
@@ -54,6 +66,23 @@ struct Registry {
 #[derive(Clone, Debug)]
 pub struct ThreadNet {
     registry: Arc<RwLock<Registry>>,
+    /// Arrival signal: total events ever enqueued (bus-wide), guarded by
+    /// a plain std mutex so [`Transport::step`] can park on the condvar
+    /// until a sender thread enqueues something. Never locked while the
+    /// registry lock is held (and vice versa), so there is no ordering
+    /// between the two.
+    arrivals: Arc<(StdMutex<u64>, Condvar)>,
+    /// Arrival count this instance last observed in [`Transport::step`].
+    /// Per-clone deliberately: each drive loop tracks its own drain
+    /// progress.
+    seen_arrivals: u64,
+    /// Consecutive [`Transport::step`] calls that observed no new
+    /// arrivals. Parking starts at the *second* consecutive idle step:
+    /// a pump loop's single exit-probe step stays latency-free even
+    /// with live sender threads, while a dedicated `loop { step() }`
+    /// waiter (two-plus idle steps in a row, the spin pattern the park
+    /// replaces) blocks instead of burning CPU.
+    idle_steps: u32,
 }
 
 impl ThreadNet {
@@ -65,10 +94,37 @@ impl ThreadNet {
                 senders: Vec::new(),
                 receivers: Vec::new(),
                 crashed: Vec::new(),
+                handle_present: Vec::new(),
                 connections: Vec::new(),
                 stats: NetStats::default(),
             })),
+            arrivals: Arc::new((StdMutex::new(0), Condvar::new())),
+            seen_arrivals: 0,
+            idle_steps: 0,
         }
+    }
+
+    /// Records `count` freshly enqueued events and wakes any parked
+    /// [`Transport::step`]. Called after the registry lock is released.
+    fn note_arrivals(&self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let (lock, cvar) = &*self.arrivals;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) += count;
+        cvar.notify_all();
+    }
+
+    /// Whether any [`NetHandle`] is still held (an inbox owned by its
+    /// own thread — the signature of a live sender thread). Only such
+    /// endpoints justify parking in [`Transport::step`]: once every
+    /// handle is dropped, nobody can enqueue traffic the drive loop has
+    /// not already seen. Crash state deliberately does not factor in:
+    /// neither transport gates sends on the *sender's* crash state (only
+    /// the destination's), so a crashed-but-held handle can still
+    /// produce traffic worth parking for.
+    fn has_live_handles(&self) -> bool {
+        self.registry.read().handle_present.iter().any(|p| *p)
     }
 
     /// Registers a named endpoint, returning its handle (receiver included).
@@ -90,6 +146,7 @@ impl ThreadNet {
         reg.names.push(name.to_owned());
         reg.senders.push(tx);
         reg.crashed.push(false);
+        reg.handle_present.push(!retain);
         reg.connections.push(Vec::new());
         if retain {
             reg.receivers.push(Some(Mutex::new(rx)));
@@ -121,28 +178,33 @@ impl ThreadNet {
     /// TCP client read into userspace before its peer died); the handle's
     /// owner decides what a crash means for them.
     pub fn crash(&self, addr: Addr) {
-        let mut reg = self.registry.write();
-        let idx = addr.raw() as usize;
-        if reg.crashed[idx] {
-            return;
-        }
-        reg.crashed[idx] = true;
-        let peers = std::mem::take(&mut reg.connections[idx]);
-        for peer in peers {
-            if reg.senders[peer.raw() as usize]
-                .send(NetEvent::ConnectionClosed { peer: addr, at: 0 })
-                .is_ok()
-            {
-                reg.stats.closures += 1;
+        let mut enqueued = 0u64;
+        {
+            let mut reg = self.registry.write();
+            let idx = addr.raw() as usize;
+            if reg.crashed[idx] {
+                return;
             }
-            reg.connections[peer.raw() as usize].retain(|p| *p != addr);
+            reg.crashed[idx] = true;
+            let peers = std::mem::take(&mut reg.connections[idx]);
+            for peer in peers {
+                if reg.senders[peer.raw() as usize]
+                    .send(NetEvent::ConnectionClosed { peer: addr, at: 0 })
+                    .is_ok()
+                {
+                    reg.stats.closures += 1;
+                    enqueued += 1;
+                }
+                reg.connections[peer.raw() as usize].retain(|p| *p != addr);
+            }
+            // Drain the crashed endpoint's retained inbox: its process state
+            // (and with it any queued traffic) is gone, matching the simulator.
+            if let Some(rx) = &reg.receivers[idx] {
+                let rx = rx.lock();
+                while rx.try_recv().is_ok() {}
+            }
         }
-        // Drain the crashed endpoint's retained inbox: its process state
-        // (and with it any queued traffic) is gone, matching the simulator.
-        if let Some(rx) = &reg.receivers[idx] {
-            let rx = rx.lock();
-            while rx.try_recv().is_ok() {}
-        }
+        self.note_arrivals(enqueued);
     }
 
     /// Restarts a crashed endpoint (fresh connections).
@@ -159,32 +221,38 @@ impl ThreadNet {
     }
 
     fn send_from(&self, from: Addr, to: Addr, payload: Bytes) {
-        let mut reg = self.registry.write();
-        reg.stats.sent += 1;
-        let to_idx = to.raw() as usize;
-        if reg.crashed[to_idx] {
-            reg.stats.dead_lettered += 1;
-            if reg.senders[from.raw() as usize]
-                .send(NetEvent::ConnectionClosed { peer: to, at: 0 })
-                .is_ok()
-            {
-                reg.stats.closures += 1;
-            }
-            return;
-        }
-        if !reg.connections[to_idx].contains(&from) {
-            reg.connections[to_idx].push(from);
-        }
-        let from_idx = from.raw() as usize;
-        if !reg.connections[from_idx].contains(&to) {
-            reg.connections[from_idx].push(to);
-        }
-        if reg.senders[to_idx]
-            .send(NetEvent::Message { from, payload, at: 0 })
-            .is_ok()
+        let mut enqueued = 0u64;
         {
-            reg.stats.delivered += 1;
+            let mut reg = self.registry.write();
+            reg.stats.sent += 1;
+            let to_idx = to.raw() as usize;
+            if reg.crashed[to_idx] {
+                reg.stats.dead_lettered += 1;
+                if reg.senders[from.raw() as usize]
+                    .send(NetEvent::ConnectionClosed { peer: to, at: 0 })
+                    .is_ok()
+                {
+                    reg.stats.closures += 1;
+                    enqueued += 1;
+                }
+            } else {
+                if !reg.connections[to_idx].contains(&from) {
+                    reg.connections[to_idx].push(from);
+                }
+                let from_idx = from.raw() as usize;
+                if !reg.connections[from_idx].contains(&to) {
+                    reg.connections[from_idx].push(to);
+                }
+                if reg.senders[to_idx]
+                    .send(NetEvent::Message { from, payload, at: 0 })
+                    .is_ok()
+                {
+                    reg.stats.delivered += 1;
+                    enqueued += 1;
+                }
+            }
         }
+        self.note_arrivals(enqueued);
     }
 }
 
@@ -211,6 +279,36 @@ impl Transport for ThreadNet {
         while let Ok(ev) = rx.try_recv() {
             out.push(ev);
         }
+    }
+
+    /// Reports whether traffic arrived since the last `step` — and, on
+    /// the second-plus *consecutive* idle step while live sender threads
+    /// exist, **parks on a condvar** (bounded by [`PARK_TIMEOUT`])
+    /// instead of returning immediately: a `loop {{ step() }}` waiter
+    /// driving a stack concurrently with sender threads blocks until
+    /// traffic arrives rather than spin-yielding through empty drains.
+    /// The first idle step never parks, so a pump loop's single
+    /// exit-probe call — and with it every deployment with no
+    /// handle-owned endpoints at all — sees no added latency.
+    fn step(&mut self) -> bool {
+        // Cheap pre-check outside the signal lock: park only when a
+        // sender thread could still produce traffic. (Registry and
+        // signal locks are never nested — see `arrivals`.)
+        let may_park = self.idle_steps >= 1 && self.has_live_handles();
+        let (lock, cvar) = &*self.arrivals;
+        let mut arrivals = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if *arrivals == self.seen_arrivals && may_park {
+            // Missed-wakeup-safe: the counter is re-checked under the
+            // lock the sender bumps it under.
+            let (guard, _) = cvar
+                .wait_timeout(arrivals, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            arrivals = guard;
+        }
+        let advanced = *arrivals != self.seen_arrivals;
+        self.seen_arrivals = *arrivals;
+        self.idle_steps = if advanced { 0 } else { self.idle_steps.saturating_add(1) };
+        advanced
     }
 
     fn crash(&mut self, addr: Addr) {
@@ -268,6 +366,15 @@ impl NetHandle {
     /// The underlying bus (for crash injection in tests/examples).
     pub fn net(&self) -> &ThreadNet {
         &self.net
+    }
+}
+
+impl Drop for NetHandle {
+    /// A dropped handle can never send again: stop counting it as a
+    /// live sender thread, so [`Transport::step`] does not keep parking
+    /// for traffic that cannot come.
+    fn drop(&mut self) {
+        self.net.registry.write().handle_present[self.addr.raw() as usize] = false;
     }
 }
 
@@ -360,6 +467,108 @@ mod tests {
         let net = ThreadNet::new();
         let a = net.register("alice");
         assert_eq!(net.name(a.addr()), "alice");
+    }
+
+    #[test]
+    fn step_without_live_handles_returns_immediately() {
+        let mut net = ThreadNet::new();
+        let a = Transport::register(&mut net, "a");
+        let b = Transport::register(&mut net, "b");
+        // 20 idle steps: a parking implementation would spend >= 19
+        // park timeouts here; generous headroom absorbs CI preemption.
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            assert!(!net.step(), "no traffic, nothing to park for");
+        }
+        assert!(
+            start.elapsed() < 10 * PARK_TIMEOUT,
+            "bus-retained-only deployments must not park"
+        );
+        Transport::send(&mut net, a, b, Bytes::from_static(b"x"));
+        assert!(net.step(), "new traffic must be reported");
+        assert!(!net.step(), "already observed");
+    }
+
+    #[test]
+    fn step_parks_until_a_sender_thread_delivers() {
+        let mut net = ThreadNet::new();
+        let b = Transport::register(&mut net, "b");
+        let sender = net.register("sender"); // handle-owned: a live sender thread
+        let thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            sender.send(b, Bytes::from_static(b"late"));
+        });
+        // A parking drive loop: far fewer iterations than a spin would
+        // take, and it still observes the late delivery promptly.
+        let mut polls = 0u32;
+        let woke = loop {
+            polls += 1;
+            if net.step() {
+                break true;
+            }
+            if polls > 500 {
+                break false;
+            }
+        };
+        thread.join().unwrap();
+        // A spinning step would exhaust the 500-poll cap in well under a
+        // millisecond — long before the ~15ms send — so `woke` itself is
+        // the spin detector, with no load-sensitive poll-count bound.
+        assert!(woke, "the late send must wake a parked step");
+        let _ = polls;
+        let mut out = Vec::new();
+        net.drain_into(b, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn dropped_handles_do_not_justify_parking() {
+        let mut net = ThreadNet::new();
+        let _b = Transport::register(&mut net, "b");
+        let h = net.register("h");
+        drop(h); // sender thread finished and released its handle
+        // 20 idle steps: every one from the second on would park if the
+        // dropped handle still counted as a live sender; generous
+        // headroom absorbs CI preemption.
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            assert!(!net.step());
+        }
+        assert!(
+            start.elapsed() < 10 * PARK_TIMEOUT,
+            "a dropped handle cannot produce traffic; step must not park"
+        );
+    }
+
+    #[test]
+    fn crashed_but_held_handles_still_park_and_their_sends_wake() {
+        // Neither transport gates sends on the sender's crash state, so
+        // a crashed-but-held handle is still a live traffic source: step
+        // keeps parking for it, and its sends wake the parked stepper.
+        let mut net = ThreadNet::new();
+        let b = Transport::register(&mut net, "b");
+        let h = net.register("h");
+        net.crash(h.addr());
+        let thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            h.send(b, Bytes::from_static(b"still here"));
+        });
+        let mut polls = 0u32;
+        let woke = loop {
+            polls += 1;
+            if net.step() {
+                break true;
+            }
+            if polls > 500 {
+                break false;
+            }
+        };
+        thread.join().unwrap();
+        assert!(woke, "the crashed-but-held handle's send must be seen");
+        let _ = polls;
+        let mut out = Vec::new();
+        net.drain_into(b, &mut out);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -48,8 +48,11 @@ pub trait Transport {
     fn drain_into(&mut self, at: Addr, out: &mut Vec<NetEvent>);
 
     /// Makes delivery progress: advances logical time on the simulator
-    /// (returning `true` while traffic is in flight), a no-op returning
-    /// `false` on transports that deliver eagerly.
+    /// (returning `true` while traffic is in flight). Eagerly-delivering
+    /// transports return whether traffic arrived since the last `step`
+    /// instead — and may block briefly (`ThreadNet` parks up to ~1 ms on
+    /// repeated idle steps while sender threads are live), so `true`
+    /// means "drain again", never specifically "simulated time moved".
     fn step(&mut self) -> bool {
         false
     }

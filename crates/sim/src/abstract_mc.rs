@@ -52,19 +52,23 @@ impl AbstractModel {
         )
     }
 
-    /// [`AbstractModel::estimate`] with explicit runner and budget.
+    /// [`AbstractModel::estimate`] with explicit runner and budget —
+    /// one delegation to the unified scenario surface
+    /// ([`crate::scenario::run_scenario`]), so abstract estimates and
+    /// scenario sweeps of the same model can never drift apart.
     pub fn estimate_with(
         &self,
         runner: &crate::runner::Runner,
         budget: crate::runner::TrialBudget,
         base_seed: u64,
     ) -> crate::stats::Estimate {
-        let model = *self;
-        runner
-            .run(base_seed, budget, move |_, rng| {
-                model.simulate_once(rng) as f64
-            })
-            .estimate()
+        crate::scenario::run_scenario(
+            crate::scenario::ScenarioSpec::Abstract(*self),
+            runner,
+            budget,
+            base_seed,
+        )
+        .estimate()
     }
 
     /// Simulates one trial; returns the step index (1-based) at which the

@@ -40,19 +40,9 @@ use rand::SeedableRng;
 
 use crate::protocol_mc::ProtocolExperiment;
 use crate::report::{fmt_num, CsvTable};
-use crate::runner::{trial_seed, Runner, TrialBudget};
+use crate::runner::{fold, trial_seed, Runner, TrialBudget};
+use crate::scenario::{Scenario, ScenarioSpec, SweepCell, SweepScheduler};
 use crate::stats::Estimate;
-
-/// Folds one cell parameter into the seed: a rotate-add step finished by
-/// the same SplitMix64 mixer [`trial_seed`] uses (one definition, in
-/// `runner`).
-fn fold(acc: u64, value: u64) -> u64 {
-    crate::runner::mix(
-        acc.rotate_left(25)
-            .wrapping_add(value)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15),
-    )
-}
 
 /// One coordinate of the campaign grid.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -93,18 +83,15 @@ pub struct CampaignGrid {
 }
 
 impl CampaignGrid {
-    /// The default grid the `campaign` binary runs: 3 suspicion policies
-    /// × 3 fleet sizes × all 4 strategies over an SO FORTRESS at scaled
-    /// entropy — 36 cells whose shape (not absolute scale) is the claim.
+    /// The default grid the `campaign` binary sweeps (as the SO block of
+    /// `scenario::paper_default_sweep`): 3 suspicion policies × 3 fleet
+    /// sizes × all 5 strategies over an SO FORTRESS at scaled entropy —
+    /// 45 cells whose shape (not absolute scale) is the claim.
     pub fn paper_default() -> CampaignGrid {
         CampaignGrid {
             // Safe rates 1/64, 4/32 and 8/16 per step: at ω = 8 the
             // induced κ spans 0.002–0.0625, a 32× spread along the axis.
-            suspicions: vec![
-                SuspicionPolicy { window: 64, threshold: 2 },
-                SuspicionPolicy { window: 32, threshold: 5 },
-                SuspicionPolicy { window: 16, threshold: 9 },
-            ],
+            suspicions: SuspicionPolicy::paper_grid().to_vec(),
             fleet_sizes: vec![1, 3, 5],
             strategies: StrategyKind::ALL.to_vec(),
             base: ProtocolExperiment {
@@ -147,16 +134,17 @@ impl CampaignGrid {
         }
     }
 
-    /// Trials per work unit for campaign cells. Protocol trials are
-    /// ms-scale, so small chunks cost nothing in scheduling overhead and
-    /// keep the pool busy even at adaptive-budget batch sizes (a cell
-    /// whose chunk exceeded its trial count would silently run serial).
-    /// Fixed (not derived from the runner) because the chunk size is
-    /// part of the merge tree and hence of the golden-pinned bits.
-    pub const CELL_CHUNK: u64 = 8;
+    /// Trials per work unit for campaign cells — the scenario layer's
+    /// [`crate::scenario::CELL_CHUNK`], re-exported here because the
+    /// chunk size is part of the merge tree and hence of the
+    /// golden-pinned bits.
+    pub const CELL_CHUNK: u64 = crate::scenario::CELL_CHUNK;
 
     /// Runs one cell on `runner` (re-chunked to [`CampaignGrid::CELL_CHUNK`],
-    /// sharing `runner`'s worker pool) and returns its outcome.
+    /// sharing `runner`'s worker pool) and returns its outcome. This is
+    /// the cell-at-a-time reference path: the grid-level [`CampaignGrid::run`]
+    /// must (and does, asserted by `tests/scheduler.rs`) reproduce its
+    /// bits exactly while scheduling cells in parallel.
     pub fn run_cell(
         &self,
         cell: CampaignCell,
@@ -171,24 +159,69 @@ impl CampaignGrid {
         let stats = runner.run(cell_seed, budget, move |trial_index, _rng| {
             run_cell_once(&exp, strategy, trial_seed(cell_seed, trial_index)) as f64
         });
-        let censored = stats.max() >= exp.max_steps as f64;
+        // Derived fields (estimate, censoring) come from the one shared
+        // definition; only the legacy κ projection differs (the grid
+        // reports the suspicion-induced κ for every strategy).
+        let spec = ScenarioSpec::Campaign { experiment: exp, strategy };
+        let outcome = crate::scenario::SweepOutcome::of(
+            &SweepCell {
+                label: spec.label(),
+                spec,
+                seed: cell_seed,
+            },
+            stats,
+        );
         CellOutcome {
             cell,
             kappa: cell.suspicion.induced_kappa(exp.omega),
-            estimate: stats.estimate(),
-            censored,
+            estimate: outcome.estimate,
+            censored: outcome.censored,
         }
     }
 
-    /// Runs the whole grid. Per-cell statistics are bit-identical at any
-    /// `runner` thread count; the report lists cells in [`CampaignGrid::cells`]
-    /// order.
+    /// The grid's cells as scenario sweep cells, **seeded by the legacy
+    /// campaign contract** ([`CampaignCell::cell_seed`], which predates
+    /// the wider scenario seeding and is pinned by the campaign golden
+    /// file).
+    pub fn sweep_cells(&self, base_seed: u64) -> Vec<SweepCell> {
+        self.cells()
+            .into_iter()
+            .map(|cell| {
+                let spec = ScenarioSpec::Campaign {
+                    experiment: self.experiment(&cell),
+                    strategy: cell.strategy,
+                };
+                SweepCell {
+                    label: spec.label(),
+                    spec,
+                    seed: cell.cell_seed(base_seed),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the whole grid — since the `Scenario` redesign, a thin shim
+    /// over [`SweepScheduler`], so independent cells execute in parallel
+    /// on `runner`'s worker pool instead of one at a time. Per-cell
+    /// statistics are bit-identical to [`CampaignGrid::run_cell`] and to
+    /// any `runner` thread count (including the committed golden file,
+    /// which predates the scheduler); the report lists cells in
+    /// [`CampaignGrid::cells`] order.
     pub fn run(&self, runner: &Runner, budget: TrialBudget, base_seed: u64) -> CampaignReport {
+        let report = SweepScheduler::new(runner, budget)
+            .with_chunk(CampaignGrid::CELL_CHUNK)
+            .run(&self.sweep_cells(base_seed));
         CampaignReport {
             cells: self
                 .cells()
                 .into_iter()
-                .map(|cell| self.run_cell(cell, runner, budget, base_seed))
+                .zip(report.cells)
+                .map(|(cell, outcome)| CellOutcome {
+                    cell,
+                    kappa: cell.suspicion.induced_kappa(self.base.omega),
+                    estimate: outcome.estimate,
+                    censored: outcome.censored,
+                })
                 .collect(),
         }
     }

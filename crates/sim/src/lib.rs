@@ -21,6 +21,15 @@
 //!   adversary strategy, with content-derived cell seeding so per-cell
 //!   results are independent of grid layout and thread count.
 //!
+//! All four meet in [`scenario`] — the unified experiment surface: an
+//! object-safe [`scenario::Scenario`] trait every fidelity implements, a
+//! declarative [`scenario::SweepSpec`] axis builder (class × SO/PO ×
+//! entropy × suspicion × fleet × strategy), a cell-parallel
+//! [`scenario::SweepScheduler`] that runs sweep cells as first-class
+//! jobs on the shared worker pool, and a [`scenario::CrossCheck`] that
+//! validates protocol cells against the abstract model's κ predictions
+//! cell-by-cell.
+//!
 //! Support: [`runner`] (the parallel deterministic trial runner every
 //! consumer goes through), [`stats`] (Welford accumulators, parallel
 //! merge, Student-t confidence intervals), [`report`] (CSV emission for
@@ -49,6 +58,7 @@ pub mod event_mc;
 pub mod protocol_mc;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod stats;
 
 pub use abstract_mc::AbstractModel;
@@ -56,4 +66,7 @@ pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::sample_lifetime;
 pub use protocol_mc::ProtocolExperiment;
 pub use runner::{Runner, RunnerError, TrialBudget};
+pub use scenario::{
+    CrossCheck, Scenario, ScenarioSpec, SweepCell, SweepReport, SweepScheduler, SweepSpec,
+};
 pub use stats::{Estimate, RunningStats};

@@ -141,16 +141,19 @@ impl ProtocolExperiment {
 
     /// [`ProtocolExperiment::estimate`] with explicit runner and budget —
     /// the hook for callers that pin thread counts (determinism tests) or
-    /// want adaptive stopping.
+    /// want adaptive stopping. One delegation to the unified scenario
+    /// surface ([`crate::scenario::run_scenario`]): `run_once` builds its
+    /// own stack + attacker RNGs from the per-trial counter seed, so
+    /// PROTO estimates and scenario sweeps of the same experiment are
+    /// bit-identical.
     pub fn estimate_with(&self, runner: &Runner, budget: TrialBudget, base_seed: u64) -> Estimate {
-        let exp = *self;
-        runner
-            .run(base_seed, budget, move |trial_index, _rng| {
-                // `run_once` builds its own stack + attacker RNGs from the
-                // seed, so derive the whole trial from the counter seed.
-                exp.run_once(crate::runner::trial_seed(base_seed, trial_index)) as f64
-            })
-            .estimate()
+        crate::scenario::run_scenario(
+            crate::scenario::ScenarioSpec::Protocol(*self),
+            runner,
+            budget,
+            base_seed,
+        )
+        .estimate()
     }
 }
 

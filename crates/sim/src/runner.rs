@@ -87,12 +87,23 @@ impl std::fmt::Display for RunnerError {
 impl std::error::Error for RunnerError {}
 
 /// SplitMix64 finalizer — the single definition of the bit mixer behind
-/// both [`trial_seed`] and the campaign grids' content-derived cell
-/// seeding (`campaign_mc`).
+/// both [`trial_seed`] and the content-derived cell seeding of the
+/// campaign grids and scenario sweeps (`campaign_mc`, `scenario`).
 pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Folds one content parameter into a seed: a rotate-add step finished
+/// by the same SplitMix64 mixer [`trial_seed`] uses. The single
+/// definition behind every content-derived cell seed (`campaign_mc`'s
+/// grids and `scenario`'s sweeps).
+pub(crate) fn fold(acc: u64, value: u64) -> u64 {
+    mix(acc
+        .rotate_left(25)
+        .wrapping_add(value)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15))
 }
 
 /// The seed of trial `index` under `base_seed`: a SplitMix64 mix of the
@@ -146,16 +157,75 @@ impl TrialBudget {
             batch: 16_384,
         }
     }
+
+    /// The next trial range this budget prescribes, given the progress
+    /// so far: `started` (at least one range completed), `done` (trials
+    /// consumed) and the merged statistics the stopping rule reads. The
+    /// **single definition** of the budget unrolling — `Runner::run`'s
+    /// budget loop and the sweep scheduler's per-cell state machine both
+    /// call it, which is what keeps their trial schedules (and hence the
+    /// bit-identity contract between them) in lockstep.
+    pub(crate) fn next_range(
+        &self,
+        started: bool,
+        done: u64,
+        acc: &RunningStats,
+    ) -> Option<(u64, u64)> {
+        match *self {
+            TrialBudget::Fixed(n) => (!started).then_some((0, n)),
+            TrialBudget::TargetRse {
+                target,
+                min_trials,
+                max_trials,
+                batch,
+            } => {
+                let batch = batch.max(1);
+                let max_trials = max_trials.max(min_trials).max(1);
+                if done >= max_trials {
+                    return None;
+                }
+                if started && done >= min_trials && acc.relative_std_error() <= target {
+                    return None;
+                }
+                Some((done, (done + batch).min(max_trials)))
+            }
+        }
+    }
 }
 
 /// The trial closure, type-erased so the persistent workers (which are
 /// `'static` threads) can hold it across the duration of one job.
-type TrialFn = Arc<dyn Fn(u64, &mut SmallRng) -> f64 + Send + Sync>;
+pub(crate) type TrialFn = Arc<dyn Fn(u64, &mut SmallRng) -> f64 + Send + Sync>;
 
-/// Everything one `run()` call hands the pool: the closure, the trial
+/// One chunk's merged statistics, tagged with the batch it belongs to —
+/// the unit of the two-level work queue. `Runner::run` only ever has one
+/// batch outstanding (tag 0); the scenario sweep scheduler interleaves
+/// one batch per in-flight cell on the same pool and demultiplexes by
+/// tag.
+pub(crate) struct ChunkResult {
+    pub(crate) tag: usize,
+    pub(crate) index: usize,
+    pub(crate) stats: RunningStats,
+    /// Set when the trial closure panicked inside this chunk (the
+    /// `stats` are then meaningless). Sent *before* the worker dies of
+    /// the re-raised panic, so collectors holding their own sender —
+    /// the sweep scheduler keeps one to submit later batches — fail
+    /// fast with the documented message instead of blocking forever on
+    /// a channel that will never close.
+    pub(crate) panicked: bool,
+}
+
+/// The message both chunk collectors raise when a poisoned chunk
+/// arrives.
+pub(crate) const POOLED_PANIC_MSG: &str =
+    "a trial closure panicked on a pooled worker; this Runner's pool is now \
+     degraded — fix the trial, and use run_scoped to see the original panic";
+
+/// Everything one batch submission hands the pool: the closure, the trial
 /// index range, and the rendezvous state (chunk counter in, per-chunk
 /// statistics out). Each worker receives its own copy.
 struct Job {
+    tag: usize,
     trial: TrialFn,
     base_seed: u64,
     start: u64,
@@ -163,28 +233,52 @@ struct Job {
     chunk: u64,
     next_chunk: Arc<AtomicUsize>,
     n_chunks: usize,
-    results: Sender<(usize, RunningStats)>,
+    results: Sender<ChunkResult>,
 }
 
 impl Job {
     /// Claims chunk indices until the counter runs out, sending each
-    /// chunk's statistics (tagged with its index) back to the caller.
+    /// chunk's statistics (tagged with its batch and index) back to the
+    /// caller. A panicking trial closure reports a poisoned chunk first
+    /// and then re-raises, so the collector fails fast while the worker
+    /// still dies loudly.
     fn work(self) {
         loop {
             let index = self.next_chunk.fetch_add(1, Ordering::Relaxed);
             if index >= self.n_chunks {
                 break;
             }
-            let stats = run_chunk(
-                &*self.trial,
-                self.base_seed,
-                self.start,
-                self.end,
-                self.chunk,
-                index,
-            );
-            if self.results.send((index, stats)).is_err() {
-                break; // caller gone; nothing left to report to
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_chunk(
+                    &*self.trial,
+                    self.base_seed,
+                    self.start,
+                    self.end,
+                    self.chunk,
+                    index,
+                )
+            }));
+            match outcome {
+                Ok(stats) => {
+                    let sent = self.results.send(ChunkResult {
+                        tag: self.tag,
+                        index,
+                        stats,
+                        panicked: false,
+                    });
+                    if sent.is_err() {
+                        break; // caller gone; nothing left to report to
+                    }
+                }
+                Err(cause) => {
+                    let _ = self.results.send(ChunkResult {
+                        tag: self.tag,
+                        index,
+                        stats: RunningStats::new(),
+                        panicked: true,
+                    });
+                    std::panic::resume_unwind(cause);
+                }
             }
         }
     }
@@ -345,6 +439,84 @@ impl Runner {
         self.threads
     }
 
+    /// Trials per work unit (see [`Runner::with_chunk`]).
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Whether the calling thread is one of this runner's own pool
+    /// workers — the reentrancy condition behind
+    /// [`RunnerError::NestedPoolRun`], exposed so the scenario sweep
+    /// scheduler (which drives the pool without going through
+    /// [`Runner::run`]) can apply the same guard.
+    pub(crate) fn on_own_pool_worker(&self) -> bool {
+        match &self.pool {
+            Some(pool) => WORKER_OF_POOL.with(Cell::get) == pool.id,
+            None => false,
+        }
+    }
+
+    /// Posts trials `start..end` to the pool as one tagged batch without
+    /// waiting for it: `min(threads, n_chunks)` copies of the job are
+    /// queued, workers claim chunks off a shared counter, and each
+    /// chunk's statistics arrive on `results` as a [`ChunkResult`]
+    /// carrying `tag`. Returns the batch's chunk count, or `None` when
+    /// this runner has no pool (the caller runs the batch serially via
+    /// [`Runner::batch_serial`]) or the range is empty.
+    ///
+    /// The per-chunk arithmetic is [`run_chunk`] — the same function the
+    /// blocking paths call — so a batch collected from the pool merges
+    /// (in chunk-index order) to exactly the bits the serial path
+    /// produces.
+    pub(crate) fn submit_batch(
+        &self,
+        tag: usize,
+        base_seed: u64,
+        start: u64,
+        end: u64,
+        trial: &TrialFn,
+        results: &Sender<ChunkResult>,
+    ) -> Option<usize> {
+        if start >= end {
+            return None;
+        }
+        let pool = self.pool.as_ref()?;
+        let (n_chunks, workers) = self.plan(start, end);
+        let next_chunk = Arc::new(AtomicUsize::new(0));
+        for _ in 0..workers.max(1) {
+            pool.submit(Job {
+                tag,
+                trial: Arc::clone(trial),
+                base_seed,
+                start,
+                end,
+                chunk: self.chunk,
+                next_chunk: Arc::clone(&next_chunk),
+                n_chunks,
+                results: results.clone(),
+            });
+        }
+        Some(n_chunks)
+    }
+
+    /// Runs trials `start..end` on the calling thread with the exact
+    /// chunk-then-merge arithmetic of every other execution path — the
+    /// serial reference the sweep scheduler falls back to on pool-less
+    /// runners.
+    pub(crate) fn batch_serial(
+        &self,
+        base_seed: u64,
+        start: u64,
+        end: u64,
+        trial: &(dyn Fn(u64, &mut SmallRng) -> f64 + Sync),
+    ) -> RunningStats {
+        if start >= end {
+            return RunningStats::new();
+        }
+        let (n_chunks, _) = self.plan(start, end);
+        self.run_range_serial(base_seed, start, end, trial, n_chunks)
+    }
+
     /// Runs `trial(index, rng)` over the budgeted trial indices and
     /// returns the merged statistics of its returned values, executing on
     /// the persistent worker pool.
@@ -416,36 +588,24 @@ impl Runner {
     /// Shared budget logic: fixed budgets are one range; adaptive budgets
     /// consume fixed-size batches of fixed index ranges and apply the
     /// stopping rule to the (deterministic) merged statistics, so the
-    /// trial schedule is machine- and thread-count-independent.
+    /// trial schedule is machine- and thread-count-independent. The
+    /// schedule itself comes from [`TrialBudget::next_range`], shared
+    /// with the sweep scheduler.
     fn run_budget(
         &self,
         budget: TrialBudget,
         mut range: impl FnMut(u64, u64) -> RunningStats,
     ) -> RunningStats {
-        match budget {
-            TrialBudget::Fixed(n) => range(0, n),
-            TrialBudget::TargetRse {
-                target,
-                min_trials,
-                max_trials,
-                batch,
-            } => {
-                let batch = batch.max(1);
-                let max_trials = max_trials.max(min_trials).max(1);
-                let mut acc = RunningStats::new();
-                let mut done = 0u64;
-                while done < max_trials {
-                    let next = (done + batch).min(max_trials);
-                    let chunk_stats = range(done, next);
-                    acc.merge(&chunk_stats);
-                    done = next;
-                    if done >= min_trials && acc.relative_std_error() <= target {
-                        break;
-                    }
-                }
-                acc
-            }
+        let mut acc = RunningStats::new();
+        let mut done = 0u64;
+        let mut started = false;
+        while let Some((start, end)) = budget.next_range(started, done, &acc) {
+            let range_stats = range(start, end);
+            acc.merge(&range_stats);
+            done = end;
+            started = true;
         }
+        acc
     }
 
     /// Chunk count and worker count for a trial range.
@@ -495,6 +655,7 @@ impl Runner {
         let (results, collected) = channel();
         for _ in 0..workers {
             pool.submit(Job {
+                tag: 0,
                 trial: Arc::clone(trial),
                 base_seed,
                 start,
@@ -510,7 +671,8 @@ impl Runner {
         drop(results);
         let mut per_chunk: Vec<Option<RunningStats>> = vec![None; n_chunks];
         let mut received = 0usize;
-        for (index, stats) in collected {
+        for ChunkResult { index, stats, panicked, .. } in collected {
+            assert!(!panicked, "{POOLED_PANIC_MSG}");
             per_chunk[index] = Some(stats);
             received += 1;
         }
@@ -716,6 +878,18 @@ mod tests {
             1.0,
             "every nested same-pool run must be detected"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked on a pooled worker")]
+    fn pooled_trial_panic_is_reported_not_hung() {
+        // Chunk 1 forces trials onto pool workers; the poisoned chunk
+        // must surface as the documented panic, never a hang.
+        let runner = Runner::with_threads(2).with_chunk(1);
+        let _ = runner.run(1, TrialBudget::Fixed(4), |i, _| {
+            assert!(i != 2, "boom");
+            0.0
+        });
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!    all-proxies compromise condition, while any second proxy forces
 //!    the attacker through the launch-pad strike phase.
 
+mod common;
+
+use common::{small_grid, GOLDEN_PATH, GOLDEN_SEED};
 use fortress_attack::campaign::StrategyKind;
 use fortress_core::probelog::SuspicionPolicy;
 use fortress_core::system::SystemClass;
@@ -20,29 +23,6 @@ use fortress_model::params::Policy;
 use fortress_sim::campaign_mc::CampaignGrid;
 use fortress_sim::protocol_mc::ProtocolExperiment;
 use fortress_sim::runner::{Runner, TrialBudget};
-
-fn small_grid() -> CampaignGrid {
-    CampaignGrid {
-        suspicions: vec![
-            SuspicionPolicy { window: 8, threshold: 3 },
-            SuspicionPolicy { window: 32, threshold: 2 },
-        ],
-        fleet_sizes: vec![1, 3],
-        strategies: vec![StrategyKind::PacedBelowThreshold, StrategyKind::ScanThenStrike],
-        base: ProtocolExperiment {
-            entropy_bits: 5,
-            omega: 8.0,
-            max_steps: 400,
-            ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
-        },
-    }
-}
-
-const GOLDEN_PATH: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/campaign_small.csv"
-);
-const GOLDEN_SEED: u64 = 0x90_1D;
 
 /// Contract 1: the committed golden file reproduces bit-for-bit, at more
 /// than one thread count.
@@ -151,8 +131,8 @@ fn wider_fleets_never_reduce_lifetime_under_scan_then_strike() {
 fn tighter_suspicion_never_helps_the_paced_attacker() {
     let grid = CampaignGrid {
         suspicions: vec![
-            SuspicionPolicy { window: 8, threshold: 7 },  // lax: κ = 0.09
-            SuspicionPolicy { window: 64, threshold: 2 }, // tight: κ ≈ 0.002
+            SuspicionPolicy { window: 8, threshold: 7 }, // lax: κ = 0.09
+            SuspicionPolicy::hair_trigger(),             // tight: κ ≈ 0.002
         ],
         fleet_sizes: vec![3],
         strategies: vec![StrategyKind::PacedBelowThreshold],

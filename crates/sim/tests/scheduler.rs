@@ -1,0 +1,130 @@
+//! The sweep scheduler's contracts, asserted end-to-end:
+//!
+//! 1. **Golden equivalence** — the cell-parallel `SweepScheduler` (both
+//!    through the `CampaignGrid` shim and driven directly) reproduces
+//!    the committed campaign golden CSV bit-for-bit, at 1 and 8 runner
+//!    threads — i.e. lifting cells onto the shared pool changed no
+//!    physics and no floating-point reduction order.
+//! 2. **Reference equivalence** — scheduler output equals the
+//!    cell-at-a-time `CampaignGrid::run_cell` reference path exactly,
+//!    under fixed *and* adaptive budgets.
+//! 3. **Axis growth** — a sweep spanning SO/PO and the `SybilPaced`
+//!    strategy is thread-count invariant, and its `CrossCheck` reads
+//!    the abstract model at each rate-disciplined cell.
+
+mod common;
+
+use common::{small_grid, GOLDEN_PATH, GOLDEN_SEED};
+use fortress_attack::campaign::StrategyKind;
+use fortress_core::probelog::SuspicionPolicy;
+use fortress_core::system::SystemClass;
+use fortress_model::params::Policy;
+use fortress_sim::protocol_mc::ProtocolExperiment;
+use fortress_sim::runner::{Runner, TrialBudget};
+use fortress_sim::scenario::{CrossCheck, SweepScheduler, SweepSpec, CELL_CHUNK};
+
+/// Contract 1: the scheduler (via the `CampaignGrid` shim) reproduces
+/// the committed golden file — the one generated before cells went
+/// parallel — at more than one thread count, and the scheduler driven
+/// directly over the grid's sweep cells produces the very same table.
+#[test]
+fn scheduler_reproduces_the_campaign_golden_file() {
+    let grid = small_grid();
+    let budget = TrialBudget::Fixed(16);
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — regenerate via the campaign suite");
+    for threads in [1, 8] {
+        let report = grid.run(&Runner::with_threads(threads), budget, GOLDEN_SEED);
+        assert_eq!(
+            report.to_table().to_csv(),
+            golden,
+            "scheduler at {threads} threads diverged from the golden pin"
+        );
+    }
+    // Direct scheduler drive, no shim: same cells, same bits.
+    let direct = SweepScheduler::new(&Runner::with_threads(4), budget)
+        .with_chunk(CELL_CHUNK)
+        .run(&grid.sweep_cells(GOLDEN_SEED));
+    let shim = grid.run(&Runner::with_threads(4), budget, GOLDEN_SEED);
+    for (a, b) in direct.cells.iter().zip(&shim.cells) {
+        assert_eq!(a.estimate, b.estimate, "direct vs shim at {}", a.cell.label);
+        assert_eq!(a.censored, b.censored);
+    }
+}
+
+/// Contract 2: scheduler output is bit-identical to the serial
+/// cell-at-a-time reference path, fixed and adaptive budgets alike.
+#[test]
+fn scheduler_matches_the_cell_at_a_time_reference() {
+    let grid = small_grid();
+    let runner = Runner::with_threads(4);
+    for budget in [
+        TrialBudget::Fixed(12),
+        TrialBudget::TargetRse {
+            target: 0.08,
+            min_trials: 8,
+            max_trials: 64,
+            batch: 8,
+        },
+    ] {
+        let scheduled = grid.run(&runner, budget, 7);
+        for (cell, outcome) in grid.cells().into_iter().zip(&scheduled.cells) {
+            let reference = grid.run_cell(cell, &runner, budget, 7);
+            assert_eq!(
+                outcome.estimate, reference.estimate,
+                "cell {cell:?} diverged from the reference path under {budget:?}"
+            );
+            assert_eq!(outcome.censored, reference.censored);
+        }
+    }
+}
+
+/// Contract 3: the grown axis space — PO policy cells and the Sybil
+/// adversary — is thread-count invariant through the scheduler, and the
+/// cross-check reads the abstract model at every rate-disciplined cell.
+#[test]
+fn grown_axes_are_thread_invariant_and_cross_checked() {
+    let cells = SweepSpec::new(ProtocolExperiment {
+        entropy_bits: 5,
+        omega: 8.0,
+        max_steps: 400,
+        ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+    })
+    .policies(Policy::ALL.to_vec())
+    .suspicions(vec![SuspicionPolicy { window: 8, threshold: 3 }])
+    .strategies(vec![
+        StrategyKind::PacedBelowThreshold,
+        StrategyKind::SybilPaced { identities: 4 },
+        StrategyKind::ScanThenStrike,
+    ])
+    .compile(0xA7E5);
+    assert_eq!(cells.len(), 6, "2 policies × 3 strategies");
+
+    let budget = TrialBudget::TargetRse {
+        target: 0.1,
+        min_trials: 8,
+        max_trials: 40,
+        batch: 8,
+    };
+    let serial = SweepScheduler::new(&Runner::with_threads(1), budget).run(&cells);
+    let pooled = SweepScheduler::new(&Runner::with_threads(8), budget).run(&cells);
+    assert_eq!(
+        serial.to_json(),
+        pooled.to_json(),
+        "sweep diverged between 1 and 8 threads"
+    );
+
+    let check = CrossCheck::of(&pooled);
+    // paced + sybil per policy have a κ; scan-then-strike does not.
+    assert_eq!(check.rows.len(), 4);
+    for row in &check.rows {
+        assert!(row.predicted.is_finite() && row.predicted > 0.0, "{row:?}");
+        assert!(row.ratio.is_finite() && row.ratio > 0.0, "{row:?}");
+    }
+    // The Sybil fleet's κ is a strict multiple of the paced κ at the
+    // same coordinate, so its predicted lifetime must be shorter.
+    let paced_so = &check.rows[0];
+    let sybil_so = &check.rows[1];
+    assert!(sybil_so.kappa > paced_so.kappa);
+    assert!(sybil_so.predicted < paced_so.predicted);
+}

@@ -9,10 +9,8 @@ use fortress::model::params::{
     paper_alpha_grid, paper_kappa_grid, AttackParams, Policy, ProbeModel,
 };
 use fortress::model::{expected_lifetime, SystemKind};
-use fortress::sim::event_mc::sample_lifetime;
-use fortress::sim::stats::RunningStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fortress::sim::runner::{Runner, TrialBudget};
+use fortress::sim::scenario::{run_scenario, ScenarioSpec};
 
 const CHI: f64 = 65536.0;
 
@@ -94,18 +92,16 @@ fn three_evaluation_methods_agree_on_po_systems() {
         let chain = PeriodChainSpec::paper(chain_kind, alpha)
             .expected_lifetime()
             .unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut stats = RunningStats::new();
-        for _ in 0..30_000 {
-            stats.push(sample_lifetime(
-                kind,
-                Policy::Proactive,
-                &params,
-                LaunchPad::NextStep,
-                &mut rng,
-            ) as f64);
-        }
-        let mc = stats.mean();
+        // The Monte-Carlo leg runs as a scenario on the unified surface:
+        // same sampler, counter-seeded trials, thread-count invariant.
+        let scenario = ScenarioSpec::Event {
+            kind,
+            policy: Policy::Proactive,
+            params,
+            launch_pad: LaunchPad::NextStep,
+        };
+        let mc = run_scenario(scenario, &Runner::with_threads(2), TrialBudget::Fixed(30_000), 7)
+            .mean();
         let chain_rel = (analytic - chain).abs() / analytic;
         let mc_rel = (analytic - mc).abs() / analytic;
         assert!(chain_rel < 0.02, "{kind:?}: chain {chain} vs analytic {analytic}");
