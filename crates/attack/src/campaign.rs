@@ -79,10 +79,22 @@ pub enum StrategyKind {
         /// Number of coordinated identities (0 is treated as 1).
         identities: u8,
     },
+    /// Availability-aware opportunist: probes the proxy tier at full
+    /// rate like the baseline, but sends indirect server probes **only
+    /// while a server machine is down** — outages are externally
+    /// observable (health pages, error rates), and a window where the
+    /// tier is distracted by failover is exactly when a probe is
+    /// cheapest to sneak. Per-window volume stays at `threshold − 1`,
+    /// so, like burst, it is never flagged.
+    OutageStrike,
 }
 
 impl StrategyKind {
-    /// Every strategy, in the canonical grid order.
+    /// Every strategy, in the canonical grid order. `OutageStrike` is
+    /// deliberately not here: without an outage schedule on the cell it
+    /// degenerates to proxy-only probing, so it belongs on
+    /// availability sweeps (which list it explicitly), not the default
+    /// grid.
     pub const ALL: [StrategyKind; 5] = [
         StrategyKind::PacedBelowThreshold,
         StrategyKind::ScanThenStrike,
@@ -102,6 +114,7 @@ impl StrategyKind {
             StrategyKind::Burst => "burst",
             StrategyKind::AdaptiveBackoff => "adaptive",
             StrategyKind::SybilPaced { .. } => "sybil",
+            StrategyKind::OutageStrike => "outage_strike",
         }
     }
 
@@ -131,6 +144,7 @@ impl StrategyKind {
             StrategyKind::Burst => 3,
             StrategyKind::AdaptiveBackoff => 4,
             StrategyKind::SybilPaced { identities } => 5 | (u64::from(identities) << 8),
+            StrategyKind::OutageStrike => 6,
         }
     }
 
@@ -169,7 +183,13 @@ impl StrategyKind {
                     StrategyKind::sybil_rate_per_identity(suspicion, omega, identities);
                 Some(((per_identity * k) / omega).min(1.0))
             }
-            StrategyKind::ScanThenStrike | StrategyKind::AdaptiveBackoff => None,
+            // No steady indirect rate: scan-then-strike sends nothing
+            // indirect, adaptive backoff only converges toward the safe
+            // rate, and the outage striker's schedule is gated on the
+            // defender's outage windows.
+            StrategyKind::ScanThenStrike
+            | StrategyKind::AdaptiveBackoff
+            | StrategyKind::OutageStrike => None,
         }
     }
 
@@ -201,6 +221,9 @@ impl StrategyKind {
             )),
             StrategyKind::SybilPaced { identities } => Box::new(SybilPaced::new(
                 stack, name, scheme, omega, suspicion, identities, rng,
+            )),
+            StrategyKind::OutageStrike => Box::new(OutageStrike::new(
+                stack, name, scheme, omega, suspicion, rng,
             )),
         }
     }
@@ -743,6 +766,95 @@ impl AdversaryStrategy for SybilPaced {
     }
 }
 
+/// [`StrategyKind::OutageStrike`]: full-rate proxy probing, with the
+/// indirect stream gated on the defender's outage windows — while a
+/// server machine is down (externally observable: health pages, error
+/// rates, the same channel [`AdaptiveBackoff`] reads its suspects
+/// signal from), it fires `threshold − 1` indirect probes and then
+/// stays silent at least a full window, so no source window ever
+/// accumulates `threshold` events. While the tier is healthy it sends
+/// nothing indirect at all: this is the adversary that times its
+/// probes against availability faults.
+struct OutageStrike {
+    arsenal: Arsenal,
+    proxy_scanner: KeyScanner,
+    server_scanner: KeyScanner,
+    direct_pacer: Pacer,
+    pad_pacer: Pacer,
+    burst_size: u64,
+    window: u64,
+    clock: u64,
+    /// Step of the last indirect burst (`None` before the first).
+    last_burst: Option<u64>,
+}
+
+impl OutageStrike {
+    fn new(
+        stack: &mut Stack,
+        name: &str,
+        scheme: Scheme,
+        omega: f64,
+        suspicion: SuspicionPolicy,
+        rng: &mut StdRng,
+    ) -> OutageStrike {
+        let arsenal = Arsenal::new(stack, name, scheme);
+        OutageStrike {
+            proxy_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            server_scanner: KeyScanner::new(stack.key_space(), ScanStrategy::Permuted, rng),
+            direct_pacer: Pacer::unconstrained(omega),
+            pad_pacer: Pacer::unconstrained(omega),
+            burst_size: u64::from(suspicion.threshold.saturating_sub(1)),
+            window: suspicion.window.max(1),
+            clock: 0,
+            last_burst: None,
+            arsenal,
+        }
+    }
+}
+
+impl AdversaryStrategy for OutageStrike {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::OutageStrike
+    }
+
+    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+        let addrs = stack.proxy_addrs();
+        for _ in 0..self.direct_pacer.probes_this_step() {
+            self.arsenal
+                .probe_all_proxies(stack, &addrs, &mut self.proxy_scanner, rng);
+        }
+        let name = self.arsenal.name.clone();
+        let window_clear = self
+            .last_burst
+            .is_none_or(|last| self.clock.saturating_sub(last) >= self.window);
+        if stack.any_server_down() && window_clear {
+            for _ in 0..self.burst_size {
+                self.arsenal
+                    .probe_servers_indirect(stack, &name, &mut self.server_scanner, rng);
+            }
+            self.last_burst = Some(self.clock);
+        }
+        self.clock += 1;
+        let pad = Arsenal::held_proxy(stack);
+        if let Some(pad) = pad {
+            for _ in 0..self.pad_pacer.probes_this_step() {
+                self.arsenal
+                    .probe_servers_from_pad(stack, pad, &mut self.server_scanner, rng);
+            }
+        }
+        self.arsenal.observe(stack, &name, pad);
+    }
+
+    fn on_rerandomized(&mut self, rng: &mut StdRng) {
+        self.proxy_scanner.reset(rng);
+        self.server_scanner.reset(rng);
+    }
+
+    fn report(&self) -> AttackReport {
+        self.arsenal.report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +997,56 @@ mod tests {
         );
     }
 
+    #[test]
+    fn outage_strike_gates_indirect_probes_on_outage_windows() {
+        let suspicion = SuspicionPolicy {
+            window: 8,
+            threshold: 4,
+        };
+        let mut stack = s2_stack(12, suspicion, 3, 0xF2);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut strategy = StrategyKind::OutageStrike.build(
+            &mut stack,
+            "mallory",
+            Scheme::Aslr,
+            8.0,
+            suspicion,
+            &mut rng,
+        );
+        // Healthy tier: the indirect stream stays silent.
+        for _ in 0..20 {
+            strategy.step(&mut stack, &mut rng);
+            if stack.end_step() != CompromiseState::Intact {
+                break;
+            }
+        }
+        assert_eq!(
+            strategy.report().server_probes,
+            0,
+            "no indirect probe may fire while every server is up"
+        );
+        // A server machine goes down: the striker spends threshold − 1
+        // probes per window, and is never flagged doing it.
+        stack.take_down_server(0);
+        for _ in 0..24 {
+            strategy.step(&mut stack, &mut rng);
+            if stack.end_step() != CompromiseState::Intact {
+                break;
+            }
+        }
+        let fired = strategy.report().server_probes;
+        assert!(fired > 0, "outage windows must be exploited");
+        assert!(
+            fired <= 24 / 8 * 3 + 3,
+            "at most threshold − 1 per window: {fired}"
+        );
+        assert!(
+            stack.suspects().is_empty(),
+            "outage striker was flagged: {:?}",
+            stack.suspects()
+        );
+    }
+
     /// Content-derived cell seeds silently collide if two distinct
     /// strategies share an id, so ids must be pairwise distinct across
     /// every constructible kind — including the parameterized Sybil
@@ -893,13 +1055,16 @@ mod tests {
     fn strategy_ids_and_labels_are_distinct() {
         let mut ids = std::collections::HashSet::new();
         let mut labels = std::collections::HashSet::new();
-        for kind in StrategyKind::ALL {
+        let every = StrategyKind::ALL
+            .into_iter()
+            .chain([StrategyKind::OutageStrike]);
+        for kind in every.clone() {
             assert!(ids.insert(kind.id()), "id collision at {kind:?}");
             assert!(labels.insert(kind.label()));
         }
         let mut display_labels: std::collections::HashSet<String> =
-            StrategyKind::ALL.iter().map(|k| k.display_label()).collect();
-        assert_eq!(display_labels.len(), StrategyKind::ALL.len());
+            every.map(|k| k.display_label()).collect();
+        assert_eq!(display_labels.len(), StrategyKind::ALL.len() + 1);
         for identities in 0..=u8::MAX {
             let kind = StrategyKind::SybilPaced { identities };
             if kind == (StrategyKind::SybilPaced { identities: 4 }) {

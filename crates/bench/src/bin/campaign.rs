@@ -19,14 +19,20 @@
 //! the abstract S2 model, measures the worker pool's speedup over
 //! scoped spawns, and times `Stack::pump` on a fixed S2 workload.
 //!
+//! The **availability slice** (`scenario::availability_sweep`: outage
+//! schedules × paced/outage-strike on fortified S2 plus the bare-PB S1
+//! baseline) runs serial and cell-parallel too, must agree bit-for-bit,
+//! and contributes `availability_cells_per_sec`, the mean downtime
+//! fraction and the mean failover latency to `BENCH_campaign.json`.
+//!
 //! ```text
 //! cargo run --release -p fortress-bench --bin campaign [out_path]
 //! ```
 
 use fortress_sim::runner::{Runner, TrialBudget};
 use fortress_sim::scenario::{
-    paper_default_sweep, run_scenario, CrossCheck, SweepCell, SweepOutcome, SweepReport,
-    SweepScheduler, CELL_CHUNK,
+    availability_sweep, paper_default_sweep, run_scenario_measured, CrossCheck, SweepCell,
+    SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
 };
 use std::time::Instant;
 
@@ -115,7 +121,9 @@ fn run_cells_serially(cells: &[SweepCell], runner: &Runner) -> SweepReport {
         cells: cells
             .iter()
             .map(|cell| {
-                SweepOutcome::of(cell, run_scenario(cell.spec, &runner, BUDGET, cell.seed))
+                let (stats, avail) =
+                    run_scenario_measured(cell.spec, &runner, BUDGET, cell.seed);
+                SweepOutcome::measured(cell, stats, avail)
             })
             .collect(),
     }
@@ -161,6 +169,46 @@ fn main() {
     println!("== cross-check: protocol cells vs abstract S2 kappa predictions ==");
     println!("{}", CrossCheck::of(&parallel).to_table().to_aligned());
 
+    // The availability slice: outage-bearing cells through the
+    // cell-at-a-time reference path (the same independent comparator
+    // the main sweep uses — a scheduler-internal bug that is
+    // thread-count-invariant would slip past a scheduler-vs-scheduler
+    // diff), the 1-thread scheduler, and the cell-parallel scheduler;
+    // three-way bit-identity required.
+    let avail_cells = availability_sweep(base_seed);
+    let avail_reference = run_cells_serially(&avail_cells, &Runner::with_threads(1));
+    let avail_serial =
+        SweepScheduler::new(&Runner::with_threads(1), BUDGET).run(&avail_cells);
+    let start = Instant::now();
+    let avail_parallel = SweepScheduler::new(&runner8, BUDGET).run(&avail_cells);
+    let avail_wall = start.elapsed().as_secs_f64();
+    let avail_deterministic = avail_serial.to_json() == avail_parallel.to_json()
+        && avail_reference.to_json() == avail_serial.to_json();
+    assert!(
+        avail_deterministic,
+        "availability sweep reports diverged between the cell-at-a-time \
+         reference, the serial scheduler and the cell-parallel scheduler — \
+         determinism contract broken"
+    );
+    let n_avail_cells = avail_cells.len();
+    let availability_cells_per_sec = n_avail_cells as f64 / avail_wall;
+    let mean_downtime = avail_parallel
+        .mean_downtime_fraction()
+        .expect("every availability cell measures downtime");
+    let mut latency = fortress_sim::stats::RunningStats::new();
+    for o in &avail_parallel.cells {
+        if o.avail.failover_latency.n() > 0 {
+            latency.push(o.avail.failover_latency.mean());
+        }
+    }
+    let mean_failover_latency = if latency.n() > 0 {
+        latency.mean().to_string()
+    } else {
+        "null".to_string()
+    };
+    println!("== availability slice (outage axis) ==");
+    println!("{}", avail_parallel.to_table().to_aligned());
+
     // Pool vs per-call scoped spawning, µs-scale batch regime. Pin four
     // workers (even on smaller machines): the comparison is the cost of
     // four scoped spawns per call vs four persistent workers, which is
@@ -191,6 +239,14 @@ fn main() {
          \"cells_per_sec_parallel\": {cells_per_sec_parallel:.2},\n  \
          \"cell_parallel_speedup\": {parallel_speedup:.3},\n  \
          \"deterministic_serial_vs_parallel\": {deterministic},\n  \
+         \"availability\": {{\n    \
+           \"workload\": \"outage slice: none/periodic/poisson x paced+outage_strike on S2 + bare-PB S1 baseline\",\n    \
+           \"cells\": {n_avail_cells},\n    \
+           \"wall_s\": {avail_wall:.4},\n    \
+           \"availability_cells_per_sec\": {availability_cells_per_sec:.2},\n    \
+           \"mean_downtime_fraction\": {mean_downtime:.6},\n    \
+           \"mean_failover_latency\": {mean_failover_latency},\n    \
+           \"deterministic_serial_vs_parallel\": {avail_deterministic}\n  }},\n  \
          \"pool_microbench\": {{\n    \
            \"calls\": {MICRO_CALLS},\n    \
            \"trials_per_call\": {MICRO_TRIALS_PER_CALL},\n    \

@@ -51,4 +51,5 @@ pub use messages::{ClientRequest, ClientRequestRef, ProxyResponse};
 pub use nameserver::{NameServer, ReplicationType};
 pub use probelog::{ProbeLog, SuspicionPolicy};
 pub use proxy::{Proxy, ProxyInput, ProxyOutput};
+pub use system::{Availability, CompromiseState, Stack, StackConfig, SystemClass};
 pub use wire::WireMsg;

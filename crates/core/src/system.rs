@@ -119,6 +119,54 @@ impl Default for StackConfig {
     }
 }
 
+/// The failover timeout the assembled PB tiers run with
+/// ([`PbConfig::default`]'s, which [`Stack`] never overrides) — the
+/// closed-form availability predictions read it to bound how long a
+/// primary outage keeps the tier down.
+pub fn pb_failover_timeout() -> u64 {
+    PbConfig::default().failover_timeout
+}
+
+/// Availability bookkeeping over the PB server tier, maintained by
+/// [`Stack::end_step`] with **zero RNG consumption** (so enabling the
+/// counters changed no existing trial's bits).
+///
+/// A step counts as *down* when no PB server is simultaneously up
+/// (machine not taken down), uncompromised, and the primary of its view
+/// — exactly the window the PB failover protocol exists to close. S0
+/// deployments (no PB tier) never accumulate downtime here; their
+/// availability story is the SMR quorum's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Availability {
+    /// Unit time-steps observed (one per [`Stack::end_step`]).
+    pub steps: u64,
+    /// Steps with no live serving primary.
+    pub down_steps: u64,
+    /// Machine outages injected via [`Stack::take_down_server`].
+    pub outages: u64,
+    /// PB failovers observed (view adoptions across the live tier).
+    pub failovers: u64,
+    /// Total steps spent between losing the serving primary and a
+    /// replica serving again, summed over completed failover windows.
+    pub failover_latency_total: u64,
+    /// Completed failover windows behind `failover_latency_total` (an
+    /// outage that outlives the trial contributes to `down_steps` but
+    /// completes no window).
+    pub recoveries: u64,
+    /// Deliveries dead-lettered while at least one server machine was
+    /// down — client/proxy requests lost to the outage windows.
+    pub lost_requests: u64,
+}
+
+impl Availability {
+    /// Mean steps from losing the serving primary to serving again,
+    /// over completed failover windows (`None` if none completed).
+    pub fn mean_failover_latency(&self) -> Option<f64> {
+        (self.recoveries > 0)
+            .then(|| self.failover_latency_total as f64 / self.recoveries as f64)
+    }
+}
+
 /// How (and whether) the system has been compromised.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CompromiseState {
@@ -180,6 +228,16 @@ pub struct Stack<T: Transport = SimNet> {
     scratch: Vec<NetEvent>,
     /// Malformed deliveries per endpoint address.
     malformed: HashMap<Addr, u64>,
+    /// Availability counters over the PB tier (see [`Availability`]).
+    avail: Availability,
+    /// Step at which the serving primary was lost, while the outage is
+    /// still open (drives `failover_latency_total`).
+    primary_lost_at: Option<u64>,
+    /// Highest PB view ever observed (drives the failover count).
+    views_seen: u64,
+    /// Transport dead-letter count already attributed (drives
+    /// `lost_requests` deltas).
+    dead_lettered_seen: u64,
 }
 
 impl Stack<SimNet> {
@@ -341,6 +399,10 @@ impl<T: Transport> Stack<T> {
             server_targets,
             scratch: Vec::new(),
             malformed: HashMap::new(),
+            avail: Availability::default(),
+            primary_lost_at: None,
+            views_seen: 0,
+            dead_lettered_seen: 0,
         })
     }
 
@@ -399,6 +461,9 @@ impl<T: Transport> Stack<T> {
             "take_down_server models PB-tier outages (S1/S2)"
         );
         let addr = self.pb_servers[i].addr;
+        if !self.pb_servers[i].down {
+            self.avail.outages += 1;
+        }
         self.pb_servers[i].down = true;
         self.net.crash(addr);
     }
@@ -414,6 +479,52 @@ impl<T: Transport> Stack<T> {
     /// Whether PB server `i` is currently taken down.
     pub fn server_is_down(&self, i: usize) -> bool {
         self.pb_servers[i].down
+    }
+
+    /// Whether any PB server machine is currently taken down — the
+    /// outage signal an availability-aware adversary (or operator
+    /// dashboard) can read without any key oracle: real outages are
+    /// externally observable through error rates and health pages.
+    pub fn any_server_down(&self) -> bool {
+        self.pb_servers.iter().any(|s| s.down)
+    }
+
+    /// The index of the PB server currently *serving*: up,
+    /// uncompromised, the primary of its view, **and** at the highest
+    /// view any live replica has adopted — a repaired machine that
+    /// rejoined with the stale view it crashed in still believes it is
+    /// the primary of that old view, but serves nobody until it hears a
+    /// heartbeat, so it must not count (it would mask real downtime in
+    /// exactly the back-to-back-outage windows the availability axis
+    /// measures). `None` when the tier is down or absent.
+    pub fn pb_primary_index(&self) -> Option<usize> {
+        let live_view_max = self
+            .pb_servers
+            .iter()
+            .filter(|s| !s.down && !s.daemon.is_compromised())
+            .map(|s| s.engine.view())
+            .max()?;
+        self.pb_servers.iter().position(|s| {
+            !s.down
+                && !s.daemon.is_compromised()
+                && s.engine.view() == live_view_max
+                && s.engine.is_primary()
+        })
+    }
+
+    /// Whether some PB server is serving (see
+    /// [`Stack::pb_primary_index`]). Vacuously true for deployments
+    /// without a PB tier (S0).
+    pub fn pb_primary_serving(&self) -> bool {
+        if self.pb_servers.is_empty() {
+            return true;
+        }
+        self.pb_primary_index().is_some()
+    }
+
+    /// Availability counters accumulated so far (see [`Availability`]).
+    pub fn availability(&self) -> Availability {
+        self.avail
     }
 
     /// Sources the proxy tier has flagged.
@@ -932,6 +1043,43 @@ impl<T: Transport> Stack<T> {
         self.compromise_state() != CompromiseState::Intact
     }
 
+    /// Per-step availability accounting (see [`Availability`]). Pure
+    /// observation: consumes no randomness and sends no traffic, so the
+    /// counters are free for trials that never read them and existing
+    /// seeded results are bit-identical with them enabled.
+    fn track_availability(&mut self) {
+        self.avail.steps += 1;
+        if self.pb_servers.is_empty() {
+            return;
+        }
+        if self.pb_primary_serving() {
+            if let Some(lost) = self.primary_lost_at.take() {
+                self.avail.failover_latency_total += self.step - lost;
+                self.avail.recoveries += 1;
+            }
+        } else {
+            self.avail.down_steps += 1;
+            if self.primary_lost_at.is_none() {
+                self.primary_lost_at = Some(self.step);
+            }
+        }
+        let max_view = self
+            .pb_servers
+            .iter()
+            .map(|s| s.engine.view())
+            .max()
+            .unwrap_or(0);
+        if max_view > self.views_seen {
+            self.avail.failovers += max_view - self.views_seen;
+            self.views_seen = max_view;
+        }
+        let dead_lettered = self.net.stats().dead_lettered;
+        if self.any_server_down() {
+            self.avail.lost_requests += dead_lettered - self.dead_lettered_seen;
+        }
+        self.dead_lettered_seen = dead_lettered;
+    }
+
     /// Advances every engine's logical clock to the next unit time-step
     /// and dispatches whatever the timers produce (heartbeats, failovers,
     /// view changes).
@@ -965,6 +1113,7 @@ impl<T: Transport> Stack<T> {
     pub fn end_step(&mut self) -> CompromiseState {
         self.tick_engines();
         let state = self.compromise_state();
+        self.track_availability();
         let step = self.step;
         let mut server_daemons: Vec<&mut ForkingDaemon> = match self.cfg.class {
             SystemClass::S0Smr => self.smr_servers.iter_mut().map(|s| &mut s.daemon).collect(),
@@ -1411,6 +1560,71 @@ mod tests {
             "state written under the old primary survived"
         );
         assert!(!stack.is_compromised(), "an outage is not an intrusion");
+    }
+
+    /// The availability counters around a primary outage: downtime is
+    /// exactly the window between losing the primary and the backup's
+    /// promotion, the failover is counted with its latency, and
+    /// requests sent into the downed machine are recorded as lost.
+    #[test]
+    fn availability_counters_track_a_failover_window() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            policy: ObfuscationPolicy::StartupOnly,
+            seed: 43,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("alice");
+        let mut alice = DirectClient::new(
+            "alice",
+            stack.authority(),
+            stack.ns().servers().to_vec(),
+            AcceptMode::AnyAuthentic,
+        );
+        // Healthy steps accumulate no downtime.
+        for _ in 0..5 {
+            stack.end_step();
+        }
+        assert!(stack.pb_primary_serving());
+        let avail = stack.availability();
+        assert_eq!((avail.steps, avail.down_steps, avail.outages), (5, 0, 0));
+        assert_eq!(avail.failovers, 0);
+
+        // The primary's machine goes down; requests sent meanwhile are
+        // lost; the backup promotes within the failover timeout.
+        stack.take_down_server(0);
+        let req = alice.request(b"PUT k v");
+        stack.submit("alice", &req);
+        for _ in 0..30 {
+            stack.end_step();
+        }
+        let avail = stack.availability();
+        assert_eq!(avail.outages, 1);
+        assert!(avail.failovers >= 1, "heartbeat silence must promote");
+        assert!(
+            avail.down_steps > 0 && avail.down_steps <= pb_failover_timeout() + 2,
+            "downtime is the pre-promotion window, got {}",
+            avail.down_steps
+        );
+        assert_eq!(avail.recoveries, 1);
+        assert_eq!(
+            avail.failover_latency_total, avail.down_steps,
+            "one outage: latency equals the down window"
+        );
+        assert!(avail.mean_failover_latency().unwrap() > 0.0);
+        assert!(
+            avail.lost_requests > 0,
+            "the request into the downed primary dead-letters as lost"
+        );
+        assert!(stack.pb_primary_serving(), "a backup serves again");
+        // Repair closes the loop; no further downtime accumulates.
+        stack.bring_up_server(0);
+        let before = stack.availability().down_steps;
+        for _ in 0..5 {
+            stack.end_step();
+        }
+        assert_eq!(stack.availability().down_steps, before);
     }
 
     #[test]

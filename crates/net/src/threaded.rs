@@ -38,14 +38,25 @@ struct Registry {
     /// `None` where a [`NetHandle`] owns the receiver instead.
     receivers: Vec<Option<Mutex<Receiver<NetEvent>>>>,
     crashed: Vec<bool>,
-    /// Whether the endpoint's [`NetHandle`] still exists (always `false`
-    /// for bus-retained endpoints). A dropped handle can never send
-    /// again, so it stops counting as a live sender thread for
-    /// [`Transport::step`]'s park decision.
-    handle_present: Vec<bool>,
     /// Connection table: pairs that have exchanged messages.
     connections: Vec<Vec<Addr>>,
     stats: NetStats,
+}
+
+/// The park signal [`Transport::step`] waits on, one mutex guarding
+/// both fields so the park decision and the facts it depends on cannot
+/// race: `arrivals` is the total events ever enqueued bus-wide, and
+/// `live_handles` counts [`NetHandle`]s not yet dropped — the only
+/// endpoints whose owning threads can still produce traffic. A dropped
+/// handle decrements the count *under this lock* and notifies, so a
+/// step parked (or about to park) on the condvar re-observes liveness
+/// instead of burning the full timeout on traffic that can never come
+/// (the missed-wakeup race when the last sender exits between the
+/// empty-drain check and the park).
+#[derive(Debug, Default)]
+struct ParkSignal {
+    arrivals: u64,
+    live_handles: usize,
 }
 
 /// A thread-safe message bus with crash/closure semantics.
@@ -66,12 +77,12 @@ struct Registry {
 #[derive(Clone, Debug)]
 pub struct ThreadNet {
     registry: Arc<RwLock<Registry>>,
-    /// Arrival signal: total events ever enqueued (bus-wide), guarded by
-    /// a plain std mutex so [`Transport::step`] can park on the condvar
-    /// until a sender thread enqueues something. Never locked while the
-    /// registry lock is held (and vice versa), so there is no ordering
-    /// between the two.
-    arrivals: Arc<(StdMutex<u64>, Condvar)>,
+    /// Park signal (arrival counter + live-handle count), guarded by a
+    /// plain std mutex so [`Transport::step`] can park on the condvar
+    /// until a sender thread enqueues something — or the last handle
+    /// drops. Never locked while the registry lock is held (and vice
+    /// versa), so there is no ordering between the two.
+    signal: Arc<(StdMutex<ParkSignal>, Condvar)>,
     /// Arrival count this instance last observed in [`Transport::step`].
     /// Per-clone deliberately: each drive loop tracks its own drain
     /// progress.
@@ -94,11 +105,10 @@ impl ThreadNet {
                 senders: Vec::new(),
                 receivers: Vec::new(),
                 crashed: Vec::new(),
-                handle_present: Vec::new(),
                 connections: Vec::new(),
                 stats: NetStats::default(),
             })),
-            arrivals: Arc::new((StdMutex::new(0), Condvar::new())),
+            signal: Arc::new((StdMutex::new(ParkSignal::default()), Condvar::new())),
             seen_arrivals: 0,
             idle_steps: 0,
         }
@@ -110,26 +120,30 @@ impl ThreadNet {
         if count == 0 {
             return;
         }
-        let (lock, cvar) = &*self.arrivals;
-        *lock.lock().unwrap_or_else(|e| e.into_inner()) += count;
+        let (lock, cvar) = &*self.signal;
+        lock.lock().unwrap_or_else(|e| e.into_inner()).arrivals += count;
         cvar.notify_all();
     }
 
-    /// Whether any [`NetHandle`] is still held (an inbox owned by its
-    /// own thread — the signature of a live sender thread). Only such
-    /// endpoints justify parking in [`Transport::step`]: once every
-    /// handle is dropped, nobody can enqueue traffic the drive loop has
-    /// not already seen. Crash state deliberately does not factor in:
-    /// neither transport gates sends on the *sender's* crash state (only
-    /// the destination's), so a crashed-but-held handle can still
-    /// produce traffic worth parking for.
-    fn has_live_handles(&self) -> bool {
-        self.registry.read().handle_present.iter().any(|p| *p)
+    /// Adjusts the live-handle count (`+1` at handle registration, `-1`
+    /// at handle drop) and wakes any parked [`Transport::step`] so it
+    /// re-evaluates whether parking is still justified. Only handle-
+    /// owned endpoints count: their owning threads are the only senders
+    /// a drive loop could be waiting on. Crash state deliberately does
+    /// not factor in: neither transport gates sends on the *sender's*
+    /// crash state (only the destination's), so a crashed-but-held
+    /// handle can still produce traffic worth parking for.
+    fn note_handles(&self, delta: isize) {
+        let (lock, cvar) = &*self.signal;
+        let mut signal = lock.lock().unwrap_or_else(|e| e.into_inner());
+        signal.live_handles = signal.live_handles.saturating_add_signed(delta);
+        cvar.notify_all();
     }
 
     /// Registers a named endpoint, returning its handle (receiver included).
     pub fn register(&self, name: &str) -> NetHandle {
         let (addr, rx) = self.register_endpoint(name, false);
+        self.note_handles(1);
         NetHandle {
             addr,
             rx: rx.expect("receiver kept by the handle"),
@@ -146,7 +160,6 @@ impl ThreadNet {
         reg.names.push(name.to_owned());
         reg.senders.push(tx);
         reg.crashed.push(false);
-        reg.handle_present.push(!retain);
         reg.connections.push(Vec::new());
         if retain {
             reg.receivers.push(Some(Mutex::new(rx)));
@@ -290,23 +303,30 @@ impl Transport for ThreadNet {
     /// The first idle step never parks, so a pump loop's single
     /// exit-probe call — and with it every deployment with no
     /// handle-owned endpoints at all — sees no added latency.
+    ///
+    /// The liveness condition (`live_handles > 0`) is evaluated **under
+    /// the same lock** the handle drop mutates, and the drop notifies
+    /// the condvar: the last sender exiting between an empty drain and
+    /// the park can neither slip past the check unobserved nor leave a
+    /// parked step burning the full timeout (the missed-wakeup race
+    /// this method used to have when liveness lived behind a separate
+    /// lock with a notification-free drop).
     fn step(&mut self) -> bool {
-        // Cheap pre-check outside the signal lock: park only when a
-        // sender thread could still produce traffic. (Registry and
-        // signal locks are never nested — see `arrivals`.)
-        let may_park = self.idle_steps >= 1 && self.has_live_handles();
-        let (lock, cvar) = &*self.arrivals;
-        let mut arrivals = lock.lock().unwrap_or_else(|e| e.into_inner());
-        if *arrivals == self.seen_arrivals && may_park {
-            // Missed-wakeup-safe: the counter is re-checked under the
-            // lock the sender bumps it under.
+        let (lock, cvar) = &*self.signal;
+        let mut signal = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if signal.arrivals == self.seen_arrivals
+            && self.idle_steps >= 1
+            && signal.live_handles > 0
+        {
+            // Missed-wakeup-safe: arrivals and live_handles are both
+            // re-checked under the lock their writers bump them under.
             let (guard, _) = cvar
-                .wait_timeout(arrivals, PARK_TIMEOUT)
+                .wait_timeout(signal, PARK_TIMEOUT)
                 .unwrap_or_else(|e| e.into_inner());
-            arrivals = guard;
+            signal = guard;
         }
-        let advanced = *arrivals != self.seen_arrivals;
-        self.seen_arrivals = *arrivals;
+        let advanced = signal.arrivals != self.seen_arrivals;
+        self.seen_arrivals = signal.arrivals;
         self.idle_steps = if advanced { 0 } else { self.idle_steps.saturating_add(1) };
         advanced
     }
@@ -371,10 +391,11 @@ impl NetHandle {
 
 impl Drop for NetHandle {
     /// A dropped handle can never send again: stop counting it as a
-    /// live sender thread, so [`Transport::step`] does not keep parking
-    /// for traffic that cannot come.
+    /// live sender thread — under the park-signal lock, with a notify —
+    /// so a concurrently parking (or already parked) [`Transport::step`]
+    /// re-evaluates immediately instead of waiting out the timeout.
     fn drop(&mut self) {
-        self.net.registry.write().handle_present[self.addr.raw() as usize] = false;
+        self.net.note_handles(-1);
     }
 }
 
@@ -537,6 +558,58 @@ mod tests {
         assert!(
             start.elapsed() < 10 * PARK_TIMEOUT,
             "a dropped handle cannot produce traffic; step must not park"
+        );
+    }
+
+    /// The missed-wakeup race: a sender thread whose handle exits
+    /// between a step's liveness check and its park must not leave the
+    /// drive loop burning full park timeouts. Liveness is re-checked
+    /// under the signal lock and every handle drop notifies, so a
+    /// parked (or about-to-park) step re-evaluates within the churn
+    /// interval instead of sleeping out [`PARK_TIMEOUT`]. Under the old
+    /// separate-lock, notification-free drop, each of the 600 steps
+    /// below parks the full 1 ms (the churn keeps the stale liveness
+    /// check true, and nothing ever notifies) — ~600 ms, reliably 2×
+    /// over the bound; with the fix the drops themselves wake the
+    /// stepper (~100 µs per step, 3–5× under it), so the bound holds a
+    /// wide margin on both sides even when CI preemption stalls the
+    /// churner for a few park timeouts.
+    #[test]
+    fn handle_churn_cannot_park_steps_past_the_drop() {
+        let mut net = ThreadNet::new();
+        let _b = Transport::register(&mut net, "b");
+        assert!(!net.step(), "prime the idle counter");
+        let churn_net = net.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let churner = std::thread::spawn(move || {
+            let mut i = 0u32;
+            while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                let handle = churn_net.register(&format!("churn-{i}"));
+                if i == 0 {
+                    let _ = started_tx.send(());
+                }
+                std::thread::sleep(Duration::from_micros(100));
+                drop(handle); // the last live sender exits — mid-park
+                i += 1;
+            }
+        });
+        // Step only once the churn is live, so the loop really races
+        // parks against handle drops instead of sprinting through an
+        // empty bus.
+        started_rx.recv().expect("churner must start");
+        let start = std::time::Instant::now();
+        for _ in 0..600 {
+            net.step();
+        }
+        let elapsed = start.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        churner.join().unwrap();
+        assert!(
+            elapsed < 300 * PARK_TIMEOUT,
+            "steps parked past handle drops ({elapsed:?} for 600 steps) — \
+             the drop must wake or preempt the park"
         );
     }
 

@@ -38,11 +38,12 @@ use fortress_model::params::Policy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::outage::OutageDriver;
 use crate::protocol_mc::ProtocolExperiment;
-use crate::report::{fmt_num, CsvTable};
+use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
 use crate::runner::{fold, trial_seed, Runner, TrialBudget};
-use crate::scenario::{Scenario, ScenarioSpec, SweepCell, SweepScheduler};
-use crate::stats::Estimate;
+use crate::scenario::{Scenario, ScenarioSpec, SweepCell, SweepScheduler, TrialMeasure};
+use crate::stats::{AvailStats, Estimate};
 
 /// One coordinate of the campaign grid.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -156,26 +157,35 @@ impl CampaignGrid {
         let strategy = cell.strategy;
         let cell_seed = cell.cell_seed(base_seed);
         let runner = runner.clone().with_chunk(CampaignGrid::CELL_CHUNK);
-        let stats = runner.run(cell_seed, budget, move |trial_index, _rng| {
-            run_cell_once(&exp, strategy, trial_seed(cell_seed, trial_index)) as f64
-        });
+        let stats = runner
+            .try_run_samples(
+                cell_seed,
+                budget,
+                std::sync::Arc::new(move |trial_index, _rng| {
+                    run_cell_measured(&exp, strategy, trial_seed(cell_seed, trial_index))
+                        .into_sample()
+                }),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         // Derived fields (estimate, censoring) come from the one shared
         // definition; only the legacy κ projection differs (the grid
         // reports the suspicion-induced κ for every strategy).
         let spec = ScenarioSpec::Campaign { experiment: exp, strategy };
-        let outcome = crate::scenario::SweepOutcome::of(
+        let outcome = crate::scenario::SweepOutcome::measured(
             &SweepCell {
                 label: spec.label(),
                 spec,
                 seed: cell_seed,
             },
-            stats,
+            stats.value,
+            stats.avail,
         );
         CellOutcome {
             cell,
             kappa: cell.suspicion.induced_kappa(exp.omega),
             estimate: outcome.estimate,
             censored: outcome.censored,
+            avail: outcome.avail,
         }
     }
 
@@ -221,6 +231,7 @@ impl CampaignGrid {
                     kappa: cell.suspicion.induced_kappa(self.base.omega),
                     estimate: outcome.estimate,
                     censored: outcome.censored,
+                    avail: outcome.avail,
                 })
                 .collect(),
         }
@@ -231,8 +242,23 @@ impl CampaignGrid {
 /// strategy, walk unit time-steps until the compromise condition holds.
 /// Returns the 1-based step of the fall, or `max_steps` if censored.
 pub fn run_cell_once(exp: &ProtocolExperiment, strategy: StrategyKind, seed: u64) -> u64 {
+    run_cell_measured(exp, strategy, seed).lifetime
+}
+
+/// [`run_cell_once`] with availability measurements attached: the same
+/// drive loop (the adversary's RNG stream is untouched — the outage
+/// driver draws from its own stream, and [`OutageSpec::None`](crate::outage::OutageSpec)
+/// draws nothing — so lifetimes are bit-identical to the pre-axis
+/// runs), plus the experiment's outage schedule injected at the top of
+/// each step and the stack's availability counters read out at the end.
+pub fn run_cell_measured(
+    exp: &ProtocolExperiment,
+    strategy: StrategyKind,
+    seed: u64,
+) -> TrialMeasure {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
     let mut stack = exp.build_stack(seed);
+    let mut outage = OutageDriver::new(exp.outage, seed);
     let mut adversary = strategy.build(
         &mut stack,
         "attacker",
@@ -242,15 +268,16 @@ pub fn run_cell_once(exp: &ProtocolExperiment, strategy: StrategyKind, seed: u64
         &mut rng,
     );
     for step in 1..=exp.max_steps {
+        outage.before_step(&mut stack, step);
         adversary.step(&mut stack, &mut rng);
         if stack.end_step() != CompromiseState::Intact {
-            return step;
+            return TrialMeasure::of_protocol_trial(exp.max_steps, step, true, &stack);
         }
         if exp.policy == Policy::Proactive {
             adversary.on_rerandomized(&mut rng);
         }
     }
-    exp.max_steps
+    TrialMeasure::of_protocol_trial(exp.max_steps, exp.max_steps, false, &stack)
 }
 
 /// The measured outcome of one grid cell.
@@ -268,6 +295,12 @@ pub struct CellOutcome {
     /// cannot distinguish the two, so read the mean as a lower bound
     /// whenever this is set.
     pub censored: bool,
+    /// Availability statistics across the cell's trials (downtime
+    /// fraction, failover count/latency, lost requests) — meaningful
+    /// once the grid's base experiment carries an
+    /// [`OutageSpec`](crate::outage::OutageSpec); without one, the
+    /// downtime column reads the pure compromise tail.
+    pub avail: AvailStats,
 }
 
 /// All cell outcomes of one campaign run.
@@ -296,6 +329,10 @@ impl CampaignReport {
             "ci_high",
             "trials",
             "censored",
+            "downtime",
+            "failovers",
+            "failover_latency",
+            "lost_requests",
         ]);
         for o in &self.cells {
             table.push_row(vec![
@@ -309,6 +346,10 @@ impl CampaignReport {
                 fmt_num(o.estimate.ci_high),
                 o.estimate.n.to_string(),
                 o.censored.to_string(),
+                fmt_avail(&o.avail.downtime),
+                fmt_avail(&o.avail.failovers),
+                fmt_avail(&o.avail.failover_latency),
+                fmt_avail(&o.avail.lost),
             ]);
         }
         table
@@ -323,9 +364,12 @@ impl CampaignReport {
             if i > 0 {
                 out.push(',');
             }
+            let downtime = avail_json(&o.avail.downtime);
+            let latency = avail_json(&o.avail.failover_latency);
             out.push_str(&format!(
                 "{{\"window\":{},\"threshold\":{},\"np\":{},\"strategy\":\"{}\",\
-                 \"kappa\":{},\"mean\":{},\"n\":{}}}",
+                 \"kappa\":{},\"mean\":{},\"n\":{},\"downtime\":{downtime},\
+                 \"failover_latency\":{latency}}}",
                 o.cell.suspicion.window,
                 o.cell.suspicion.threshold,
                 o.cell.np,

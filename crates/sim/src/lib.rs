@@ -24,11 +24,11 @@
 //! All four meet in [`scenario`] — the unified experiment surface: an
 //! object-safe [`scenario::Scenario`] trait every fidelity implements, a
 //! declarative [`scenario::SweepSpec`] axis builder (class × SO/PO ×
-//! entropy × suspicion × fleet × strategy), a cell-parallel
-//! [`scenario::SweepScheduler`] that runs sweep cells as first-class
-//! jobs on the shared worker pool, and a [`scenario::CrossCheck`] that
-//! validates protocol cells against the abstract model's κ predictions
-//! cell-by-cell.
+//! entropy × suspicion × fleet × strategy × [`outage`] schedule — the
+//! availability axis), a cell-parallel [`scenario::SweepScheduler`]
+//! that runs sweep cells as first-class jobs on the shared worker pool,
+//! and a [`scenario::CrossCheck`] that validates protocol cells against
+//! the abstract model's κ (and availability) predictions cell-by-cell.
 //!
 //! Support: [`runner`] (the parallel deterministic trial runner every
 //! consumer goes through), [`stats`] (Welford accumulators, parallel
@@ -55,6 +55,7 @@
 pub mod abstract_mc;
 pub mod campaign_mc;
 pub mod event_mc;
+pub mod outage;
 pub mod protocol_mc;
 pub mod report;
 pub mod runner;
@@ -64,9 +65,10 @@ pub mod stats;
 pub use abstract_mc::AbstractModel;
 pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::sample_lifetime;
+pub use outage::{OutageDriver, OutageSpec};
 pub use protocol_mc::ProtocolExperiment;
 pub use runner::{Runner, RunnerError, TrialBudget};
 pub use scenario::{
     CrossCheck, Scenario, ScenarioSpec, SweepCell, SweepReport, SweepScheduler, SweepSpec,
 };
-pub use stats::{Estimate, RunningStats};
+pub use stats::{AvailPoint, AvailStats, Estimate, RunningStats};

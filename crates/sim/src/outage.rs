@@ -1,0 +1,372 @@
+//! The availability axis: declarative outage schedules injected into
+//! protocol-level trials.
+//!
+//! The survivability literature (Ellison et al., *Survivable Network
+//! System Analysis*; Cusick, *Exploring System Resiliency*) treats
+//! recovery-under-attack — not just intrusion resistance — as the
+//! defining resilience metric, and the paper's PB tier exists precisely
+//! to survive machine outages. [`OutageSpec`] makes outage injection a
+//! first-class sweep axis: a `Copy` schedule of crash/restart events a
+//! trial's drive loop applies to the PB tier via
+//! [`Stack::take_down_server`] / [`Stack::bring_up_server`], with every
+//! random choice drawn from a dedicated RNG stream derived from the
+//! trial seed — so outage-bearing cells keep the campaign determinism
+//! contract (bit-identical at any thread count, invariant under sweep
+//! reordering).
+//!
+//! The availability *measurements* the injected outages provoke
+//! (downtime fraction, failover count and latency, requests lost) are
+//! collected by `fortress_core`'s [`Availability`](fortress_core::system::Availability)
+//! counters and merged Welford-style through the runner — see
+//! [`crate::stats::AvailStats`].
+
+use fortress_core::system::{Stack, SystemClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::fold;
+
+/// A declarative schedule of PB-tier machine outages for one scenario
+/// cell. `Copy + PartialEq` so it can sit in a sweep coordinate; its
+/// parameters fold into the cell's content-derived seed (two cells
+/// differing in any outage parameter draw decorrelated trial streams).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OutageSpec {
+    /// No injected outages — the pre-availability-axis behavior, and the
+    /// seed-compatible default (a `None` cell folds nothing extra into
+    /// its content seed, so legacy cells keep their pinned bits).
+    None,
+    /// Deterministic periodic maintenance-style outages: every `period`
+    /// steps the next server in round-robin order goes down for
+    /// `downtime` steps.
+    Periodic {
+        /// Steps between consecutive crash injections (≥ 1).
+        period: u64,
+        /// Steps a downed machine stays down (≥ 1).
+        downtime: u64,
+    },
+    /// Memoryless random outages, Poisson-seeded from the cell seed:
+    /// each step, each server independently goes down with probability
+    /// `rate`; repairs complete after `downtime` steps.
+    Random {
+        /// Per-server per-step crash probability in `[0, 1]`.
+        rate: f64,
+        /// Steps a downed machine stays down (≥ 1).
+        downtime: u64,
+    },
+    /// Adversary-correlated "strike-then-crash": the first step the
+    /// adversary holds a compromised proxy (its launch pad) while the
+    /// whole server tier is up, the serving primary's machine goes down
+    /// for `downtime` steps — outage pressure timed exactly against
+    /// attack pressure, the worst case the survivability methodology
+    /// asks for. Re-arms after each repair while a pad is still held.
+    StrikeThenCrash {
+        /// Steps the struck machine stays down (≥ 1).
+        downtime: u64,
+    },
+}
+
+impl OutageSpec {
+    /// Whether this is the no-outage schedule.
+    pub fn is_none(&self) -> bool {
+        matches!(self, OutageSpec::None)
+    }
+
+    /// Short label for cell names and reports.
+    pub fn label(&self) -> String {
+        match *self {
+            OutageSpec::None => "none".to_string(),
+            OutageSpec::Periodic { period, downtime } => {
+                format!("periodic:{period}/{downtime}")
+            }
+            OutageSpec::Random { rate, downtime } => format!("poisson:{rate}/{downtime}"),
+            OutageSpec::StrikeThenCrash { downtime } => format!("strike:{downtime}"),
+        }
+    }
+
+    /// Folds the schedule into a content seed. [`OutageSpec::None`]
+    /// deliberately folds **nothing**, preserving every pre-axis cell
+    /// seed bit-for-bit (the legacy campaign golden file pins them).
+    pub(crate) fn fold_into(&self, seed: u64) -> u64 {
+        match *self {
+            OutageSpec::None => seed,
+            OutageSpec::Periodic { period, downtime } => {
+                fold(fold(fold(seed, 0x0A17_0001), period), downtime)
+            }
+            OutageSpec::Random { rate, downtime } => {
+                fold(fold(fold(seed, 0x0A17_0002), rate.to_bits()), downtime)
+            }
+            OutageSpec::StrikeThenCrash { downtime } => {
+                fold(fold(seed, 0x0A17_0003), downtime)
+            }
+        }
+    }
+
+    /// Closed-form steady-state downtime fraction this schedule alone
+    /// (no adversary) is expected to impose on a PB tier with the given
+    /// failover timeout: an outage hitting the serving primary leaves
+    /// the tier down for about `min(downtime, failover_timeout)` steps.
+    ///
+    /// * **Periodic** injections *chase the primary*: striking the
+    ///   primary forces a failover that advances the primary to the
+    ///   next index — exactly the round-robin's next target — so once
+    ///   aligned, essentially every injection opens a failover window
+    ///   (the classic rolling-restart-chases-the-leader ops
+    ///   phenomenon). Hence `min(d, ft) / period`, an upper-end
+    ///   estimate, with no 1/ns discount.
+    /// * **Random** outages hit the primary at the per-server rate, so
+    ///   the fraction is `rate × min(d, ft)` regardless of tier width.
+    /// * `None` for schedules without a steady rate (strike-then-crash
+    ///   is paced by the adversary, not a clock).
+    ///
+    /// This is what the scenario layer's cross-check reads the
+    /// availability prediction from — a shape check (right order,
+    /// right direction), not a calibration.
+    pub fn expected_downtime_fraction(&self, failover_timeout: u64) -> Option<f64> {
+        match *self {
+            OutageSpec::None => Some(0.0),
+            OutageSpec::Periodic { period, downtime } => {
+                let window = downtime.min(failover_timeout) as f64;
+                Some((window / period.max(1) as f64).min(1.0))
+            }
+            OutageSpec::Random { rate, downtime } => {
+                let window = downtime.min(failover_timeout) as f64;
+                Some((rate.clamp(0.0, 1.0) * window).min(1.0))
+            }
+            OutageSpec::StrikeThenCrash { .. } => None,
+        }
+    }
+}
+
+/// Salt of the outage driver's RNG stream under the trial seed — a
+/// distinct stream from the stack's and the adversary's, so adding the
+/// availability axis perturbs neither.
+const OUTAGE_STREAM: u64 = 0x007A6_E5EED;
+
+/// Applies an [`OutageSpec`] to a [`Stack`] one step at a time. One
+/// driver per trial; all randomness comes from its own `StdRng` seeded
+/// from the trial seed, so a trial remains a pure function of its seed.
+#[derive(Debug)]
+pub struct OutageDriver {
+    spec: OutageSpec,
+    /// RNG for [`OutageSpec::Random`]; `None` otherwise (deterministic
+    /// schedules must not consume a stream).
+    rng: Option<StdRng>,
+    /// `(server index, step at which it comes back up)`.
+    down_until: Vec<(usize, u64)>,
+    /// Round-robin cursor for [`OutageSpec::Periodic`].
+    next_target: usize,
+}
+
+impl OutageDriver {
+    /// A driver for `spec` under `trial_seed`.
+    pub fn new(spec: OutageSpec, trial_seed: u64) -> OutageDriver {
+        let rng = matches!(spec, OutageSpec::Random { .. })
+            .then(|| StdRng::seed_from_u64(fold(trial_seed, OUTAGE_STREAM)));
+        OutageDriver {
+            spec,
+            rng,
+            down_until: Vec::new(),
+            next_target: 0,
+        }
+    }
+
+    /// Applies the schedule at the start of 1-based `step`: first brings
+    /// back machines whose repair is due, then injects whatever the
+    /// schedule prescribes. A no-op for S0 (no PB tier to take down).
+    pub fn before_step(&mut self, stack: &mut Stack, step: u64) {
+        if self.spec.is_none() || stack.class() == SystemClass::S0Smr {
+            return;
+        }
+        // Repairs first: a machine downed for `d` steps at step `t` is
+        // back before step `t + d` runs.
+        let mut i = 0;
+        while i < self.down_until.len() {
+            if step >= self.down_until[i].1 {
+                let (server, _) = self.down_until.swap_remove(i);
+                stack.bring_up_server(server);
+            } else {
+                i += 1;
+            }
+        }
+        let ns = stack.config().ns;
+        match self.spec {
+            OutageSpec::None => {}
+            OutageSpec::Periodic { period, downtime } => {
+                if step.is_multiple_of(period.max(1)) {
+                    let target = self.next_target % ns;
+                    self.next_target += 1;
+                    self.take_down(stack, target, step + downtime.max(1));
+                }
+            }
+            OutageSpec::Random { rate, downtime } => {
+                // One draw per server per step regardless of its state,
+                // so the stream position never depends on prior repairs.
+                // (The RNG is taken out of `self` for the loop so
+                // `take_down` can borrow the driver.)
+                let mut rng = self.rng.take().expect("Random schedules carry an RNG");
+                for server in 0..ns {
+                    if rng.gen::<f64>() < rate {
+                        self.take_down(stack, server, step + downtime.max(1));
+                    }
+                }
+                self.rng = Some(rng);
+            }
+            OutageSpec::StrikeThenCrash { downtime } => {
+                let pad_held =
+                    (0..stack.proxy_count()).any(|i| stack.proxy_is_compromised(i));
+                if pad_held && !stack.any_server_down() {
+                    // Strike the machine currently serving — after each
+                    // repair and failover that is the *new* primary, so
+                    // a held pad keeps the outage pressure on whoever
+                    // serves, not forever on server 0. Fallback to the
+                    // lowest up machine when nobody serves (view still
+                    // settling).
+                    let target = stack
+                        .pb_primary_index()
+                        .or_else(|| (0..ns).find(|&i| !stack.server_is_down(i)))
+                        .unwrap_or(0);
+                    self.take_down(stack, target, step + downtime.max(1));
+                }
+            }
+        }
+    }
+
+    /// Takes `server` down until `up_at`, unless it is already down.
+    fn take_down(&mut self, stack: &mut Stack, server: usize, up_at: u64) {
+        if stack.server_is_down(server) {
+            return;
+        }
+        stack.take_down_server(server);
+        self.down_until.push((server, up_at));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortress_core::system::{StackConfig, SystemClass};
+    use fortress_obf::schedule::ObfuscationPolicy;
+
+    fn s1_stack(seed: u64) -> Stack {
+        Stack::new(StackConfig {
+            class: SystemClass::S1Pb,
+            policy: ObfuscationPolicy::StartupOnly,
+            seed,
+            ..StackConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn periodic_schedule_cycles_targets_and_repairs() {
+        let mut stack = s1_stack(3);
+        let mut driver = OutageDriver::new(
+            OutageSpec::Periodic {
+                period: 10,
+                downtime: 4,
+            },
+            7,
+        );
+        let mut downed_steps = 0u64;
+        for step in 1..=40 {
+            driver.before_step(&mut stack, step);
+            if stack.any_server_down() {
+                downed_steps += 1;
+            }
+            stack.end_step();
+        }
+        let avail = stack.availability();
+        assert_eq!(avail.outages, 4, "steps 10, 20, 30, 40 inject");
+        assert_eq!(downed_steps, 3 * 4 + 1, "4 downtime steps per outage");
+        // Round-robin across the 3 servers: the first three outages hit
+        // distinct machines.
+        assert!(avail.steps == 40);
+    }
+
+    #[test]
+    fn random_schedule_is_a_pure_function_of_the_seed() {
+        let run = |seed: u64| {
+            let mut stack = s1_stack(11);
+            let mut driver = OutageDriver::new(
+                OutageSpec::Random {
+                    rate: 0.08,
+                    downtime: 3,
+                },
+                seed,
+            );
+            let mut pattern = Vec::new();
+            for step in 1..=60 {
+                driver.before_step(&mut stack, step);
+                pattern.push(stack.any_server_down());
+                stack.end_step();
+            }
+            (pattern, stack.availability())
+        };
+        let (a, avail_a) = run(5);
+        let (b, avail_b) = run(5);
+        assert_eq!(a, b, "same trial seed, same outage pattern");
+        assert_eq!(avail_a, avail_b);
+        let (c, _) = run(6);
+        assert_ne!(a, c, "different trial seeds decorrelate the schedule");
+    }
+
+    #[test]
+    fn none_schedule_touches_nothing() {
+        let mut stack = s1_stack(1);
+        let mut driver = OutageDriver::new(OutageSpec::None, 9);
+        for step in 1..=20 {
+            driver.before_step(&mut stack, step);
+            stack.end_step();
+        }
+        let avail = stack.availability();
+        assert_eq!(avail.outages, 0);
+        assert_eq!(avail.down_steps, 0);
+        assert_eq!(avail.lost_requests, 0);
+    }
+
+    #[test]
+    fn expected_downtime_closed_forms() {
+        let periodic = OutageSpec::Periodic {
+            period: 50,
+            downtime: 10,
+        };
+        // Injections chase the primary (round-robin co-rotates with the
+        // view rotation), so every period opens min(10, 20) down steps.
+        let f = periodic.expected_downtime_fraction(20).unwrap();
+        assert!((f - 10.0 / 50.0).abs() < 1e-12);
+        let random = OutageSpec::Random {
+            rate: 0.01,
+            downtime: 40,
+        };
+        // rate * min(40, 20)
+        let f = random.expected_downtime_fraction(20).unwrap();
+        assert!((f - 0.2).abs() < 1e-12);
+        assert_eq!(OutageSpec::None.expected_downtime_fraction(20), Some(0.0));
+        assert!(OutageSpec::StrikeThenCrash { downtime: 5 }
+            .expected_downtime_fraction(20)
+            .is_none());
+    }
+
+    #[test]
+    fn labels_and_seeds_distinguish_schedules() {
+        let specs = [
+            OutageSpec::None,
+            OutageSpec::Periodic { period: 20, downtime: 5 },
+            OutageSpec::Periodic { period: 20, downtime: 6 },
+            OutageSpec::Random { rate: 0.01, downtime: 5 },
+            OutageSpec::StrikeThenCrash { downtime: 5 },
+        ];
+        let mut labels = std::collections::HashSet::new();
+        let mut seeds = std::collections::HashSet::new();
+        for spec in specs {
+            assert!(labels.insert(spec.label()), "label collision at {spec:?}");
+            assert!(
+                seeds.insert(spec.fold_into(0xFEED)),
+                "seed collision at {spec:?}"
+            );
+        }
+        // None folds nothing: legacy seeds are preserved.
+        assert_eq!(OutageSpec::None.fold_into(0xFEED), 0xFEED);
+    }
+}

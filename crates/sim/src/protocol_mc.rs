@@ -16,7 +16,9 @@ use fortress_obf::scheme::Scheme;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::outage::{OutageDriver, OutageSpec};
 use crate::runner::{Runner, TrialBudget};
+use crate::scenario::TrialMeasure;
 use crate::stats::Estimate;
 
 /// Configuration of one protocol-level experiment.
@@ -39,6 +41,10 @@ pub struct ProtocolExperiment {
     pub scheme: Scheme,
     /// Cap on steps per trial (trials hitting the cap are censored at it).
     pub max_steps: u64,
+    /// Machine-outage schedule injected into the PB tier during the
+    /// drive loop (the availability axis; [`OutageSpec::None`] preserves
+    /// the pre-axis behavior and seeds bit-for-bit).
+    pub outage: OutageSpec,
 }
 
 impl ProtocolExperiment {
@@ -56,6 +62,7 @@ impl ProtocolExperiment {
             np: 3,
             scheme: Scheme::Aslr,
             max_steps: 50_000,
+            outage: OutageSpec::None,
         }
     }
 
@@ -102,8 +109,18 @@ impl ProtocolExperiment {
     /// posture — one drive loop, shared with every other strategy, so
     /// PROTO estimates and campaign `paced` cells cannot drift apart.
     pub fn run_once(&self, seed: u64) -> u64 {
+        self.run_measured(seed).lifetime
+    }
+
+    /// [`ProtocolExperiment::run_once`] with the availability
+    /// measurements attached: the same drive loop (identical RNG
+    /// consumption, so lifetimes are bit-identical with or without the
+    /// measurement), with the experiment's [`OutageSpec`] applied at the
+    /// top of each step and the stack's availability counters read out
+    /// at the end.
+    pub fn run_measured(&self, seed: u64) -> TrialMeasure {
         if self.class == SystemClass::S2Fortress {
-            return crate::campaign_mc::run_cell_once(
+            return crate::campaign_mc::run_cell_measured(
                 self,
                 fortress_attack::campaign::StrategyKind::PacedBelowThreshold,
                 seed,
@@ -111,6 +128,7 @@ impl ProtocolExperiment {
         }
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
         let mut stack = self.build_stack(seed);
+        let mut outage = OutageDriver::new(self.outage, seed);
         let mut attacker = DirectAttacker::new(
             &mut stack,
             "attacker",
@@ -119,16 +137,17 @@ impl ProtocolExperiment {
             &mut rng,
         );
         for step in 1..=self.max_steps {
+            outage.before_step(&mut stack, step);
             attacker.step(&mut stack, &mut rng);
             let state = stack.end_step();
             if state != CompromiseState::Intact {
-                return step;
+                return TrialMeasure::of_protocol_trial(self.max_steps, step, true, &stack);
             }
             if self.policy == Policy::Proactive {
                 attacker.on_rerandomized(&mut rng);
             }
         }
-        self.max_steps
+        TrialMeasure::of_protocol_trial(self.max_steps, self.max_steps, false, &stack)
     }
 
     /// Runs `trials` independent trials through the parallel runner and

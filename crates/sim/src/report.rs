@@ -87,6 +87,30 @@ fn quote(field: &str) -> String {
     }
 }
 
+/// Formats an availability metric column: the accumulator's mean via
+/// [`fmt_num`], or `-` when no trial contributed a sample (cells of
+/// scenarios without an availability dimension, or a latency column when
+/// no failover completed).
+pub fn fmt_avail(stats: &crate::stats::RunningStats) -> String {
+    if stats.n() == 0 {
+        "-".to_string()
+    } else {
+        fmt_num(stats.mean())
+    }
+}
+
+/// JSON rendering of an availability metric: the accumulator's full-
+/// precision mean, or `null` when no trial contributed a sample. Full
+/// precision deliberately — these strings are the serial-vs-parallel
+/// determinism comparators.
+pub fn avail_json(stats: &crate::stats::RunningStats) -> String {
+    if stats.n() == 0 {
+        "null".to_string()
+    } else {
+        stats.mean().to_string()
+    }
+}
+
 /// Formats a float compactly for tables (scientific below 0.01 or above
 /// 10⁶, fixed otherwise).
 pub fn fmt_num(x: f64) -> String {

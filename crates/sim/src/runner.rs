@@ -38,7 +38,7 @@
 //! fixed-size batches of fixed index ranges, and the stopping rule only
 //! looks at the (deterministic) merged statistics after each batch.
 
-use crate::stats::RunningStats;
+use crate::stats::{AvailPoint, AvailStats, RunningStats};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cell::Cell;
@@ -144,6 +144,18 @@ pub enum TrialBudget {
     },
 }
 
+/// Absolute-scale floor of the [`TrialBudget::TargetRse`] stop rule:
+/// the rule stops once `std_error ≤ target × max(|mean|, RSE_ABS_FLOOR)`.
+/// Without the floor, zero-variance or near-zero-mean cells — exactly
+/// what all-down outage cells produce (every trial censors at the same
+/// step, or a metric sits at 0) — make the *relative* standard error
+/// blow up (division by ~0) and the budget loop burn trials all the way
+/// to `max_trials` on a cell that converged at `min_trials`. The floor
+/// is far below every measured scale in this workspace (lifetimes ≥ 1
+/// step, fractions in [0, 1]), so cells with a resolvable mean see the
+/// identical stopping schedule as before.
+pub const RSE_ABS_FLOOR: f64 = 1e-9;
+
 impl TrialBudget {
     /// A reasonable adaptive budget: stop at `target_rse` relative
     /// standard error, between 16k and 1M trials, checked every 16k.
@@ -184,7 +196,16 @@ impl TrialBudget {
                 if done >= max_trials {
                     return None;
                 }
-                if started && done >= min_trials && acc.relative_std_error() <= target {
+                // The RSE stop rule with an absolute-scale floor (see
+                // [`RSE_ABS_FLOOR`]): n ≥ 2 so the variance is real,
+                // then stop once the standard error is small relative
+                // to max(|mean|, floor) — never dividing by ~0.
+                let scale = acc.mean().abs().max(RSE_ABS_FLOOR);
+                if started
+                    && done >= min_trials
+                    && acc.n() >= 2
+                    && acc.std_error() <= target * scale
+                {
                     return None;
                 }
                 Some((done, (done + batch).min(max_trials)))
@@ -193,9 +214,60 @@ impl TrialBudget {
     }
 }
 
+/// One trial's outputs: the primary value the budget's stopping rule
+/// reads (a lifetime, for every scenario trial) plus the optional
+/// availability measurements outage-bearing protocol trials produce.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Sample {
+    /// The primary measured value.
+    pub(crate) value: f64,
+    /// Availability measurements, where the trial produced them.
+    pub(crate) avail: Option<AvailPoint>,
+}
+
+impl Sample {
+    /// A value-only sample (trials without an availability dimension).
+    pub(crate) fn point(value: f64) -> Sample {
+        Sample { value, avail: None }
+    }
+}
+
+/// The merged statistics of one chunk (or one whole run): the primary
+/// value's Welford accumulator plus the availability accumulators,
+/// merged together in the same fixed chunk-index order — one reduction
+/// tree, so both are bit-identical at any thread count.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SampleStats {
+    /// Primary value statistics (what [`Runner::run`] returns).
+    pub(crate) value: RunningStats,
+    /// Availability statistics (empty when no trial produced a point).
+    pub(crate) avail: AvailStats,
+}
+
+impl SampleStats {
+    pub(crate) fn new() -> SampleStats {
+        SampleStats {
+            value: RunningStats::new(),
+            avail: AvailStats::new(),
+        }
+    }
+
+    fn push(&mut self, sample: Sample) {
+        self.value.push(sample.value);
+        if let Some(point) = sample.avail {
+            self.avail.push(&point);
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &SampleStats) {
+        self.value.merge(&other.value);
+        self.avail.merge(&other.avail);
+    }
+}
+
 /// The trial closure, type-erased so the persistent workers (which are
 /// `'static` threads) can hold it across the duration of one job.
-pub(crate) type TrialFn = Arc<dyn Fn(u64, &mut SmallRng) -> f64 + Send + Sync>;
+pub(crate) type TrialFn = Arc<dyn Fn(u64, &mut SmallRng) -> Sample + Send + Sync>;
 
 /// One chunk's merged statistics, tagged with the batch it belongs to —
 /// the unit of the two-level work queue. `Runner::run` only ever has one
@@ -205,7 +277,7 @@ pub(crate) type TrialFn = Arc<dyn Fn(u64, &mut SmallRng) -> f64 + Send + Sync>;
 pub(crate) struct ChunkResult {
     pub(crate) tag: usize,
     pub(crate) index: usize,
-    pub(crate) stats: RunningStats,
+    pub(crate) stats: SampleStats,
     /// Set when the trial closure panicked inside this chunk (the
     /// `stats` are then meaningless). Sent *before* the worker dies of
     /// the re-raised panic, so collectors holding their own sender —
@@ -274,7 +346,7 @@ impl Job {
                     let _ = self.results.send(ChunkResult {
                         tag: self.tag,
                         index,
-                        stats: RunningStats::new(),
+                        stats: SampleStats::new(),
                         panicked: true,
                     });
                     std::panic::resume_unwind(cause);
@@ -288,16 +360,16 @@ impl Job {
 /// per-chunk arithmetic — pooled, scoped and serial execution all call
 /// it, which is what makes their results bit-identical.
 fn run_chunk(
-    trial: &(dyn Fn(u64, &mut SmallRng) -> f64 + Sync),
+    trial: &(dyn Fn(u64, &mut SmallRng) -> Sample + Sync),
     base_seed: u64,
     start: u64,
     end: u64,
     chunk: u64,
     index: usize,
-) -> RunningStats {
+) -> SampleStats {
     let lo = start + index as u64 * chunk;
     let hi = (lo + chunk).min(end);
-    let mut stats = RunningStats::new();
+    let mut stats = SampleStats::new();
     for t in lo..hi {
         let mut rng = SmallRng::seed_from_u64(trial_seed(base_seed, t));
         stats.push(trial(t, &mut rng));
@@ -508,10 +580,10 @@ impl Runner {
         base_seed: u64,
         start: u64,
         end: u64,
-        trial: &(dyn Fn(u64, &mut SmallRng) -> f64 + Sync),
-    ) -> RunningStats {
+        trial: &(dyn Fn(u64, &mut SmallRng) -> Sample + Sync),
+    ) -> SampleStats {
         if start >= end {
-            return RunningStats::new();
+            return SampleStats::new();
         }
         let (n_chunks, _) = self.plan(start, end);
         self.run_range_serial(base_seed, start, end, trial, n_chunks)
@@ -560,12 +632,27 @@ impl Runner {
     where
         F: Fn(u64, &mut SmallRng) -> f64 + Send + Sync + 'static,
     {
+        let trial: TrialFn = Arc::new(move |i, rng| Sample::point(trial(i, rng)));
+        Ok(self.try_run_samples(base_seed, budget, trial)?.value)
+    }
+
+    /// The sample-typed run every blocking path funnels through:
+    /// identical chunking, scheduling and merge order as the historical
+    /// f64 path (the primary value statistics are bit-for-bit what
+    /// [`Runner::run`] always returned), with availability accumulators
+    /// carried alongside through the same reduction tree. The scenario
+    /// layer's measured runs call this directly.
+    pub(crate) fn try_run_samples(
+        &self,
+        base_seed: u64,
+        budget: TrialBudget,
+        trial: TrialFn,
+    ) -> Result<SampleStats, RunnerError> {
         if let Some(pool) = &self.pool {
             if WORKER_OF_POOL.with(Cell::get) == pool.id {
                 return Err(RunnerError::NestedPoolRun);
             }
         }
-        let trial: TrialFn = Arc::new(trial);
         Ok(self.run_budget(budget, |start, end| {
             self.run_range_pooled(base_seed, start, end, &trial)
         }))
@@ -583,6 +670,7 @@ impl Runner {
         self.run_budget(budget, |start, end| {
             self.run_range_scoped(base_seed, start, end, &trial)
         })
+        .value
     }
 
     /// Shared budget logic: fixed budgets are one range; adaptive budgets
@@ -594,12 +682,12 @@ impl Runner {
     fn run_budget(
         &self,
         budget: TrialBudget,
-        mut range: impl FnMut(u64, u64) -> RunningStats,
-    ) -> RunningStats {
-        let mut acc = RunningStats::new();
+        mut range: impl FnMut(u64, u64) -> SampleStats,
+    ) -> SampleStats {
+        let mut acc = SampleStats::new();
         let mut done = 0u64;
         let mut started = false;
-        while let Some((start, end)) = budget.next_range(started, done, &acc) {
+        while let Some((start, end)) = budget.next_range(started, done, &acc.value) {
             let range_stats = range(start, end);
             acc.merge(&range_stats);
             done = end;
@@ -623,10 +711,10 @@ impl Runner {
         base_seed: u64,
         start: u64,
         end: u64,
-        trial: &(dyn Fn(u64, &mut SmallRng) -> f64 + Sync),
+        trial: &(dyn Fn(u64, &mut SmallRng) -> Sample + Sync),
         n_chunks: usize,
-    ) -> RunningStats {
-        let mut acc = RunningStats::new();
+    ) -> SampleStats {
+        let mut acc = SampleStats::new();
         for index in 0..n_chunks {
             acc.merge(&run_chunk(trial, base_seed, start, end, self.chunk, index));
         }
@@ -642,9 +730,9 @@ impl Runner {
         start: u64,
         end: u64,
         trial: &TrialFn,
-    ) -> RunningStats {
+    ) -> SampleStats {
         if start >= end {
-            return RunningStats::new();
+            return SampleStats::new();
         }
         let (n_chunks, workers) = self.plan(start, end);
         let pool = match &self.pool {
@@ -669,7 +757,7 @@ impl Runner {
         // Drop the caller's sender: the channel closes when the last
         // worker finishes its copy of the job, ending the iteration.
         drop(results);
-        let mut per_chunk: Vec<Option<RunningStats>> = vec![None; n_chunks];
+        let mut per_chunk: Vec<Option<SampleStats>> = vec![None; n_chunks];
         let mut received = 0usize;
         for ChunkResult { index, stats, panicked, .. } in collected {
             assert!(!panicked, "{POOLED_PANIC_MSG}");
@@ -686,7 +774,7 @@ impl Runner {
              use run_scoped to see the original panic",
             received
         );
-        let mut acc = RunningStats::new();
+        let mut acc = SampleStats::new();
         for stats in per_chunk {
             acc.merge(&stats.expect("all chunks accounted for above"));
         }
@@ -695,24 +783,25 @@ impl Runner {
 
     /// Runs trials `start..end` with scoped threads spawned for this call
     /// only (the reference execution model; see [`Runner::run_scoped`]).
-    fn run_range_scoped<F>(&self, base_seed: u64, start: u64, end: u64, trial: &F) -> RunningStats
+    fn run_range_scoped<F>(&self, base_seed: u64, start: u64, end: u64, trial: &F) -> SampleStats
     where
         F: Fn(u64, &mut SmallRng) -> f64 + Sync,
     {
+        let sampled = move |i: u64, rng: &mut SmallRng| Sample::point(trial(i, rng));
         if start >= end {
-            return RunningStats::new();
+            return SampleStats::new();
         }
         let (n_chunks, workers) = self.plan(start, end);
         if workers <= 1 {
-            return self.run_range_serial(base_seed, start, end, trial, n_chunks);
+            return self.run_range_serial(base_seed, start, end, &sampled, n_chunks);
         }
         let next_chunk = AtomicUsize::new(0);
-        let mut per_chunk: Vec<Option<RunningStats>> = vec![None; n_chunks];
+        let mut per_chunk: Vec<Option<SampleStats>> = vec![None; n_chunks];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut produced: Vec<(usize, RunningStats)> = Vec::new();
+                        let mut produced: Vec<(usize, SampleStats)> = Vec::new();
                         loop {
                             let index = next_chunk.fetch_add(1, Ordering::Relaxed);
                             if index >= n_chunks {
@@ -720,7 +809,7 @@ impl Runner {
                             }
                             produced.push((
                                 index,
-                                run_chunk(trial, base_seed, start, end, self.chunk, index),
+                                run_chunk(&sampled, base_seed, start, end, self.chunk, index),
                             ));
                         }
                         produced
@@ -733,7 +822,7 @@ impl Runner {
                 }
             }
         });
-        let mut acc = RunningStats::new();
+        let mut acc = SampleStats::new();
         for stats in per_chunk {
             acc.merge(&stats.expect("every chunk index was claimed exactly once"));
         }
@@ -858,6 +947,45 @@ mod tests {
             |_, rng| rng.gen::<f64>() - 0.5,
         );
         assert_eq!(capped.n(), 500);
+    }
+
+    /// The absolute-scale floor of the RSE stop rule: a constant-outcome
+    /// trial (zero variance — the all-down outage cell shape) must stop
+    /// at `min_trials`, never loop to the cap, even when the constant is
+    /// zero and the *relative* standard error is undefined.
+    #[test]
+    fn target_rse_stops_on_constant_outcomes_instead_of_looping_to_cap() {
+        let budget = TrialBudget::TargetRse {
+            target: 0.05,
+            min_trials: 50,
+            max_trials: 100_000,
+            batch: 50,
+        };
+        // Constant non-zero: RSE is exactly 0, stops at min.
+        let constant = Runner::with_threads(2).run(1, budget, |_, _| 400.0);
+        assert_eq!(constant.n(), 50, "zero-variance cell must stop at min_trials");
+        // Constant zero: the old rule divided by |mean| = 0 → RSE = ∞ →
+        // burned the whole cap. The floor stops it at min_trials.
+        let zero = Runner::with_threads(2).run(2, budget, |_, _| 0.0);
+        assert_eq!(zero.n(), 50, "constant-zero cell must stop at min_trials");
+        // Near-zero-mean with near-zero variance: stopped by the floor.
+        let tiny = Runner::with_threads(2).run(3, budget, |i, _| {
+            if i % 2 == 0 { 1e-13 } else { -1e-13 }
+        });
+        assert_eq!(tiny.n(), 50, "sub-floor noise must not burn the cap");
+        // Genuinely unresolved noise around zero still runs to the cap —
+        // the floor only excuses cells whose absolute error is resolved.
+        let noisy = Runner::with_threads(2).run(
+            4,
+            TrialBudget::TargetRse {
+                target: 0.01,
+                min_trials: 100,
+                max_trials: 500,
+                batch: 100,
+            },
+            |_, rng| rng.gen::<f64>() - 0.5,
+        );
+        assert_eq!(noisy.n(), 500);
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //!   cell's trials.
 //! * [`SweepSpec`] — the axis builder: system class × service-order
 //!   policy (SO/PO) × entropy χ × suspicion policy × fleet size ×
-//!   adversary strategy, compiled to a flat list of seeded
-//!   [`SweepCell`]s.
+//!   adversary strategy × outage schedule (the availability axis),
+//!   compiled to a flat list of seeded [`SweepCell`]s.
 //! * [`SweepScheduler`] — runs cells as first-class jobs on the
 //!   persistent [`Runner`] pool. Cells and trials share one pool
 //!   through a two-level work queue (see below), so the embarrassingly
@@ -106,20 +106,85 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::abstract_mc::AbstractModel;
-use crate::campaign_mc::run_cell_once;
+use crate::campaign_mc::run_cell_measured;
 use crate::event_mc::sample_lifetime;
+use crate::outage::OutageSpec;
 use crate::protocol_mc::ProtocolExperiment;
-use crate::report::{fmt_num, CsvTable};
+use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
 use crate::runner::{
-    fold, trial_seed, ChunkResult, Runner, RunnerError, TrialBudget, TrialFn, POOLED_PANIC_MSG,
+    fold, trial_seed, ChunkResult, Runner, RunnerError, Sample, SampleStats, TrialBudget, TrialFn,
+    POOLED_PANIC_MSG,
 };
-use crate::stats::{Estimate, RunningStats};
+use crate::stats::{AvailPoint, AvailStats, Estimate, RunningStats};
 
 /// Trials per work unit for sweep cells. Protocol trials are ms-scale,
 /// so small chunks keep the pool busy even at adaptive-budget batch
 /// sizes. Fixed (not derived from the runner) because the chunk size is
 /// part of the merge tree and hence of the golden-pinned bits.
 pub const CELL_CHUNK: u64 = 8;
+
+/// One trial's full measurement: the lifetime every scenario produces,
+/// plus the availability point protocol-level trials attach (downtime
+/// fraction, failovers, failover latency, lost requests — the
+/// availability axis's per-trial observables).
+#[derive(Clone, Copy, Debug)]
+pub struct TrialMeasure {
+    /// The 1-based step at which the system fell (or the step cap).
+    pub lifetime: u64,
+    /// Availability measurements, where the scenario produces them
+    /// (protocol and campaign trials always do; abstract and
+    /// event-driven trials have no machinery to measure).
+    pub avail: Option<AvailPoint>,
+}
+
+impl TrialMeasure {
+    /// A lifetime-only measurement (scenarios without an availability
+    /// dimension).
+    pub fn lifetime_only(lifetime: u64) -> TrialMeasure {
+        TrialMeasure {
+            lifetime,
+            avail: None,
+        }
+    }
+
+    /// The measurement of one finished protocol trial: `fell` is the
+    /// 1-based fall step (or `cap` when censored), `compromised` says
+    /// which, and the availability counters come off the stack. The
+    /// downtime fraction is taken over the full mission window `cap`:
+    /// observed down steps plus — when the trial ended in compromise —
+    /// every remaining step of the window (a fallen system delivers no
+    /// correct service), so "resisted the attack" and "stayed up"
+    /// compose into one availability number, the survivability
+    /// literature's resilience metric.
+    pub fn of_protocol_trial(
+        cap: u64,
+        fell: u64,
+        compromised: bool,
+        stack: &fortress_core::system::Stack,
+    ) -> TrialMeasure {
+        let avail = stack.availability();
+        let cap = cap.max(1);
+        let post = if compromised { cap - fell } else { 0 };
+        TrialMeasure {
+            lifetime: fell,
+            avail: Some(AvailPoint {
+                downtime_fraction: (avail.down_steps + post) as f64 / cap as f64,
+                failovers: avail.failovers as f64,
+                failover_latency: avail.mean_failover_latency(),
+                lost_requests: avail.lost_requests as f64,
+            }),
+        }
+    }
+
+    /// The runner-facing sample: lifetime as the primary value, the
+    /// availability point alongside.
+    pub(crate) fn into_sample(self) -> Sample {
+        Sample {
+            value: self.lifetime as f64,
+            avail: self.avail,
+        }
+    }
+}
 
 /// One experiment scenario: a pure function from a seed to a measured
 /// lifetime in unit time-steps. Object-safe, so heterogeneous scenarios
@@ -133,6 +198,16 @@ pub trait Scenario: Send + Sync {
     /// function of `seed` — that is what makes sweeps deterministic at
     /// any thread count.
     fn run_once(&self, seed: u64) -> u64;
+
+    /// Runs one trial and returns the full [`TrialMeasure`]. The default
+    /// wraps [`Scenario::run_once`] with no availability point;
+    /// implementors with an availability dimension override it. The
+    /// lifetime must equal `run_once(seed)` bit-for-bit — sweeps use
+    /// this method, and the equality is what keeps measured sweeps and
+    /// lifetime-only estimates on identical trial streams.
+    fn run_measured(&self, seed: u64) -> TrialMeasure {
+        TrialMeasure::lifetime_only(self.run_once(seed))
+    }
 }
 
 impl Scenario for AbstractModel {
@@ -153,15 +228,20 @@ impl Scenario for AbstractModel {
 impl Scenario for ProtocolExperiment {
     fn label(&self) -> String {
         format!(
-            "protocol {} {} chi=2^{}",
+            "protocol {} {} chi=2^{}{}",
             class_label(self.class),
             self.policy.suffix(),
-            self.entropy_bits
+            self.entropy_bits,
+            outage_suffix(self.outage),
         )
     }
 
     fn run_once(&self, seed: u64) -> u64 {
         ProtocolExperiment::run_once(self, seed)
+    }
+
+    fn run_measured(&self, seed: u64) -> TrialMeasure {
+        ProtocolExperiment::run_measured(self, seed)
     }
 }
 
@@ -210,28 +290,35 @@ impl Scenario for ScenarioSpec {
             ),
             ScenarioSpec::Protocol(e) => e.label(),
             ScenarioSpec::Campaign { experiment: e, strategy } => format!(
-                "{} {} chi=2^{} w={}/t={} np={} {}",
+                "{} {} chi=2^{} w={}/t={} np={} {}{}",
                 class_label(e.class),
                 e.policy.suffix(),
                 e.entropy_bits,
                 e.suspicion.window,
                 e.suspicion.threshold,
                 e.np,
-                strategy.display_label()
+                strategy.display_label(),
+                outage_suffix(e.outage),
             ),
         }
     }
 
     fn run_once(&self, seed: u64) -> u64 {
+        self.run_measured(seed).lifetime
+    }
+
+    fn run_measured(&self, seed: u64) -> TrialMeasure {
         match *self {
-            ScenarioSpec::Abstract(m) => m.run_once(seed),
+            ScenarioSpec::Abstract(m) => TrialMeasure::lifetime_only(m.run_once(seed)),
             ScenarioSpec::Event { kind, policy, params, launch_pad } => {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                sample_lifetime(kind, policy, &params, launch_pad, &mut rng)
+                TrialMeasure::lifetime_only(sample_lifetime(
+                    kind, policy, &params, launch_pad, &mut rng,
+                ))
             }
-            ScenarioSpec::Protocol(e) => ProtocolExperiment::run_once(&e, seed),
+            ScenarioSpec::Protocol(e) => ProtocolExperiment::run_measured(&e, seed),
             ScenarioSpec::Campaign { experiment, strategy } => {
-                run_cell_once(&experiment, strategy, seed)
+                run_cell_measured(&experiment, strategy, seed)
             }
         }
     }
@@ -319,9 +406,27 @@ pub fn run_scenario(
     budget: TrialBudget,
     base_seed: u64,
 ) -> RunningStats {
-    runner.run(base_seed, budget, move |i, _rng| {
-        spec.run_once(trial_seed(base_seed, i)) as f64
-    })
+    run_scenario_measured(spec, runner, budget, base_seed).0
+}
+
+/// [`run_scenario`] with the merged availability statistics alongside
+/// the lifetime statistics: the same trials, the same chunk-ordered
+/// merge tree (one reduction per chunk carries both accumulators), so
+/// both returns are bit-identical at any thread count and the lifetime
+/// statistics equal `run_scenario`'s exactly.
+pub fn run_scenario_measured(
+    spec: ScenarioSpec,
+    runner: &Runner,
+    budget: TrialBudget,
+    base_seed: u64,
+) -> (RunningStats, AvailStats) {
+    let trial: TrialFn = Arc::new(move |i, _rng: &mut SmallRng| {
+        spec.run_measured(trial_seed(base_seed, i)).into_sample()
+    });
+    match runner.try_run_samples(base_seed, budget, trial) {
+        Ok(stats) => (stats.value, stats.avail),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// One compiled sweep cell: a scenario, its display label, and its
@@ -349,7 +454,7 @@ impl SweepCell {
     }
 }
 
-/// A declarative sweep: six axes over a shared experiment template,
+/// A declarative sweep: seven axes over a shared experiment template,
 /// compiled to a flat, content-seeded cell list.
 ///
 /// For [`SystemClass::S2Fortress`] the full cartesian product of
@@ -371,6 +476,9 @@ pub struct SweepSpec {
     pub fleets: Vec<usize>,
     /// Adversary-strategy axis (S2 cells only).
     pub strategies: Vec<StrategyKind>,
+    /// Outage-schedule axis (PB-tier classes — S1 and S2; vacuous for
+    /// S0, whose availability story is the SMR quorum's).
+    pub outages: Vec<OutageSpec>,
     /// Shared experiment template; each cell overrides the swept fields.
     pub base: ProtocolExperiment,
 }
@@ -386,6 +494,7 @@ impl SweepSpec {
             suspicions: vec![base.suspicion],
             fleets: vec![base.np],
             strategies: vec![StrategyKind::PacedBelowThreshold],
+            outages: vec![base.outage],
             base,
         }
     }
@@ -426,11 +535,19 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the outage-schedule axis (the availability dimension).
+    pub fn outages(mut self, outages: Vec<OutageSpec>) -> SweepSpec {
+        self.outages = outages;
+        self
+    }
+
     /// Compiles the axes to the flat cell list in axis-major order
-    /// (class, policy, entropy, suspicion, fleet, strategy). The order
-    /// is presentation only — every cell's seed derives from its
+    /// (class, policy, entropy, suspicion, fleet, strategy, outage). The
+    /// order is presentation only — every cell's seed derives from its
     /// content, so reordering or subsetting axes changes no cell's
-    /// trials.
+    /// trials. Vacuous axes collapse: 1-tier classes skip suspicion /
+    /// fleet / strategy (no proxy tier), and S0 additionally skips the
+    /// outage axis (no PB tier to take down).
     pub fn compile(&self, base_seed: u64) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         for &class in &self.classes {
@@ -440,29 +557,43 @@ impl SweepSpec {
                         for &suspicion in &self.suspicions {
                             for &np in &self.fleets {
                                 for &strategy in &self.strategies {
-                                    let experiment = ProtocolExperiment {
-                                        class,
-                                        policy,
-                                        entropy_bits,
-                                        suspicion,
-                                        np,
-                                        ..self.base
-                                    };
-                                    cells.push(SweepCell::of(
-                                        ScenarioSpec::Campaign { experiment, strategy },
-                                        base_seed,
-                                    ));
+                                    for &outage in &self.outages {
+                                        let experiment = ProtocolExperiment {
+                                            class,
+                                            policy,
+                                            entropy_bits,
+                                            suspicion,
+                                            np,
+                                            outage,
+                                            ..self.base
+                                        };
+                                        cells.push(SweepCell::of(
+                                            ScenarioSpec::Campaign { experiment, strategy },
+                                            base_seed,
+                                        ));
+                                    }
                                 }
                             }
                         }
                     } else {
-                        let experiment = ProtocolExperiment {
-                            class,
-                            policy,
-                            entropy_bits,
-                            ..self.base
+                        let outages: &[OutageSpec] = if class == SystemClass::S0Smr {
+                            &[OutageSpec::None]
+                        } else {
+                            &self.outages
                         };
-                        cells.push(SweepCell::of(ScenarioSpec::Protocol(experiment), base_seed));
+                        for &outage in outages {
+                            let experiment = ProtocolExperiment {
+                                class,
+                                policy,
+                                entropy_bits,
+                                outage,
+                                ..self.base
+                            };
+                            cells.push(SweepCell::of(
+                                ScenarioSpec::Protocol(experiment),
+                                base_seed,
+                            ));
+                        }
                     }
                 }
             }
@@ -472,9 +603,9 @@ impl SweepSpec {
 }
 
 /// The default sweep the `campaign` bench binary runs: the SO campaign
-/// grid (paper suspicion trio × fleets 1/3/5 × all five strategies,
-/// Sybil included) plus a PO slice — proactive re-randomization at a
-/// smaller key space and step cap, so PO cells stay ms-scale while the
+/// grid (paper suspicion trio × fleets 1/3/5 × all strategies, Sybil
+/// included) plus a PO slice — proactive re-randomization at a smaller
+/// key space and step cap, so PO cells stay ms-scale while the
 /// PO-policy axis is genuinely exercised.
 pub fn paper_default_sweep(base_seed: u64) -> Vec<SweepCell> {
     let so = SweepSpec::new(ProtocolExperiment {
@@ -499,6 +630,55 @@ pub fn paper_default_sweep(base_seed: u64) -> Vec<SweepCell> {
     cells
 }
 
+/// The availability slice the `campaign` bench and CI smoke run: three
+/// outage schedules (none / periodic / Poisson-seeded) against the
+/// paper's tightest suspicion policy, under both a rate-disciplined
+/// adversary and the outage-timing [`StrategyKind::OutageStrike`]
+/// attacker, on the fortified S2 — plus the same schedules against the
+/// bare-PB S1 baseline (strategy axis vacuous there), so the fortified
+/// vs bare availability comparison rides in one report.
+pub fn availability_sweep(base_seed: u64) -> Vec<SweepCell> {
+    let outages = vec![
+        OutageSpec::None,
+        OutageSpec::Periodic {
+            period: 40,
+            downtime: 25,
+        },
+        OutageSpec::Random {
+            rate: 0.01,
+            downtime: 25,
+        },
+    ];
+    let s2 = SweepSpec::new(availability_base(SystemClass::S2Fortress))
+        .strategies(vec![
+            StrategyKind::PacedBelowThreshold,
+            StrategyKind::OutageStrike,
+        ])
+        .outages(outages.clone());
+    let s1 = SweepSpec::new(availability_base(SystemClass::S1Pb)).outages(outages);
+    let mut cells = s2.compile(base_seed);
+    cells.extend(s1.compile(base_seed));
+    cells
+}
+
+/// The shared experiment template of the availability slice — one
+/// definition, reused by [`availability_sweep`], the directional tests
+/// and the availability example, so a tuning change cannot silently
+/// leave them on different configurations. Longer-lived cells than the
+/// lifetime grids: the availability signal needs trials that survive
+/// deep into the mission window (several outage periods), so the key
+/// space is wider and the attacker slower than in the
+/// compromise-focused sweeps.
+pub fn availability_base(class: SystemClass) -> ProtocolExperiment {
+    ProtocolExperiment {
+        entropy_bits: 10,
+        omega: 4.0,
+        max_steps: 300,
+        suspicion: SuspicionPolicy::paper_grid()[0],
+        ..ProtocolExperiment::new(class, Policy::StartupOnly)
+    }
+}
+
 /// The measured outcome of one sweep cell.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -515,6 +695,10 @@ pub struct SweepOutcome {
     /// Whether any trial reached the scenario's step cap (read the mean
     /// as a lower bound when set).
     pub censored: bool,
+    /// Availability statistics across the cell's trials — empty for
+    /// scenarios without an availability dimension (abstract,
+    /// event-driven).
+    pub avail: AvailStats,
 }
 
 impl SweepOutcome {
@@ -523,6 +707,12 @@ impl SweepOutcome {
     /// shared by the scheduler and every cell-at-a-time driver so their
     /// reports cannot diverge in anything but scheduling.
     pub fn of(cell: &SweepCell, stats: RunningStats) -> SweepOutcome {
+        SweepOutcome::measured(cell, stats, AvailStats::new())
+    }
+
+    /// [`SweepOutcome::of`] with the cell's merged availability
+    /// statistics attached.
+    pub fn measured(cell: &SweepCell, stats: RunningStats, avail: AvailStats) -> SweepOutcome {
         let censored = cell
             .spec
             .step_cap()
@@ -532,6 +722,7 @@ impl SweepOutcome {
             estimate: stats.estimate(),
             stats,
             censored,
+            avail,
             cell: cell.clone(),
         }
     }
@@ -545,7 +736,9 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Renders the report as a CSV table (one row per cell).
+    /// Renders the report as a CSV table (one row per cell), the
+    /// availability columns included (`-` where a cell's scenario has no
+    /// availability dimension).
     pub fn to_table(&self) -> CsvTable {
         let mut table = CsvTable::new(&[
             "cell",
@@ -555,6 +748,10 @@ impl SweepReport {
             "ci_high",
             "trials",
             "censored",
+            "downtime",
+            "failovers",
+            "failover_latency",
+            "lost_requests",
         ]);
         for o in &self.cells {
             table.push_row(vec![
@@ -565,13 +762,19 @@ impl SweepReport {
                 fmt_num(o.estimate.ci_high),
                 o.estimate.n.to_string(),
                 o.censored.to_string(),
+                fmt_avail(&o.avail.downtime),
+                fmt_avail(&o.avail.failovers),
+                fmt_avail(&o.avail.failover_latency),
+                fmt_avail(&o.avail.lost),
             ]);
         }
         table
     }
 
     /// Renders the report as a JSON array (stable field order, input
-    /// order) — the determinism comparator the bench binaries diff.
+    /// order) — the determinism comparator the bench binaries diff. The
+    /// availability means are full-precision so serial/parallel drift in
+    /// any metric fails the comparison, not just the lifetimes.
     pub fn to_json(&self) -> String {
         let mut out = String::from("[");
         for (i, o) in self.cells.iter().enumerate() {
@@ -583,12 +786,35 @@ impl SweepReport {
                 .map(|k| k.to_string())
                 .unwrap_or_else(|| "null".to_string());
             out.push_str(&format!(
-                "{{\"cell\":\"{}\",\"kappa\":{},\"mean\":{},\"n\":{},\"censored\":{}}}",
-                o.cell.label, kappa, o.estimate.mean, o.estimate.n, o.censored,
+                "{{\"cell\":\"{}\",\"kappa\":{},\"mean\":{},\"n\":{},\"censored\":{},\
+                 \"downtime\":{},\"failovers\":{},\"failover_latency\":{},\
+                 \"lost_requests\":{}}}",
+                o.cell.label,
+                kappa,
+                o.estimate.mean,
+                o.estimate.n,
+                o.censored,
+                avail_json(&o.avail.downtime),
+                avail_json(&o.avail.failovers),
+                avail_json(&o.avail.failover_latency),
+                avail_json(&o.avail.lost),
             ));
         }
         out.push(']');
         out
+    }
+
+    /// Mean downtime fraction across every cell that measured one
+    /// (`None` when no cell did) — the sweep-level availability headline
+    /// the campaign bench emits.
+    pub fn mean_downtime_fraction(&self) -> Option<f64> {
+        let mut acc = RunningStats::new();
+        for o in &self.cells {
+            if o.avail.downtime.n() > 0 {
+                acc.push(o.avail.downtime.mean());
+            }
+        }
+        (acc.n() > 0).then(|| acc.mean())
     }
 }
 
@@ -609,13 +835,13 @@ pub struct SweepScheduler {
 struct Batch {
     cell: usize,
     end: u64,
-    chunks: Vec<Option<RunningStats>>,
+    chunks: Vec<Option<SampleStats>>,
     received: usize,
 }
 
 /// Per-cell budget progress.
 struct CellState {
-    acc: RunningStats,
+    acc: SampleStats,
     done: u64,
     started: bool,
 }
@@ -642,7 +868,7 @@ impl SweepScheduler {
     /// executes, so the two trial schedules cannot drift apart.
     fn next_range(&self, state: &CellState) -> Option<(u64, u64)> {
         self.budget
-            .next_range(state.started, state.done, &state.acc)
+            .next_range(state.started, state.done, &state.acc.value)
     }
 
     /// Drives `cell` forward: submits its next batch to the pool (returns
@@ -709,14 +935,14 @@ impl SweepScheduler {
                 let spec = cell.spec;
                 let seed = cell.seed;
                 Arc::new(move |i: u64, _rng: &mut SmallRng| {
-                    spec.run_once(trial_seed(seed, i)) as f64
+                    spec.run_measured(trial_seed(seed, i)).into_sample()
                 }) as TrialFn
             })
             .collect();
         let mut states: Vec<CellState> = cells
             .iter()
             .map(|_| CellState {
-                acc: RunningStats::new(),
+                acc: SampleStats::new(),
                 done: 0,
                 started: false,
             })
@@ -758,7 +984,7 @@ impl SweepScheduler {
             in_flight -= 1;
             // Merge in chunk-index order — the fixed reduction tree that
             // makes pooled and serial execution bit-identical.
-            let mut batch_stats = RunningStats::new();
+            let mut batch_stats = SampleStats::new();
             for stats in batch.chunks {
                 batch_stats.merge(&stats.expect("all chunks accounted for"));
             }
@@ -782,7 +1008,9 @@ impl SweepScheduler {
             cells: cells
                 .iter()
                 .zip(states)
-                .map(|(cell, state)| SweepOutcome::of(cell, state.acc))
+                .map(|(cell, state)| {
+                    SweepOutcome::measured(cell, state.acc.value, state.acc.avail)
+                })
                 .collect(),
         }
     }
@@ -808,6 +1036,16 @@ pub struct CrossCheckRow {
     /// lower bound, and a small `ratio` means "the cap was too low", not
     /// "the model diverged".
     pub censored: bool,
+    /// Measured mean downtime fraction across the cell's trials (`None`
+    /// when the cell produced no availability samples).
+    pub downtime: Option<f64>,
+    /// Closed-form availability prediction: the outage schedule's
+    /// expected downtime ([`OutageSpec::expected_downtime_fraction`] at
+    /// the deployed fleet size and PB failover timeout) plus the
+    /// expected compromise tail of the mission window (`1 − EL/cap` at
+    /// the abstract model's predicted lifetime), clamped to 1. `None`
+    /// for schedules without a steady rate (strike-then-crash).
+    pub predicted_downtime: Option<f64>,
 }
 
 /// Cell-by-cell cross-validation of protocol-level S2 cells against the
@@ -855,6 +1093,12 @@ impl CrossCheck {
                 if !predicted.is_finite() || predicted <= 0.0 {
                     return None;
                 }
+                let cap = experiment.max_steps.max(1) as f64;
+                let tail = 1.0 - (predicted.min(cap) / cap);
+                let predicted_downtime = experiment
+                    .outage
+                    .expected_downtime_fraction(fortress_core::system::pb_failover_timeout())
+                    .map(|outage_fraction| (outage_fraction + tail).min(1.0));
                 Some(CrossCheckRow {
                     label: o.cell.label.clone(),
                     kappa,
@@ -862,6 +1106,8 @@ impl CrossCheck {
                     predicted,
                     ratio: o.estimate.mean / predicted,
                     censored: o.censored,
+                    downtime: (o.avail.downtime.n() > 0).then(|| o.avail.downtime.mean()),
+                    predicted_downtime,
                 })
             })
             .collect();
@@ -870,8 +1116,17 @@ impl CrossCheck {
 
     /// Renders the cross-check as a CSV table.
     pub fn to_table(&self) -> CsvTable {
-        let mut table =
-            CsvTable::new(&["cell", "kappa", "measured", "predicted", "ratio", "censored"]);
+        let mut table = CsvTable::new(&[
+            "cell",
+            "kappa",
+            "measured",
+            "predicted",
+            "ratio",
+            "censored",
+            "downtime",
+            "predicted_downtime",
+        ]);
+        let opt = |v: Option<f64>| v.map(fmt_num).unwrap_or_else(|| "-".to_string());
         for row in &self.rows {
             table.push_row(vec![
                 row.label.clone(),
@@ -880,9 +1135,21 @@ impl CrossCheck {
                 fmt_num(row.predicted),
                 fmt_num(row.ratio),
                 row.censored.to_string(),
+                opt(row.downtime),
+                opt(row.predicted_downtime),
             ]);
         }
         table
+    }
+}
+
+/// Outage suffix for cell labels: empty for `None` (legacy labels are
+/// preserved verbatim), ` out=<schedule>` otherwise.
+fn outage_suffix(outage: OutageSpec) -> String {
+    if outage.is_none() {
+        String::new()
+    } else {
+        format!(" out={}", outage.label())
     }
 }
 
@@ -921,7 +1188,11 @@ fn pad_id(pad: LaunchPad) -> u64 {
     }
 }
 
-/// Folds every seeded parameter of a protocol experiment.
+/// Folds every seeded parameter of a protocol experiment. The outage
+/// schedule folds last, and [`OutageSpec::None`] folds nothing — so
+/// every pre-availability-axis cell keeps its pinned seed, while any
+/// two cells differing in any outage parameter draw decorrelated trial
+/// streams.
 fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     let mut s = fold(seed, class_id(e.class));
     s = fold(s, e.policy.id());
@@ -931,7 +1202,8 @@ fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     s = fold(s, u64::from(e.suspicion.threshold));
     s = fold(s, e.np as u64);
     s = fold(s, scheme_id(e.scheme));
-    fold(s, e.max_steps)
+    s = fold(s, e.max_steps);
+    e.outage.fold_into(s)
 }
 
 /// Stable id of a system class for seeding.

@@ -160,6 +160,92 @@ impl RunningStats {
     }
 }
 
+/// One trial's availability measurements, as produced by an
+/// outage-bearing protocol trial (see `fortress_sim::outage`). Trials of
+/// scenarios without an availability dimension (abstract, event-driven)
+/// produce no point at all, so their sweep cells report empty
+/// [`AvailStats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvailPoint {
+    /// Fraction of the trial's mission window (its step cap) during
+    /// which the system delivered no correct service: steps with no
+    /// live PB primary, plus every step after the compromise (a fallen
+    /// system serves nothing trustworthy).
+    pub downtime_fraction: f64,
+    /// PB view changes (failovers) observed during the trial.
+    pub failovers: f64,
+    /// Mean steps from losing the serving primary to a backup serving
+    /// again — `None` when the trial completed no failover.
+    pub failover_latency: Option<f64>,
+    /// Deliveries dead-lettered while a server machine was down
+    /// (requests lost to the outage windows).
+    pub lost_requests: f64,
+}
+
+/// Welford accumulators for the availability metrics of one sweep cell,
+/// merged chunk-by-chunk alongside the lifetime statistics with the same
+/// fixed reduction order — so availability reports are bit-identical at
+/// any thread count, exactly like the lifetimes.
+///
+/// `failover_latency` only accumulates trials that completed at least
+/// one failover, so its `n()` may be smaller than the other metrics'.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvailStats {
+    /// Per-trial downtime fraction.
+    pub downtime: RunningStats,
+    /// Per-trial failover count.
+    pub failovers: RunningStats,
+    /// Per-trial mean failover latency (steps), trials with ≥ 1 failover.
+    pub failover_latency: RunningStats,
+    /// Per-trial requests lost during outage windows.
+    pub lost: RunningStats,
+}
+
+impl Default for AvailStats {
+    /// [`AvailStats::new`] — empty accumulators with proper min/max
+    /// sentinels, not zeroed fields.
+    fn default() -> AvailStats {
+        AvailStats::new()
+    }
+}
+
+impl AvailStats {
+    /// An empty accumulator.
+    pub fn new() -> AvailStats {
+        AvailStats {
+            downtime: RunningStats::new(),
+            failovers: RunningStats::new(),
+            failover_latency: RunningStats::new(),
+            lost: RunningStats::new(),
+        }
+    }
+
+    /// Adds one trial's measurements.
+    pub fn push(&mut self, point: &AvailPoint) {
+        self.downtime.push(point.downtime_fraction);
+        self.failovers.push(point.failovers);
+        if let Some(latency) = point.failover_latency {
+            self.failover_latency.push(latency);
+        }
+        self.lost.push(point.lost_requests);
+    }
+
+    /// Merges another accumulator into this one, metric by metric (the
+    /// same parallel-Welford combination as [`RunningStats::merge`]).
+    pub fn merge(&mut self, other: &AvailStats) {
+        self.downtime.merge(&other.downtime);
+        self.failovers.merge(&other.failovers);
+        self.failover_latency.merge(&other.failover_latency);
+        self.lost.merge(&other.lost);
+    }
+
+    /// Whether no trial contributed availability measurements (cells of
+    /// scenarios without an availability dimension).
+    pub fn is_empty(&self) -> bool {
+        self.downtime.n() == 0
+    }
+}
+
 /// A mean with a 95% confidence interval.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Estimate {

@@ -21,7 +21,9 @@ use fortress_core::system::SystemClass;
 use fortress_model::params::Policy;
 use fortress_sim::protocol_mc::ProtocolExperiment;
 use fortress_sim::runner::{Runner, TrialBudget};
-use fortress_sim::scenario::{CrossCheck, SweepScheduler, SweepSpec, CELL_CHUNK};
+use fortress_sim::scenario::{
+    CrossCheck, ScenarioSpec, SweepCell, SweepScheduler, SweepSpec, CELL_CHUNK,
+};
 
 /// Contract 1: the scheduler (via the `CampaignGrid` shim) reproduces
 /// the committed golden file — the one generated before cells went
@@ -77,6 +79,64 @@ fn scheduler_matches_the_cell_at_a_time_reference() {
             assert_eq!(outcome.censored, reference.censored);
         }
     }
+}
+
+/// A panicking trial inside a *cell batch* must fail the whole sweep
+/// with the documented poisoned-chunk message — through the scheduler's
+/// two-level queue, exactly as `Runner::run` fails — never hang on the
+/// result channel (the scheduler's own sender keeps it open) and never
+/// silently drop the poisoned cell from the report.
+#[test]
+fn poisoned_cell_batch_fails_the_sweep_fast() {
+    // np = 0 makes `build_stack` panic inside every trial of that cell:
+    // a realistic poisoned cell (bad axis value), not a bespoke hook.
+    let poisoned = ProtocolExperiment {
+        entropy_bits: 5,
+        np: 0,
+        max_steps: 100,
+        ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+    };
+    let healthy = ProtocolExperiment {
+        entropy_bits: 5,
+        max_steps: 100,
+        ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+    };
+    let cells = vec![
+        SweepCell::of(
+            ScenarioSpec::Campaign {
+                experiment: healthy,
+                strategy: StrategyKind::PacedBelowThreshold,
+            },
+            3,
+        ),
+        SweepCell::of(
+            ScenarioSpec::Campaign {
+                experiment: poisoned,
+                strategy: StrategyKind::PacedBelowThreshold,
+            },
+            3,
+        ),
+    ];
+    // A dedicated runner: the panic degrades its pool by design.
+    let runner = Runner::with_threads(2);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        SweepScheduler::new(&runner, TrialBudget::Fixed(8)).run(&cells)
+    }));
+    let message = match outcome {
+        Err(cause) => cause
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| cause.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default(),
+        Ok(report) => panic!(
+            "a poisoned cell batch must fail the sweep, got a report of {} cells",
+            report.cells.len()
+        ),
+    };
+    assert!(
+        message.contains("panicked on a pooled worker"),
+        "the documented fail-fast message must surface, got: {message}"
+    );
 }
 
 /// Contract 3: the grown axis space — PO policy cells and the Sybil
