@@ -59,6 +59,8 @@ use crate::attacker::{AttackReport, FortressAttacker};
 use crate::pacing::Pacer;
 use crate::scan::{KeyScanner, ScanStrategy};
 use fortress_net::addr::Addr;
+use fortress_net::sim::SimNet;
+use fortress_net::Transport;
 
 /// The adversary-strategy axis of a campaign grid: which attacker posture
 /// a cell runs. `Copy + Eq` so grids can use it as a coordinate, and the
@@ -197,15 +199,15 @@ impl StrategyKind {
     /// client identities it needs. `suspicion` is the proxies' policy,
     /// which a competent attacker knows (Kerckhoffs) and shapes its
     /// schedule around; `omega` is its unconstrained probe rate.
-    pub fn build(
+    pub fn build<T: Transport>(
         self,
-        stack: &mut Stack,
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
         suspicion: SuspicionPolicy,
         rng: &mut StdRng,
-    ) -> Box<dyn AdversaryStrategy> {
+    ) -> Box<dyn AdversaryStrategy<T>> {
         match self {
             StrategyKind::PacedBelowThreshold => Box::new(Paced {
                 inner: FortressAttacker::new(stack, name, scheme, omega, suspicion, rng),
@@ -232,13 +234,18 @@ impl StrategyKind {
 /// One adversary posture driving a [`Stack`] one unit time-step at a
 /// time. Object-safe (the RNG is the concrete `StdRng` every protocol
 /// trial already uses) so campaign cells can box heterogeneous
-/// strategies behind one driver loop.
-pub trait AdversaryStrategy {
+/// strategies behind one driver loop. Generic over the stack's
+/// transport with [`SimNet`] as the default, so existing
+/// `Box<dyn AdversaryStrategy>` call sites keep meaning the in-process
+/// simulator while fault-decorated stacks
+/// (`Stack<FaultyTransport<SimNet>>`) drive the very same strategy
+/// code.
+pub trait AdversaryStrategy<T: Transport = SimNet> {
     /// Which posture this is.
     fn kind(&self) -> StrategyKind;
 
     /// Launches one unit time-step of the campaign against `stack`.
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng);
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng);
 
     /// Invalidates key knowledge after the defender re-randomized (PO).
     fn on_rerandomized(&mut self, rng: &mut StdRng);
@@ -257,7 +264,7 @@ struct Arsenal {
 }
 
 impl Arsenal {
-    fn new(stack: &mut Stack, name: &str, scheme: Scheme) -> Arsenal {
+    fn new<T: Transport>(stack: &mut Stack<T>, name: &str, scheme: Scheme) -> Arsenal {
         stack.add_client(name);
         Arsenal {
             name: name.to_owned(),
@@ -270,9 +277,9 @@ impl Arsenal {
     /// One guessed key broadcast raw at every proxy process. `addrs` is
     /// the proxy tier, fetched once per step by the caller (not once per
     /// probe — that is 10⁸ redundant allocations over a campaign grid).
-    fn probe_all_proxies(
+    fn probe_all_proxies<T: Transport>(
         &mut self,
-        stack: &mut Stack,
+        stack: &mut Stack<T>,
         addrs: &[Addr],
         scanner: &mut KeyScanner,
         rng: &mut StdRng,
@@ -290,9 +297,9 @@ impl Arsenal {
     /// no-op against classes without a proxy tier — S2-specific
     /// strategies degrade to doing nothing rather than panicking inside
     /// a runner trial.
-    fn probe_one_proxy(
+    fn probe_one_proxy<T: Transport>(
         &mut self,
-        stack: &mut Stack,
+        stack: &mut Stack<T>,
         addrs: &[Addr],
         target: usize,
         scanner: &mut KeyScanner,
@@ -311,9 +318,9 @@ impl Arsenal {
 
     /// One guessed key submitted as a service request under `identity`
     /// (logged by the proxies if wrong — the suspicion-visible move).
-    fn probe_servers_indirect(
+    fn probe_servers_indirect<T: Transport>(
         &mut self,
-        stack: &mut Stack,
+        stack: &mut Stack<T>,
         identity: &str,
         scanner: &mut KeyScanner,
         rng: &mut StdRng,
@@ -333,9 +340,9 @@ impl Arsenal {
 
     /// One guessed key launched at the servers from held proxy `pad`
     /// (nothing logs there).
-    fn probe_servers_from_pad(
+    fn probe_servers_from_pad<T: Transport>(
         &mut self,
-        stack: &mut Stack,
+        stack: &mut Stack<T>,
         pad: usize,
         scanner: &mut KeyScanner,
         rng: &mut StdRng,
@@ -354,13 +361,13 @@ impl Arsenal {
     }
 
     /// The lowest-index proxy the attacker currently holds, if any.
-    fn held_proxy(stack: &Stack) -> Option<usize> {
+    fn held_proxy<T: Transport>(stack: &Stack<T>) -> Option<usize> {
         (0..stack.proxy_count()).find(|i| stack.proxy_is_compromised(*i))
     }
 
     /// Collects crash observations from `identity`'s connections and, if
     /// a proxy is held, from its leaked inbox.
-    fn observe(&mut self, stack: &mut Stack, identity: &str, pad: Option<usize>) {
+    fn observe<T: Transport>(&mut self, stack: &mut Stack<T>, identity: &str, pad: Option<usize>) {
         let mut closures = stack
             .drain_client(identity)
             .iter()
@@ -388,12 +395,12 @@ struct Paced {
     inner: FortressAttacker,
 }
 
-impl AdversaryStrategy for Paced {
+impl<T: Transport> AdversaryStrategy<T> for Paced {
     fn kind(&self) -> StrategyKind {
         StrategyKind::PacedBelowThreshold
     }
 
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng) {
         self.inner.step(stack, rng);
     }
 
@@ -417,8 +424,8 @@ struct ScanThenStrike {
 }
 
 impl ScanThenStrike {
-    fn new(
-        stack: &mut Stack,
+    fn new<T: Transport>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -435,12 +442,12 @@ impl ScanThenStrike {
     }
 }
 
-impl AdversaryStrategy for ScanThenStrike {
+impl<T: Transport> AdversaryStrategy<T> for ScanThenStrike {
     fn kind(&self) -> StrategyKind {
         StrategyKind::ScanThenStrike
     }
 
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng) {
         // Phase decided at step start: scan until a pad exists, then
         // strike from it. Focus fire on proxy 0 — spreading guesses
         // across proxies buys nothing when one pad is all it needs, and
@@ -497,8 +504,8 @@ struct Burst {
 }
 
 impl Burst {
-    fn new(
-        stack: &mut Stack,
+    fn new<T: Transport>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -522,12 +529,12 @@ impl Burst {
     }
 }
 
-impl AdversaryStrategy for Burst {
+impl<T: Transport> AdversaryStrategy<T> for Burst {
     fn kind(&self) -> StrategyKind {
         StrategyKind::Burst
     }
 
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng) {
         let addrs = stack.proxy_addrs();
         for _ in 0..self.direct_pacer.probes_this_step() {
             self.arsenal
@@ -583,8 +590,8 @@ struct AdaptiveBackoff {
 }
 
 impl AdaptiveBackoff {
-    fn new(
-        stack: &mut Stack,
+    fn new<T: Transport>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -609,7 +616,7 @@ impl AdaptiveBackoff {
 
     /// A flagged identity is burned: rotate to a fresh one (modeling an
     /// attacker cycling source addresses) at half the previous rate.
-    fn back_off(&mut self, stack: &mut Stack) {
+    fn back_off<T: Transport>(&mut self, stack: &mut Stack<T>) {
         self.identity += 1;
         let fresh = format!("{}~{}", self.arsenal.name, self.identity);
         self.burned
@@ -620,12 +627,12 @@ impl AdaptiveBackoff {
     }
 }
 
-impl AdversaryStrategy for AdaptiveBackoff {
+impl<T: Transport> AdversaryStrategy<T> for AdaptiveBackoff {
     fn kind(&self) -> StrategyKind {
         StrategyKind::AdaptiveBackoff
     }
 
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng) {
         let addrs = stack.proxy_addrs();
         for _ in 0..self.direct_pacer.probes_this_step() {
             self.arsenal
@@ -687,8 +694,8 @@ struct SybilPaced {
 
 impl SybilPaced {
     #[allow(clippy::too_many_arguments)]
-    fn new(
-        stack: &mut Stack,
+    fn new<T: Transport>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -717,14 +724,14 @@ impl SybilPaced {
     }
 }
 
-impl AdversaryStrategy for SybilPaced {
+impl<T: Transport> AdversaryStrategy<T> for SybilPaced {
     fn kind(&self) -> StrategyKind {
         StrategyKind::SybilPaced {
             identities: u8::try_from(self.identity_pacers.len()).unwrap_or(u8::MAX),
         }
     }
 
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng) {
         let addrs = stack.proxy_addrs();
         for _ in 0..self.direct_pacer.probes_this_step() {
             self.arsenal
@@ -789,8 +796,8 @@ struct OutageStrike {
 }
 
 impl OutageStrike {
-    fn new(
-        stack: &mut Stack,
+    fn new<T: Transport>(
+        stack: &mut Stack<T>,
         name: &str,
         scheme: Scheme,
         omega: f64,
@@ -812,12 +819,12 @@ impl OutageStrike {
     }
 }
 
-impl AdversaryStrategy for OutageStrike {
+impl<T: Transport> AdversaryStrategy<T> for OutageStrike {
     fn kind(&self) -> StrategyKind {
         StrategyKind::OutageStrike
     }
 
-    fn step(&mut self, stack: &mut Stack, rng: &mut StdRng) {
+    fn step(&mut self, stack: &mut Stack<T>, rng: &mut StdRng) {
         let addrs = stack.proxy_addrs();
         for _ in 0..self.direct_pacer.probes_this_step() {
             self.arsenal

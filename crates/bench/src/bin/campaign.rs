@@ -25,14 +25,20 @@
 //! and contributes `availability_cells_per_sec`, the mean downtime
 //! fraction and the mean failover latency to `BENCH_campaign.json`.
 //!
+//! The **fault slice** (`scenario::fault_sweep`: clean / light-loss /
+//! heavy-loss network-fault coordinates on fortified S2 plus the
+//! bare-PB S1 baseline) runs the same three-way bit-identity check and
+//! contributes `fault_cells_per_sec`, `mean_goodput_fraction` and
+//! `mean_retries_per_request`.
+//!
 //! ```text
 //! cargo run --release -p fortress-bench --bin campaign [out_path]
 //! ```
 
 use fortress_sim::runner::{Runner, TrialBudget};
 use fortress_sim::scenario::{
-    availability_sweep, paper_default_sweep, run_scenario_measured, CrossCheck, SweepCell,
-    SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
+    availability_sweep, fault_sweep, paper_default_sweep, run_scenario_measured, CrossCheck,
+    SweepCell, SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
 };
 use std::time::Instant;
 
@@ -209,6 +215,34 @@ fn main() {
     println!("== availability slice (outage axis) ==");
     println!("{}", avail_parallel.to_table().to_aligned());
 
+    // The fault slice: degraded-network cells through the same three
+    // paths, three-way bit-identity required.
+    let fault_cells = fault_sweep(base_seed);
+    let fault_reference = run_cells_serially(&fault_cells, &Runner::with_threads(1));
+    let fault_serial =
+        SweepScheduler::new(&Runner::with_threads(1), BUDGET).run(&fault_cells);
+    let start = Instant::now();
+    let fault_parallel = SweepScheduler::new(&runner8, BUDGET).run(&fault_cells);
+    let fault_wall = start.elapsed().as_secs_f64();
+    let fault_deterministic = fault_serial.to_json() == fault_parallel.to_json()
+        && fault_reference.to_json() == fault_serial.to_json();
+    assert!(
+        fault_deterministic,
+        "fault sweep reports diverged between the cell-at-a-time reference, \
+         the serial scheduler and the cell-parallel scheduler — determinism \
+         contract broken"
+    );
+    let n_fault_cells = fault_cells.len();
+    let fault_cells_per_sec = n_fault_cells as f64 / fault_wall;
+    let mean_goodput = fault_parallel
+        .mean_goodput_fraction()
+        .expect("degraded fault cells measure goodput");
+    let mean_retries = fault_parallel
+        .mean_retries_per_request()
+        .expect("degraded fault cells count retries");
+    println!("== fault slice (network-fault axis) ==");
+    println!("{}", fault_parallel.to_table().to_aligned());
+
     // Pool vs per-call scoped spawning, µs-scale batch regime. Pin four
     // workers (even on smaller machines): the comparison is the cost of
     // four scoped spawns per call vs four persistent workers, which is
@@ -247,6 +281,14 @@ fn main() {
            \"mean_downtime_fraction\": {mean_downtime:.6},\n    \
            \"mean_failover_latency\": {mean_failover_latency},\n    \
            \"deterministic_serial_vs_parallel\": {avail_deterministic}\n  }},\n  \
+         \"faults\": {{\n    \
+           \"workload\": \"fault slice: none/light-loss/heavy-loss x retry policy on S2 + bare-PB S1 baseline\",\n    \
+           \"cells\": {n_fault_cells},\n    \
+           \"wall_s\": {fault_wall:.4},\n    \
+           \"fault_cells_per_sec\": {fault_cells_per_sec:.2},\n    \
+           \"mean_goodput_fraction\": {mean_goodput:.6},\n    \
+           \"mean_retries_per_request\": {mean_retries:.6},\n    \
+           \"deterministic_serial_vs_parallel\": {fault_deterministic}\n  }},\n  \
          \"pool_microbench\": {{\n    \
            \"calls\": {MICRO_CALLS},\n    \
            \"trials_per_call\": {MICRO_TRIALS_PER_CALL},\n    \

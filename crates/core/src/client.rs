@@ -10,8 +10,14 @@
 //!   matching votes contain a correct replica).
 //! * **S1 (PB)** — [`DirectClient`] in any-authentic mode: accept the first
 //!   authentically signed server response.
+//!
+//! Orthogonal to acceptance, [`RetryTracker`] gives any client
+//! robustness on degraded networks: per-request timeout, bounded
+//! retransmission with deterministic jittered exponential backoff,
+//! duplicate-reply suppression by request nonce, and RNG-free
+//! [`Degradation`] counters (goodput fraction, retries, gave-ups).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use fortress_crypto::KeyAuthority;
@@ -215,6 +221,213 @@ impl DirectClient {
     }
 }
 
+/// Per-request robustness policy for clients on degraded networks:
+/// timeout, bounded retries, and deterministic jittered exponential
+/// backoff — all in logical steps, all RNG-free.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RetryPolicy {
+    /// Steps to wait for an accepted answer before the request is
+    /// considered timed out.
+    pub timeout: u64,
+    /// Retransmissions allowed after the original send; `0` means the
+    /// client gives up on first timeout.
+    pub max_retries: u32,
+    /// Base backoff in steps: retry `k` waits
+    /// `timeout + backoff_base · 2^(k-1) + jitter` where the jitter is a
+    /// hash of `(seq, k)` in `[0, backoff_base)` — deterministic, but
+    /// decorrelated across requests so retry storms do not synchronize.
+    pub backoff_base: u64,
+}
+
+impl RetryPolicy {
+    /// A policy that never retransmits: one attempt, then give up after
+    /// `timeout` steps.
+    pub fn no_retry(timeout: u64) -> RetryPolicy {
+        RetryPolicy {
+            timeout,
+            max_retries: 0,
+            backoff_base: 0,
+        }
+    }
+
+    /// A retrying policy with the given budget and base backoff.
+    pub fn retrying(timeout: u64, max_retries: u32, backoff_base: u64) -> RetryPolicy {
+        RetryPolicy {
+            timeout,
+            max_retries,
+            backoff_base,
+        }
+    }
+}
+
+/// RNG-free degradation counters a [`RetryTracker`] accumulates over a
+/// client's lifetime — the raw material for goodput reporting under
+/// network faults.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Degradation {
+    /// Distinct requests issued (retransmissions not counted).
+    pub issued: u64,
+    /// Requests that eventually got an accepted answer.
+    pub accepted: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Redundant replies suppressed by request nonce after acceptance.
+    pub duplicates_suppressed: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+}
+
+impl Degradation {
+    /// Fraction of issued requests that were answered: the goodput the
+    /// survivability literature asks for. `0.0` when nothing was issued.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.issued as f64
+        }
+    }
+
+    /// Mean retransmissions per issued request (`0.0` when idle).
+    pub fn retries_per_request(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.issued as f64
+        }
+    }
+}
+
+/// Deterministic jitter for retry `attempt` of request `seq`: a
+/// SplitMix64-style hash, so equal `(seq, attempt)` always backs off
+/// identically while distinct requests desynchronize.
+fn retry_jitter(seq: u64, attempt: u32) -> u64 {
+    let mut z = seq
+        .rotate_left(17)
+        .wrapping_add(u64::from(attempt))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Debug)]
+struct PendingRequest {
+    req: ClientRequest,
+    /// Retransmissions already sent for this request.
+    attempt: u32,
+    deadline: u64,
+}
+
+/// Tracks in-flight requests for any client, driving timeouts, bounded
+/// retransmission with jittered exponential backoff, and the
+/// [`Degradation`] counters. Composes with [`FortressClient`] and
+/// [`DirectClient`] alike: the client decides *acceptance*, the tracker
+/// decides *retransmission*.
+///
+/// Deterministic by construction: pending requests live in a `BTreeMap`
+/// keyed by sequence number (iteration order is fixed), and backoff
+/// jitter is hashed from `(seq, attempt)` — no RNG anywhere, so the
+/// tracker never perturbs a trial's random streams.
+#[derive(Clone, Debug)]
+pub struct RetryTracker {
+    policy: RetryPolicy,
+    pending: BTreeMap<u64, PendingRequest>,
+    degradation: Degradation,
+}
+
+impl RetryTracker {
+    /// A tracker enforcing `policy`.
+    pub fn new(policy: RetryPolicy) -> RetryTracker {
+        RetryTracker {
+            policy,
+            pending: BTreeMap::new(),
+            degradation: Degradation::default(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Records a freshly issued request at time `now`; the caller sends
+    /// it on the wire.
+    pub fn track(&mut self, req: &ClientRequest, now: u64) {
+        self.degradation.issued += 1;
+        self.pending.insert(
+            req.seq,
+            PendingRequest {
+                req: req.clone(),
+                attempt: 0,
+                deadline: now + self.policy.timeout,
+            },
+        );
+    }
+
+    /// Marks request `seq` answered. Returns `false` (and counts a
+    /// suppressed duplicate) when the request was already settled or
+    /// never tracked — the nonce-based duplicate suppression.
+    pub fn settle(&mut self, seq: u64) -> bool {
+        if self.pending.remove(&seq).is_some() {
+            self.degradation.accepted += 1;
+            true
+        } else {
+            self.degradation.duplicates_suppressed += 1;
+            false
+        }
+    }
+
+    /// Requests whose deadline has passed at `now`, ready to retransmit
+    /// (the caller sends each returned clone). Requests out of retry
+    /// budget are abandoned and counted in [`Degradation::gave_up`].
+    pub fn due_resends(&mut self, now: u64) -> Vec<ClientRequest> {
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&seq, _)| seq)
+            .collect();
+        let mut resend = Vec::new();
+        for seq in due {
+            let p = self.pending.get_mut(&seq).expect("still pending");
+            if p.attempt >= self.policy.max_retries {
+                self.pending.remove(&seq);
+                self.degradation.gave_up += 1;
+                continue;
+            }
+            p.attempt += 1;
+            self.degradation.retries += 1;
+            let backoff = self.policy.backoff_base << (p.attempt - 1);
+            let jitter = if self.policy.backoff_base == 0 {
+                0
+            } else {
+                retry_jitter(seq, p.attempt) % self.policy.backoff_base
+            };
+            p.deadline = now + self.policy.timeout + backoff + jitter;
+            resend.push(p.req.clone());
+        }
+        resend
+    }
+
+    /// Requests still awaiting an answer.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The counters accumulated so far.
+    pub fn degradation(&self) -> Degradation {
+        self.degradation
+    }
+
+    /// Abandons every still-pending request (end of mission window),
+    /// counting each as gave-up so goodput reflects unanswered tails.
+    pub fn abandon_pending(&mut self) {
+        self.degradation.gave_up += self.pending.len() as u64;
+        self.pending.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +577,87 @@ mod tests {
         client.request(b"GET k");
         let got = client.on_reply(&signed_reply(&signers[2], 2, 1, "alice", b"VALUE v"));
         assert_eq!(got, Some((1, b"VALUE v".to_vec())));
+    }
+
+    fn req(seq: u64) -> ClientRequest {
+        ClientRequest {
+            seq,
+            client: "alice".into(),
+            op: b"GET k".to_vec(),
+        }
+    }
+
+    #[test]
+    fn retry_tracker_resends_with_exponential_backoff_then_gives_up() {
+        let mut t = RetryTracker::new(RetryPolicy::retrying(10, 2, 4));
+        t.track(&req(1), 0);
+        assert!(t.due_resends(9).is_empty(), "not due before the timeout");
+        // First timeout: one retransmission, deadline pushed out by
+        // timeout + base + jitter.
+        let r1 = t.due_resends(10);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].seq, 1);
+        // Second timeout: far in the future so it is surely due.
+        let r2 = t.due_resends(1000);
+        assert_eq!(r2.len(), 1);
+        // Budget exhausted: the third timeout abandons the request.
+        assert!(t.due_resends(10_000).is_empty());
+        let d = t.degradation();
+        assert_eq!((d.issued, d.retries, d.gave_up, d.accepted), (1, 2, 1, 0));
+        assert_eq!(t.pending_count(), 0);
+        assert_eq!(d.goodput_fraction(), 0.0);
+    }
+
+    #[test]
+    fn retry_tracker_settles_and_suppresses_duplicates() {
+        let mut t = RetryTracker::new(RetryPolicy::retrying(10, 3, 2));
+        t.track(&req(1), 0);
+        t.track(&req(2), 0);
+        assert!(t.settle(1), "first answer settles");
+        assert!(!t.settle(1), "second answer is a duplicate");
+        assert!(t.settle(2));
+        let d = t.degradation();
+        assert_eq!(d.accepted, 2);
+        assert_eq!(d.duplicates_suppressed, 1);
+        assert_eq!(d.gave_up, 0);
+        assert_eq!(d.goodput_fraction(), 1.0);
+        assert!(t.due_resends(u64::MAX / 2).is_empty(), "nothing pending");
+    }
+
+    #[test]
+    fn retry_tracker_is_deterministic_and_no_retry_gives_up_first_timeout() {
+        // Identical histories give identical deadlines (hash jitter, no
+        // RNG): run the same schedule twice.
+        let run = || {
+            let mut t = RetryTracker::new(RetryPolicy::retrying(5, 4, 8));
+            for seq in 1..=5 {
+                t.track(&req(seq), seq);
+            }
+            let mut trace = Vec::new();
+            for now in (0..200).step_by(7) {
+                trace.extend(t.due_resends(now).into_iter().map(|r| (now, r.seq)));
+            }
+            (trace, t.degradation())
+        };
+        assert_eq!(run(), run());
+
+        let mut t = RetryTracker::new(RetryPolicy::no_retry(5));
+        t.track(&req(1), 0);
+        assert!(t.due_resends(5).is_empty(), "no retransmission allowed");
+        assert_eq!(t.degradation().gave_up, 1);
+    }
+
+    #[test]
+    fn abandon_pending_counts_the_unanswered_tail() {
+        let mut t = RetryTracker::new(RetryPolicy::retrying(10, 3, 2));
+        t.track(&req(1), 0);
+        t.track(&req(2), 0);
+        t.settle(1);
+        t.abandon_pending();
+        let d = t.degradation();
+        assert_eq!(d.gave_up, 1);
+        assert_eq!(d.goodput_fraction(), 0.5);
+        assert_eq!(t.pending_count(), 0);
     }
 
     #[test]

@@ -52,6 +52,7 @@ use fortress_crypto::sig::Signer;
 use fortress_crypto::KeyAuthority;
 use fortress_net::addr::Addr;
 use fortress_net::event::{NetEvent, NetStats};
+use fortress_net::fault::{FaultPlan, FaultyTransport};
 use fortress_net::sim::{SimConfig, SimNet};
 use fortress_net::transport::Transport;
 use fortress_obf::daemon::ForkingDaemon;
@@ -256,6 +257,31 @@ impl Stack<SimNet> {
                 ..SimConfig::default()
             }),
         )
+    }
+}
+
+impl Stack<FaultyTransport<SimNet>> {
+    /// Assembles a stack over the same deterministic [`SimNet`] that
+    /// [`Stack::new`] would build (identical seed derivation), wrapped
+    /// in a [`FaultyTransport`] applying `plan`. `fault_stream_seed`
+    /// seeds the decorator's dedicated SplitMix64 stream; trial drivers
+    /// derive it per trial, like the outage stream. With
+    /// [`FaultPlan::None`] the wrapped network is a byte-identical
+    /// passthrough of the bare one.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stack::new`].
+    pub fn new_faulty(
+        cfg: StackConfig,
+        plan: FaultPlan,
+        fault_stream_seed: u64,
+    ) -> Result<Stack<FaultyTransport<SimNet>>, FortressError> {
+        let net = SimNet::new(SimConfig {
+            seed: cfg.seed ^ 0x5eed,
+            ..SimConfig::default()
+        });
+        Stack::with_transport(cfg, FaultyTransport::new(net, plan, fault_stream_seed))
     }
 }
 

@@ -28,6 +28,13 @@
 //! `ThreadNet` in the examples — `Transport` is what makes that a
 //! guarantee instead of a convention.
 //!
+//! A third piece composes over both: [`fault::FaultyTransport`] is a
+//! decorator that applies a [`fault::FaultPlan`] — per-link loss, delay
+//! with reordering, duplication and scheduled partitions — to any
+//! backend, driven by a dedicated per-trial SplitMix64 stream so fault
+//! schedules never perturb protocol randomness
+//! ([`fault::FaultPlan::None`] is a byte-identical passthrough).
+//!
 //! # The [`WireKind`] registry
 //!
 //! Every framed payload starts with one tag byte from [`wire::WireKind`].
@@ -86,6 +93,7 @@
 pub mod addr;
 pub mod codec;
 pub mod event;
+pub mod fault;
 pub mod sim;
 pub mod threaded;
 pub mod transport;
@@ -93,6 +101,7 @@ pub mod wire;
 
 pub use addr::Addr;
 pub use event::{NetEvent, NetStats};
+pub use fault::{FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
 pub use sim::{Latency, SimConfig, SimNet};
 pub use threaded::{NetHandle, ThreadNet};
 pub use transport::Transport;

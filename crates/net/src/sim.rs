@@ -77,6 +77,28 @@ struct EndpointState {
     crashed: bool,
 }
 
+/// One scheduled cut in the partition schedule: traffic from `a` to `b`
+/// (and, unless `oneway`, from `b` to `a`) is dropped while the logical
+/// clock is in `[from_tick, until_tick)`.
+#[derive(Debug)]
+struct Cut {
+    a: HashSet<Addr>,
+    b: HashSet<Addr>,
+    from_tick: u64,
+    until_tick: u64,
+    oneway: bool,
+}
+
+impl Cut {
+    fn severs(&self, now: u64, from: Addr, to: Addr) -> bool {
+        if now < self.from_tick || now >= self.until_tick {
+            return false;
+        }
+        (self.a.contains(&from) && self.b.contains(&to))
+            || (!self.oneway && self.b.contains(&from) && self.a.contains(&to))
+    }
+}
+
 /// The deterministic simulated network. See the [module docs](self).
 #[derive(Debug)]
 pub struct SimNet {
@@ -87,7 +109,7 @@ pub struct SimNet {
     endpoints: Vec<EndpointState>,
     queue: BinaryHeap<Reverse<(u64, u64, u32)>>,
     in_flight: HashMap<u64, InFlight>,
-    partition: Option<(HashSet<Addr>, HashSet<Addr>)>,
+    cuts: Vec<Cut>,
     stats: NetStats,
 }
 
@@ -102,7 +124,7 @@ impl SimNet {
             endpoints: Vec::new(),
             queue: BinaryHeap::new(),
             in_flight: HashMap::new(),
-            partition: None,
+            cuts: Vec::new(),
             stats: NetStats::default(),
         }
     }
@@ -280,27 +302,54 @@ impl SimNet {
         self.endpoints[addr.raw() as usize].crashed
     }
 
-    /// Installs a partition separating `side_a` from `side_b`; messages
-    /// across the cut are dropped. Replaces any existing partition.
+    /// Schedules a cut separating `side_a` from `side_b` while the
+    /// logical clock is in `[from_tick, until_tick)`. A `oneway` cut
+    /// drops only `side_a → side_b` traffic (an asymmetric fault);
+    /// otherwise both directions are severed. Cuts accumulate: a message
+    /// is dropped if *any* active cut severs its direction.
+    pub fn schedule_partition(
+        &mut self,
+        side_a: &[Addr],
+        side_b: &[Addr],
+        from_tick: u64,
+        until_tick: u64,
+        oneway: bool,
+    ) {
+        self.cuts.push(Cut {
+            a: side_a.iter().copied().collect(),
+            b: side_b.iter().copied().collect(),
+            from_tick,
+            until_tick,
+            oneway,
+        });
+    }
+
+    /// Removes every scheduled cut, active or future.
+    pub fn clear_partitions(&mut self) {
+        self.cuts.clear();
+    }
+
+    /// Installs a single symmetric partition separating `side_a` from
+    /// `side_b`, active immediately and indefinitely. Replaces any
+    /// existing schedule.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `schedule_partition` — partitions are now a schedule of windowed, \
+                optionally one-way cuts"
+    )]
     pub fn partition(&mut self, side_a: &[Addr], side_b: &[Addr]) {
-        self.partition = Some((
-            side_a.iter().copied().collect(),
-            side_b.iter().copied().collect(),
-        ));
+        self.cuts.clear();
+        self.schedule_partition(side_a, side_b, self.now, u64::MAX, false);
     }
 
     /// Removes the partition.
+    #[deprecated(since = "0.6.0", note = "use `clear_partitions`")]
     pub fn heal(&mut self) {
-        self.partition = None;
+        self.clear_partitions();
     }
 
     fn is_partitioned(&self, from: Addr, to: Addr) -> bool {
-        match &self.partition {
-            None => false,
-            Some((a, b)) => {
-                (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
-            }
-        }
+        self.cuts.iter().any(|c| c.severs(self.now, from, to))
     }
 
     fn push_event(&mut self, to: Addr, event: NetEvent) {
@@ -456,6 +505,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the single-cut shim must stay green
     fn partition_drops_cross_traffic() {
         let (mut net, a, s) = two_nodes();
         net.partition(&[a], &[s]);
@@ -467,6 +517,38 @@ mod tests {
         net.send(a, s, b("y"));
         net.run_until_quiet();
         assert!(net.recv(s).is_some());
+    }
+
+    #[test]
+    fn scheduled_cuts_window_and_compose() {
+        let (mut net, a, s) = two_nodes();
+        let c = net.register("c");
+        // Symmetric cut active only at tick 0: the send at now = 0 is
+        // severed (cut membership is checked at send time).
+        net.schedule_partition(&[a], &[s], 0, 1, false);
+        net.send(a, s, b("early"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(s), 0, "cut active at send time");
+        // Advance the clock past the window with uncut traffic.
+        net.send(a, c, b("tick"));
+        net.run_until_quiet();
+        assert!(net.now() >= 1);
+        net.send(a, s, b("late"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(s), 1, "cut expired");
+
+        // A one-way cut severs only a→s.
+        let t = net.now();
+        net.schedule_partition(&[a], &[s], t, u64::MAX, true);
+        net.send(a, s, b("blocked"));
+        net.send(s, a, b("flows"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(s), 1, "a→s still only the earlier message");
+        assert!(net.drain(a).iter().any(|e| e.payload().is_some()));
+        net.clear_partitions();
+        net.send(a, s, b("after clear"));
+        net.run_until_quiet();
+        assert_eq!(net.pending(s), 2);
     }
 
     #[test]

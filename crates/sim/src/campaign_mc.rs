@@ -32,12 +32,15 @@
 //!   grid layouts and incremental re-runs.
 
 use fortress_attack::campaign::StrategyKind;
+use fortress_core::client::RetryPolicy;
 use fortress_core::probelog::SuspicionPolicy;
-use fortress_core::system::{CompromiseState, SystemClass};
+use fortress_core::system::{CompromiseState, Stack, SystemClass};
 use fortress_model::params::Policy;
+use fortress_net::Transport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::faults::{FaultSpec, GoodputProbe};
 use crate::outage::OutageDriver;
 use crate::protocol_mc::ProtocolExperiment;
 use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
@@ -256,8 +259,30 @@ pub fn run_cell_measured(
     strategy: StrategyKind,
     seed: u64,
 ) -> TrialMeasure {
+    // Fault dispatch: `None` runs the bare transport (byte-identical to
+    // the pre-axis path — no decorator, no probe, no extra RNG);
+    // `Degraded` wraps the same assembly in the fault decorator and
+    // rides a goodput probe along.
+    match exp.fault {
+        FaultSpec::None => run_cell_on(exp, strategy, seed, exp.build_stack(seed), None),
+        FaultSpec::Degraded { plan, retry } => {
+            run_cell_on(exp, strategy, seed, exp.build_faulty_stack(seed, plan), Some(retry))
+        }
+    }
+}
+
+/// The one campaign drive loop, generic over the transport: the cell's
+/// adversary strategy stepped against `stack`, the outage schedule
+/// applied at the top of each step, and — when `retry` is given — a
+/// [`GoodputProbe`] stepped after the adversary.
+fn run_cell_on<T: Transport>(
+    exp: &ProtocolExperiment,
+    strategy: StrategyKind,
+    seed: u64,
+    mut stack: Stack<T>,
+    retry: Option<RetryPolicy>,
+) -> TrialMeasure {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
-    let mut stack = exp.build_stack(seed);
     let mut outage = OutageDriver::new(exp.outage, seed);
     let mut adversary = strategy.build(
         &mut stack,
@@ -267,17 +292,23 @@ pub fn run_cell_measured(
         exp.suspicion,
         &mut rng,
     );
+    let mut probe = retry.map(|policy| GoodputProbe::new(&mut stack, "probe", policy));
     for step in 1..=exp.max_steps {
         outage.before_step(&mut stack, step);
         adversary.step(&mut stack, &mut rng);
+        if let Some(probe) = probe.as_mut() {
+            probe.step(&mut stack, step);
+        }
         if stack.end_step() != CompromiseState::Intact {
-            return TrialMeasure::of_protocol_trial(exp.max_steps, step, true, &stack);
+            return TrialMeasure::of_protocol_trial(exp.max_steps, step, true, &stack)
+                .with_degrade(probe.as_mut().map(GoodputProbe::finish));
         }
         if exp.policy == Policy::Proactive {
             adversary.on_rerandomized(&mut rng);
         }
     }
     TrialMeasure::of_protocol_trial(exp.max_steps, exp.max_steps, false, &stack)
+        .with_degrade(probe.as_mut().map(GoodputProbe::finish))
 }
 
 /// The measured outcome of one grid cell.

@@ -1,0 +1,357 @@
+//! The network-fault axis: deterministic degraded-network schedules and
+//! the goodput probe that measures what a client still gets through.
+//!
+//! The availability axis ([`crate::outage`]) injects *machine* faults;
+//! this module injects *network* faults — per-link loss, delay jitter,
+//! duplication and scheduled partitions, applied by wrapping a trial's
+//! transport in [`FaultyTransport`](fortress_net::fault::FaultyTransport).
+//! [`FaultSpec`] is the sweep coordinate: [`FaultSpec::None`] folds
+//! nothing into content seeds, consumes no RNG, and runs the exact
+//! pre-axis code path (the campaign golden pins those bits), while
+//! [`FaultSpec::Degraded`] pairs a [`FaultPlan`] with the
+//! [`RetryPolicy`] a measurement client answers it with.
+//!
+//! # The per-trial RNG stream-splitting convention
+//!
+//! Every randomized subsystem of a trial draws from its **own** stream,
+//! derived by folding a distinct salt into the trial seed:
+//! the stack's network from the stack seed, the outage driver from
+//! `fold(trial_seed, OUTAGE_STREAM)`, and the fault decorator from
+//! `fold(trial_seed, `[`FAULT_STREAM`](fortress_net::fault::FAULT_STREAM)`)`.
+//! Adding or removing one axis therefore never perturbs another axis's
+//! draws — which is what lets `FaultSpec::None` cells reproduce the
+//! pre-axis goldens bit-for-bit while degraded cells stay pure functions
+//! of their trial seed.
+//!
+//! The *measurements* the injected faults provoke are collected by a
+//! [`GoodputProbe`]: a first-class client (a [`DirectClient`] on the
+//! 1-tier classes, a [`FortressClient`] behind the proxy tier on S2)
+//! that issues a request every [`FAULT_REQUEST_PERIOD`] steps through a
+//! [`RetryTracker`], and condenses what happened into a
+//! [`DegradePoint`] (goodput fraction, retries per request, duplicates
+//! suppressed, gave-up count) merged Welford-style through
+//! [`crate::stats::AvailStats`].
+
+use fortress_core::client::{
+    AcceptMode, DirectClient, FortressClient, RetryPolicy, RetryTracker,
+};
+use fortress_core::system::{Stack, SystemClass};
+use fortress_core::wire::WireMsg;
+use fortress_net::fault::FaultPlan;
+use fortress_net::Transport;
+
+use crate::runner::fold;
+use crate::stats::DegradePoint;
+
+/// Steps between consecutive goodput-probe requests. Coarse enough that
+/// the probe's traffic is a trickle next to the adversary's, fine
+/// enough that a 300-step trial still issues ~75 requests.
+pub const FAULT_REQUEST_PERIOD: u64 = 4;
+
+/// The network-fault coordinate of a sweep cell. `Copy + PartialEq` so
+/// it can sit beside the other seven axes; its parameters fold into the
+/// cell's content-derived seed (two cells differing in any fault or
+/// retry parameter draw decorrelated trial streams).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// No fault decorator, no goodput probe — the pre-fault-axis
+    /// behavior and the seed-compatible default (a `None` cell folds
+    /// nothing extra into its content seed, so legacy cells keep their
+    /// pinned bits).
+    None,
+    /// Wrap the trial's transport in a
+    /// [`FaultyTransport`](fortress_net::fault::FaultyTransport) running
+    /// `plan`, and measure goodput with a probe client answering it
+    /// with `retry`.
+    Degraded {
+        /// The per-link loss / delay / duplication / partition schedule.
+        plan: FaultPlan,
+        /// The probe client's timeout / retry / backoff policy.
+        retry: RetryPolicy,
+    },
+}
+
+impl FaultSpec {
+    /// Whether this is the no-fault coordinate.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultSpec::None)
+    }
+
+    /// Short label for cell names and reports. Comma-free (labels are
+    /// CSV cells) — segments join with `+`.
+    pub fn label(&self) -> String {
+        match *self {
+            FaultSpec::None => "none".to_string(),
+            FaultSpec::Degraded { plan, retry } => format!(
+                "{}+retry:{}x{}",
+                plan.label(),
+                retry.max_retries,
+                retry.timeout
+            ),
+        }
+    }
+
+    /// Folds the fault coordinate into a content seed. [`FaultSpec::None`]
+    /// deliberately folds **nothing**, preserving every pre-axis cell
+    /// seed bit-for-bit (the campaign golden file pins them).
+    pub(crate) fn fold_into(&self, seed: u64) -> u64 {
+        match *self {
+            FaultSpec::None => seed,
+            FaultSpec::Degraded { plan, retry } => {
+                let mut s = fold(seed, 0x0FA7_0001);
+                s = match plan {
+                    FaultPlan::None => fold(s, 0),
+                    FaultPlan::Degraded {
+                        loss,
+                        delay_min,
+                        delay_max,
+                        dup,
+                        partition,
+                    } => {
+                        let mut s = fold(s, loss.to_bits());
+                        s = fold(s, delay_min);
+                        s = fold(s, delay_max);
+                        s = fold(s, dup.to_bits());
+                        if let Some(w) = partition {
+                            s = fold(s, 0x0FA7_0002);
+                            s = fold(s, w.period);
+                            s = fold(s, w.duration);
+                            s = fold(s, u64::from(w.split));
+                            s = fold(s, u64::from(w.oneway));
+                        }
+                        s
+                    }
+                };
+                s = fold(s, retry.timeout);
+                s = fold(s, u64::from(retry.max_retries));
+                fold(s, retry.backoff_base)
+            }
+        }
+    }
+}
+
+/// The class-appropriate measurement client inside a [`GoodputProbe`].
+enum ProbeClient {
+    /// S2: double-signature verification behind the proxy tier.
+    Fortress(FortressClient),
+    /// S0/S1: direct server replies (matching votes on S0, any
+    /// authentic reply on S1).
+    Direct(DirectClient),
+}
+
+/// A benign measurement client riding along a degraded trial: one
+/// request every [`FAULT_REQUEST_PERIOD`] steps, resent on timeout per
+/// its [`RetryPolicy`], every observable folded into a
+/// [`DegradePoint`] at trial end. RNG-free — the probe perturbs no
+/// stream, so degraded trials stay pure functions of their seed.
+pub struct GoodputProbe {
+    name: String,
+    client: ProbeClient,
+    tracker: RetryTracker,
+}
+
+impl GoodputProbe {
+    /// Registers a probe client on `stack`. The client kind follows the
+    /// stack's class: S2 gets the proxy-tier [`FortressClient`], S1 a
+    /// [`DirectClient`] accepting any authentic reply, S0 a
+    /// [`DirectClient`] demanding `f + 1` matching votes.
+    pub fn new<T: Transport>(stack: &mut Stack<T>, name: &str, retry: RetryPolicy) -> GoodputProbe {
+        stack.add_client(name);
+        let client = match stack.class() {
+            SystemClass::S2Fortress => ProbeClient::Fortress(FortressClient::new(
+                name,
+                stack.authority(),
+                stack.ns().clone(),
+            )),
+            SystemClass::S1Pb => ProbeClient::Direct(DirectClient::new(
+                name,
+                stack.authority(),
+                stack.ns().servers().to_vec(),
+                AcceptMode::AnyAuthentic,
+            )),
+            SystemClass::S0Smr => ProbeClient::Direct(DirectClient::new(
+                name,
+                stack.authority(),
+                stack.ns().servers().to_vec(),
+                AcceptMode::MatchingVotes { f: 1 },
+            )),
+        };
+        GoodputProbe {
+            name: name.to_owned(),
+            client,
+            tracker: RetryTracker::new(retry),
+        }
+    }
+
+    /// One probe step at 1-based `step`: drain and judge replies, resend
+    /// whatever timed out, then issue the next request if the cadence
+    /// says so.
+    pub fn step<T: Transport>(&mut self, stack: &mut Stack<T>, step: u64) {
+        for ev in stack.drain_client(&self.name) {
+            let Some(payload) = ev.payload() else { continue };
+            match WireMsg::decode(payload) {
+                WireMsg::ProxyResponse(resp) => {
+                    if let ProbeClient::Fortress(client) = &mut self.client {
+                        let seq = resp.reply.reply.request_seq;
+                        // An accepted first answer and a valid duplicate
+                        // both settle; the tracker tells them apart.
+                        if client.on_response(&resp).is_ok() {
+                            self.tracker.settle(seq);
+                        }
+                    }
+                }
+                WireMsg::SignedReply(reply) => {
+                    if let ProbeClient::Direct(client) = &mut self.client {
+                        let reply = reply.to_owned();
+                        let seq = reply.reply.request_seq;
+                        let already = client.accepted(seq).is_some();
+                        if client.on_reply(&reply).is_some() || already {
+                            self.tracker.settle(seq);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for req in self.tracker.due_resends(step) {
+            stack.submit(&self.name, &req);
+            stack.pump();
+        }
+        if (step - 1).is_multiple_of(FAULT_REQUEST_PERIOD) {
+            let req = match &mut self.client {
+                ProbeClient::Fortress(client) => client.request(b"GET probe"),
+                ProbeClient::Direct(client) => client.request(b"GET probe"),
+            };
+            self.tracker.track(&req, step);
+            stack.submit(&self.name, &req);
+            stack.pump();
+        }
+    }
+
+    /// Abandons whatever is still pending and condenses the tracker's
+    /// counters into the trial's [`DegradePoint`].
+    pub fn finish(&mut self) -> DegradePoint {
+        self.tracker.abandon_pending();
+        let d = self.tracker.degradation();
+        DegradePoint {
+            goodput_fraction: d.goodput_fraction(),
+            retries_per_request: d.retries_per_request(),
+            duplicates_suppressed: d.duplicates_suppressed as f64,
+            gave_up: d.gave_up as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortress_core::system::StackConfig;
+    use fortress_net::fault::PartitionWindow;
+    use fortress_obf::schedule::ObfuscationPolicy;
+
+    fn degraded(loss: f64, retries: u32) -> FaultSpec {
+        FaultSpec::Degraded {
+            plan: FaultPlan::Degraded {
+                loss,
+                delay_min: 0,
+                delay_max: 2,
+                dup: 0.0,
+                partition: None,
+            },
+            retry: RetryPolicy::retrying(8, retries, 2),
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_comma_free() {
+        let specs = [
+            FaultSpec::None,
+            degraded(0.05, 2),
+            degraded(0.10, 2),
+            degraded(0.05, 0),
+            FaultSpec::Degraded {
+                plan: FaultPlan::Degraded {
+                    loss: 0.05,
+                    delay_min: 0,
+                    delay_max: 2,
+                    dup: 0.0,
+                    partition: Some(PartitionWindow {
+                        period: 40,
+                        duration: 10,
+                        split: 3,
+                        oneway: false,
+                    }),
+                },
+                retry: RetryPolicy::retrying(8, 2, 2),
+            },
+        ];
+        let mut labels = std::collections::HashSet::new();
+        let mut seeds = std::collections::HashSet::new();
+        for spec in specs {
+            let label = spec.label();
+            assert!(!label.contains(','), "CSV-hostile label: {label}");
+            assert!(labels.insert(label), "label collision at {spec:?}");
+            assert!(
+                seeds.insert(spec.fold_into(0xFEED)),
+                "seed collision at {spec:?}"
+            );
+        }
+        // None folds nothing: legacy seeds are preserved.
+        assert_eq!(FaultSpec::None.fold_into(0xFEED), 0xFEED);
+    }
+
+    #[test]
+    fn probe_on_a_clean_network_reaches_full_goodput() {
+        for class in [SystemClass::S0Smr, SystemClass::S1Pb, SystemClass::S2Fortress] {
+            let mut stack = Stack::new(StackConfig {
+                class,
+                policy: ObfuscationPolicy::StartupOnly,
+                seed: 5,
+                ..StackConfig::default()
+            })
+            .unwrap();
+            let mut probe = GoodputProbe::new(&mut stack, "probe", RetryPolicy::no_retry(8));
+            for step in 1..=60 {
+                probe.step(&mut stack, step);
+                stack.end_step();
+            }
+            let point = probe.finish();
+            assert!(
+                (point.goodput_fraction - 1.0).abs() < 1e-12,
+                "{class:?}: lossless network must serve every request, got {point:?}"
+            );
+            assert_eq!(point.retries_per_request, 0.0);
+            assert_eq!(point.gave_up, 0.0);
+        }
+    }
+
+    #[test]
+    fn probe_under_certain_loss_gives_up_on_everything() {
+        let mut stack = Stack::new_faulty(
+            StackConfig {
+                class: SystemClass::S1Pb,
+                policy: ObfuscationPolicy::StartupOnly,
+                seed: 7,
+                ..StackConfig::default()
+            },
+            FaultPlan::Degraded {
+                loss: 1.0,
+                delay_min: 0,
+                delay_max: 0,
+                dup: 0.0,
+                partition: None,
+            },
+            0xFA,
+        )
+        .unwrap();
+        let mut probe = GoodputProbe::new(&mut stack, "probe", RetryPolicy::retrying(4, 1, 2));
+        for step in 1..=60 {
+            probe.step(&mut stack, step);
+            stack.end_step();
+        }
+        let point = probe.finish();
+        assert_eq!(point.goodput_fraction, 0.0, "{point:?}");
+        assert!(point.retries_per_request > 0.0, "retries must be spent");
+        assert!(point.gave_up > 0.0, "unanswered requests must be abandoned");
+    }
+}

@@ -25,7 +25,8 @@
 //! object-safe [`scenario::Scenario`] trait every fidelity implements, a
 //! declarative [`scenario::SweepSpec`] axis builder (class × SO/PO ×
 //! entropy × suspicion × fleet × strategy × [`outage`] schedule — the
-//! availability axis), a cell-parallel [`scenario::SweepScheduler`]
+//! availability axis — × [`faults`] schedule — the network-fault
+//! axis), a cell-parallel [`scenario::SweepScheduler`]
 //! that runs sweep cells as first-class jobs on the shared worker pool,
 //! and a [`scenario::CrossCheck`] that validates protocol cells against
 //! the abstract model's κ (and availability) predictions cell-by-cell.
@@ -55,6 +56,7 @@
 pub mod abstract_mc;
 pub mod campaign_mc;
 pub mod event_mc;
+pub mod faults;
 pub mod outage;
 pub mod protocol_mc;
 pub mod report;
@@ -65,6 +67,7 @@ pub mod stats;
 pub use abstract_mc::AbstractModel;
 pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::sample_lifetime;
+pub use faults::{FaultSpec, GoodputProbe};
 pub use outage::{OutageDriver, OutageSpec};
 pub use protocol_mc::ProtocolExperiment;
 pub use runner::{Runner, RunnerError, TrialBudget};

@@ -21,6 +21,7 @@
 //! [`crate::stats::AvailStats`].
 
 use fortress_core::system::{Stack, SystemClass};
+use fortress_net::Transport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -174,7 +175,7 @@ impl OutageDriver {
     /// Applies the schedule at the start of 1-based `step`: first brings
     /// back machines whose repair is due, then injects whatever the
     /// schedule prescribes. A no-op for S0 (no PB tier to take down).
-    pub fn before_step(&mut self, stack: &mut Stack, step: u64) {
+    pub fn before_step<T: Transport>(&mut self, stack: &mut Stack<T>, step: u64) {
         if self.spec.is_none() || stack.class() == SystemClass::S0Smr {
             return;
         }
@@ -233,7 +234,7 @@ impl OutageDriver {
     }
 
     /// Takes `server` down until `up_at`, unless it is already down.
-    fn take_down(&mut self, stack: &mut Stack, server: usize, up_at: u64) {
+    fn take_down<T: Transport>(&mut self, stack: &mut Stack<T>, server: usize, up_at: u64) {
         if stack.server_is_down(server) {
             return;
         }

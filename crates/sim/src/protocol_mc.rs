@@ -8,16 +8,21 @@
 //! the abstract models (experiment `PROTO` in DESIGN.md).
 
 use fortress_attack::attacker::DirectAttacker;
+use fortress_core::client::RetryPolicy;
 use fortress_core::probelog::SuspicionPolicy;
 use fortress_core::system::{CompromiseState, Stack, StackConfig, SystemClass};
 use fortress_model::params::Policy;
+use fortress_net::fault::{FaultPlan, FaultyTransport, FAULT_STREAM};
+use fortress_net::sim::SimNet;
+use fortress_net::Transport;
 use fortress_obf::schedule::ObfuscationPolicy;
 use fortress_obf::scheme::Scheme;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::faults::{FaultSpec, GoodputProbe};
 use crate::outage::{OutageDriver, OutageSpec};
-use crate::runner::{Runner, TrialBudget};
+use crate::runner::{fold, Runner, TrialBudget};
 use crate::scenario::TrialMeasure;
 use crate::stats::Estimate;
 
@@ -45,6 +50,10 @@ pub struct ProtocolExperiment {
     /// drive loop (the availability axis; [`OutageSpec::None`] preserves
     /// the pre-axis behavior and seeds bit-for-bit).
     pub outage: OutageSpec,
+    /// Network-fault schedule wrapped around the trial's transport (the
+    /// fault axis; [`FaultSpec::None`] preserves the pre-axis behavior
+    /// and seeds bit-for-bit — no decorator, no goodput probe).
+    pub fault: FaultSpec,
 }
 
 impl ProtocolExperiment {
@@ -63,6 +72,7 @@ impl ProtocolExperiment {
             scheme: Scheme::Aslr,
             max_steps: 50_000,
             outage: OutageSpec::None,
+            fault: FaultSpec::None,
         }
     }
 
@@ -89,7 +99,14 @@ impl ProtocolExperiment {
     /// [`ProtocolExperiment::run_once`] and the campaign grid driver,
     /// which swaps in its own adversary strategies.
     pub fn build_stack(&self, seed: u64) -> Stack {
-        Stack::new(StackConfig {
+        Stack::new(self.stack_config(seed)).expect("stack assembly is validated by construction")
+    }
+
+    /// The [`StackConfig`] one trial of this experiment runs under —
+    /// shared by the bare and the fault-decorated assembly paths so the
+    /// two can never drift apart.
+    fn stack_config(&self, seed: u64) -> StackConfig {
+        StackConfig {
             class: self.class,
             entropy_bits: self.entropy_bits,
             scheme: self.scheme,
@@ -98,8 +115,17 @@ impl ProtocolExperiment {
             np: self.np,
             seed,
             ..StackConfig::default()
-        })
-        .expect("stack assembly is validated by construction")
+        }
+    }
+
+    /// [`ProtocolExperiment::build_stack`] with the trial's transport
+    /// wrapped in a [`FaultyTransport`] running `plan`. The decorator's
+    /// RNG stream is `fold(seed, FAULT_STREAM)` — split off the trial
+    /// seed exactly like the outage driver's, so it perturbs neither the
+    /// stack's nor the adversary's draws.
+    pub fn build_faulty_stack(&self, seed: u64, plan: FaultPlan) -> Stack<FaultyTransport<SimNet>> {
+        Stack::new_faulty(self.stack_config(seed), plan, fold(seed, FAULT_STREAM))
+            .expect("stack assembly is validated by construction")
     }
 
     /// Runs one trial; returns the 1-based step at which the system fell
@@ -126,8 +152,29 @@ impl ProtocolExperiment {
                 seed,
             );
         }
+        // Fault dispatch: `None` runs the bare transport (byte-identical
+        // to the pre-axis path — no decorator, no probe, no extra RNG);
+        // `Degraded` wraps the same assembly in the fault decorator and
+        // rides a goodput probe along.
+        match self.fault {
+            FaultSpec::None => self.run_direct_on(seed, self.build_stack(seed), None),
+            FaultSpec::Degraded { plan, retry } => {
+                self.run_direct_on(seed, self.build_faulty_stack(seed, plan), Some(retry))
+            }
+        }
+    }
+
+    /// The one 1-tier drive loop, generic over the transport: the
+    /// baseline attacker stepped against `stack`, the outage schedule
+    /// applied at the top of each step, and — when `retry` is given — a
+    /// [`GoodputProbe`] stepped after the adversary.
+    fn run_direct_on<T: Transport>(
+        &self,
+        seed: u64,
+        mut stack: Stack<T>,
+        retry: Option<RetryPolicy>,
+    ) -> TrialMeasure {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
-        let mut stack = self.build_stack(seed);
         let mut outage = OutageDriver::new(self.outage, seed);
         let mut attacker = DirectAttacker::new(
             &mut stack,
@@ -136,18 +183,24 @@ impl ProtocolExperiment {
             self.omega,
             &mut rng,
         );
+        let mut probe = retry.map(|policy| GoodputProbe::new(&mut stack, "probe", policy));
         for step in 1..=self.max_steps {
             outage.before_step(&mut stack, step);
             attacker.step(&mut stack, &mut rng);
+            if let Some(probe) = probe.as_mut() {
+                probe.step(&mut stack, step);
+            }
             let state = stack.end_step();
             if state != CompromiseState::Intact {
-                return TrialMeasure::of_protocol_trial(self.max_steps, step, true, &stack);
+                return TrialMeasure::of_protocol_trial(self.max_steps, step, true, &stack)
+                    .with_degrade(probe.as_mut().map(GoodputProbe::finish));
             }
             if self.policy == Policy::Proactive {
                 attacker.on_rerandomized(&mut rng);
             }
         }
         TrialMeasure::of_protocol_trial(self.max_steps, self.max_steps, false, &stack)
+            .with_degrade(probe.as_mut().map(GoodputProbe::finish))
     }
 
     /// Runs `trials` independent trials through the parallel runner and

@@ -23,8 +23,9 @@
 //!   cell's trials.
 //! * [`SweepSpec`] — the axis builder: system class × service-order
 //!   policy (SO/PO) × entropy χ × suspicion policy × fleet size ×
-//!   adversary strategy × outage schedule (the availability axis),
-//!   compiled to a flat list of seeded [`SweepCell`]s.
+//!   adversary strategy × outage schedule (the availability axis) ×
+//!   fault schedule (the network-fault axis), compiled to a flat list
+//!   of seeded [`SweepCell`]s.
 //! * [`SweepScheduler`] — runs cells as first-class jobs on the
 //!   persistent [`Runner`] pool. Cells and trials share one pool
 //!   through a two-level work queue (see below), so the embarrassingly
@@ -96,8 +97,10 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
 use fortress_attack::campaign::StrategyKind;
+use fortress_core::client::RetryPolicy;
 use fortress_core::probelog::SuspicionPolicy;
 use fortress_core::system::SystemClass;
+use fortress_net::fault::FaultPlan;
 use fortress_markov::LaunchPad;
 use fortress_model::lifetime::expected_lifetime_s2_so;
 use fortress_model::params::{AttackParams, Policy, ProbeModel};
@@ -108,6 +111,7 @@ use rand::SeedableRng;
 use crate::abstract_mc::AbstractModel;
 use crate::campaign_mc::run_cell_measured;
 use crate::event_mc::sample_lifetime;
+use crate::faults::FaultSpec;
 use crate::outage::OutageSpec;
 use crate::protocol_mc::ProtocolExperiment;
 use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
@@ -156,11 +160,11 @@ impl TrialMeasure {
     /// correct service), so "resisted the attack" and "stayed up"
     /// compose into one availability number, the survivability
     /// literature's resilience metric.
-    pub fn of_protocol_trial(
+    pub fn of_protocol_trial<T: fortress_net::Transport>(
         cap: u64,
         fell: u64,
         compromised: bool,
-        stack: &fortress_core::system::Stack,
+        stack: &fortress_core::system::Stack<T>,
     ) -> TrialMeasure {
         let avail = stack.availability();
         let cap = cap.max(1);
@@ -172,8 +176,18 @@ impl TrialMeasure {
                 failovers: avail.failovers as f64,
                 failover_latency: avail.mean_failover_latency(),
                 lost_requests: avail.lost_requests as f64,
+                degrade: None,
             }),
         }
+    }
+
+    /// Attaches a degradation point (goodput-probe observables under a
+    /// fault plan) to the availability measurement, if one exists.
+    pub fn with_degrade(mut self, degrade: Option<crate::stats::DegradePoint>) -> TrialMeasure {
+        if let Some(avail) = self.avail.as_mut() {
+            avail.degrade = degrade;
+        }
+        self
     }
 
     /// The runner-facing sample: lifetime as the primary value, the
@@ -228,11 +242,12 @@ impl Scenario for AbstractModel {
 impl Scenario for ProtocolExperiment {
     fn label(&self) -> String {
         format!(
-            "protocol {} {} chi=2^{}{}",
+            "protocol {} {} chi=2^{}{}{}",
             class_label(self.class),
             self.policy.suffix(),
             self.entropy_bits,
             outage_suffix(self.outage),
+            fault_suffix(self.fault),
         )
     }
 
@@ -290,7 +305,7 @@ impl Scenario for ScenarioSpec {
             ),
             ScenarioSpec::Protocol(e) => e.label(),
             ScenarioSpec::Campaign { experiment: e, strategy } => format!(
-                "{} {} chi=2^{} w={}/t={} np={} {}{}",
+                "{} {} chi=2^{} w={}/t={} np={} {}{}{}",
                 class_label(e.class),
                 e.policy.suffix(),
                 e.entropy_bits,
@@ -299,6 +314,7 @@ impl Scenario for ScenarioSpec {
                 e.np,
                 strategy.display_label(),
                 outage_suffix(e.outage),
+                fault_suffix(e.fault),
             ),
         }
     }
@@ -454,7 +470,7 @@ impl SweepCell {
     }
 }
 
-/// A declarative sweep: seven axes over a shared experiment template,
+/// A declarative sweep: eight axes over a shared experiment template,
 /// compiled to a flat, content-seeded cell list.
 ///
 /// For [`SystemClass::S2Fortress`] the full cartesian product of
@@ -479,6 +495,9 @@ pub struct SweepSpec {
     /// Outage-schedule axis (PB-tier classes — S1 and S2; vacuous for
     /// S0, whose availability story is the SMR quorum's).
     pub outages: Vec<OutageSpec>,
+    /// Network-fault axis (every class — faults live at the transport
+    /// layer, below the replication scheme).
+    pub faults: Vec<FaultSpec>,
     /// Shared experiment template; each cell overrides the swept fields.
     pub base: ProtocolExperiment,
 }
@@ -495,6 +514,7 @@ impl SweepSpec {
             fleets: vec![base.np],
             strategies: vec![StrategyKind::PacedBelowThreshold],
             outages: vec![base.outage],
+            faults: vec![base.fault],
             base,
         }
     }
@@ -541,13 +561,21 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the network-fault axis (the degraded-network dimension).
+    pub fn faults(mut self, faults: Vec<FaultSpec>) -> SweepSpec {
+        self.faults = faults;
+        self
+    }
+
     /// Compiles the axes to the flat cell list in axis-major order
-    /// (class, policy, entropy, suspicion, fleet, strategy, outage). The
-    /// order is presentation only — every cell's seed derives from its
-    /// content, so reordering or subsetting axes changes no cell's
-    /// trials. Vacuous axes collapse: 1-tier classes skip suspicion /
-    /// fleet / strategy (no proxy tier), and S0 additionally skips the
-    /// outage axis (no PB tier to take down).
+    /// (class, policy, entropy, suspicion, fleet, strategy, outage,
+    /// fault). The order is presentation only — every cell's seed
+    /// derives from its content, so reordering or subsetting axes
+    /// changes no cell's trials. Vacuous axes collapse: 1-tier classes
+    /// skip suspicion / fleet / strategy (no proxy tier), and S0
+    /// additionally skips the outage axis (no PB tier to take down).
+    /// The fault axis applies to every class — network faults live at
+    /// the transport layer, below the replication scheme.
     pub fn compile(&self, base_seed: u64) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         for &class in &self.classes {
@@ -558,19 +586,22 @@ impl SweepSpec {
                             for &np in &self.fleets {
                                 for &strategy in &self.strategies {
                                     for &outage in &self.outages {
-                                        let experiment = ProtocolExperiment {
-                                            class,
-                                            policy,
-                                            entropy_bits,
-                                            suspicion,
-                                            np,
-                                            outage,
-                                            ..self.base
-                                        };
-                                        cells.push(SweepCell::of(
-                                            ScenarioSpec::Campaign { experiment, strategy },
-                                            base_seed,
-                                        ));
+                                        for &fault in &self.faults {
+                                            let experiment = ProtocolExperiment {
+                                                class,
+                                                policy,
+                                                entropy_bits,
+                                                suspicion,
+                                                np,
+                                                outage,
+                                                fault,
+                                                ..self.base
+                                            };
+                                            cells.push(SweepCell::of(
+                                                ScenarioSpec::Campaign { experiment, strategy },
+                                                base_seed,
+                                            ));
+                                        }
                                     }
                                 }
                             }
@@ -582,17 +613,20 @@ impl SweepSpec {
                             &self.outages
                         };
                         for &outage in outages {
-                            let experiment = ProtocolExperiment {
-                                class,
-                                policy,
-                                entropy_bits,
-                                outage,
-                                ..self.base
-                            };
-                            cells.push(SweepCell::of(
-                                ScenarioSpec::Protocol(experiment),
-                                base_seed,
-                            ));
+                            for &fault in &self.faults {
+                                let experiment = ProtocolExperiment {
+                                    class,
+                                    policy,
+                                    entropy_bits,
+                                    outage,
+                                    fault,
+                                    ..self.base
+                                };
+                                cells.push(SweepCell::of(
+                                    ScenarioSpec::Protocol(experiment),
+                                    base_seed,
+                                ));
+                            }
                         }
                     }
                 }
@@ -679,6 +713,61 @@ pub fn availability_base(class: SystemClass) -> ProtocolExperiment {
     }
 }
 
+/// The network-fault slice the `campaign` bench and CI smoke run: three
+/// fault coordinates (a clean network, light per-link loss with a
+/// 2-retry client, heavy loss plus jitter and duplication with a
+/// 3-retry client) on the fortified S2 under a rate-disciplined
+/// adversary, plus the same coordinates on the bare-PB S1 baseline —
+/// the degraded-network analogue of [`availability_sweep`], riding the
+/// same report machinery. The `FaultSpec::None` cells run the exact
+/// pre-axis code path, so this sweep doubles as a passthrough check.
+pub fn fault_sweep(base_seed: u64) -> Vec<SweepCell> {
+    let faults = vec![
+        FaultSpec::None,
+        FaultSpec::Degraded {
+            plan: FaultPlan::Degraded {
+                loss: 0.05,
+                delay_min: 0,
+                delay_max: 2,
+                dup: 0.0,
+                partition: None,
+            },
+            retry: RetryPolicy::retrying(8, 2, 2),
+        },
+        FaultSpec::Degraded {
+            plan: FaultPlan::Degraded {
+                loss: 0.10,
+                delay_min: 0,
+                delay_max: 3,
+                dup: 0.02,
+                partition: None,
+            },
+            retry: RetryPolicy::retrying(8, 3, 2),
+        },
+    ];
+    let s2 = SweepSpec::new(fault_base(SystemClass::S2Fortress)).faults(faults.clone());
+    let s1 = SweepSpec::new(fault_base(SystemClass::S1Pb)).faults(faults);
+    let mut cells = s2.compile(base_seed);
+    cells.extend(s1.compile(base_seed));
+    cells
+}
+
+/// The shared experiment template of the fault slice — one definition,
+/// reused by [`fault_sweep`], the directional goodput tests and the
+/// fault-sweep example, so a tuning change cannot silently leave them
+/// on different configurations. Like [`availability_base`], the cells
+/// are survival-biased (wide key space, slow attacker) so the goodput
+/// signal comes from trials that live deep into the mission window.
+pub fn fault_base(class: SystemClass) -> ProtocolExperiment {
+    ProtocolExperiment {
+        entropy_bits: 10,
+        omega: 4.0,
+        max_steps: 200,
+        suspicion: SuspicionPolicy::paper_grid()[0],
+        ..ProtocolExperiment::new(class, Policy::StartupOnly)
+    }
+}
+
 /// The measured outcome of one sweep cell.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -738,9 +827,13 @@ pub struct SweepReport {
 impl SweepReport {
     /// Renders the report as a CSV table (one row per cell), the
     /// availability columns included (`-` where a cell's scenario has no
-    /// availability dimension).
+    /// availability dimension). The degradation columns (goodput,
+    /// retries, duplicate suppression, give-ups) appear only when some
+    /// cell ran under a fault plan — sweeps without the fault axis keep
+    /// the exact pre-axis column set, which the golden files pin.
     pub fn to_table(&self) -> CsvTable {
-        let mut table = CsvTable::new(&[
+        let degraded = self.cells.iter().any(|o| o.avail.goodput.n() > 0);
+        let mut headers = vec![
             "cell",
             "kappa",
             "mean_lifetime",
@@ -752,9 +845,13 @@ impl SweepReport {
             "failovers",
             "failover_latency",
             "lost_requests",
-        ]);
+        ];
+        if degraded {
+            headers.extend(["goodput", "retries_per_req", "dup_suppressed", "gave_up"]);
+        }
+        let mut table = CsvTable::new(&headers);
         for o in &self.cells {
-            table.push_row(vec![
+            let mut row = vec![
                 o.cell.label.clone(),
                 o.kappa.map(fmt_num).unwrap_or_else(|| "-".to_string()),
                 fmt_num(o.estimate.mean),
@@ -766,7 +863,16 @@ impl SweepReport {
                 fmt_avail(&o.avail.failovers),
                 fmt_avail(&o.avail.failover_latency),
                 fmt_avail(&o.avail.lost),
-            ]);
+            ];
+            if degraded {
+                row.extend([
+                    fmt_avail(&o.avail.goodput),
+                    fmt_avail(&o.avail.retries),
+                    fmt_avail(&o.avail.dup_suppressed),
+                    fmt_avail(&o.avail.gave_up),
+                ]);
+            }
+            table.push_row(row);
         }
         table
     }
@@ -788,7 +894,8 @@ impl SweepReport {
             out.push_str(&format!(
                 "{{\"cell\":\"{}\",\"kappa\":{},\"mean\":{},\"n\":{},\"censored\":{},\
                  \"downtime\":{},\"failovers\":{},\"failover_latency\":{},\
-                 \"lost_requests\":{}}}",
+                 \"lost_requests\":{},\"goodput\":{},\"retries\":{},\
+                 \"dup_suppressed\":{},\"gave_up\":{}}}",
                 o.cell.label,
                 kappa,
                 o.estimate.mean,
@@ -798,6 +905,10 @@ impl SweepReport {
                 avail_json(&o.avail.failovers),
                 avail_json(&o.avail.failover_latency),
                 avail_json(&o.avail.lost),
+                avail_json(&o.avail.goodput),
+                avail_json(&o.avail.retries),
+                avail_json(&o.avail.dup_suppressed),
+                avail_json(&o.avail.gave_up),
             ));
         }
         out.push(']');
@@ -812,6 +923,32 @@ impl SweepReport {
         for o in &self.cells {
             if o.avail.downtime.n() > 0 {
                 acc.push(o.avail.downtime.mean());
+            }
+        }
+        (acc.n() > 0).then(|| acc.mean())
+    }
+
+    /// Mean goodput fraction across every cell that probed one (`None`
+    /// when no cell ran under a fault plan) — the sweep-level
+    /// degradation headline the campaign bench emits.
+    pub fn mean_goodput_fraction(&self) -> Option<f64> {
+        let mut acc = RunningStats::new();
+        for o in &self.cells {
+            if o.avail.goodput.n() > 0 {
+                acc.push(o.avail.goodput.mean());
+            }
+        }
+        (acc.n() > 0).then(|| acc.mean())
+    }
+
+    /// Mean retries per request across every cell that probed (`None`
+    /// when no cell ran under a fault plan) — how hard the retry policy
+    /// worked for the goodput it delivered.
+    pub fn mean_retries_per_request(&self) -> Option<f64> {
+        let mut acc = RunningStats::new();
+        for o in &self.cells {
+            if o.avail.retries.n() > 0 {
+                acc.push(o.avail.retries.mean());
             }
         }
         (acc.n() > 0).then(|| acc.mean())
@@ -1153,6 +1290,16 @@ fn outage_suffix(outage: OutageSpec) -> String {
     }
 }
 
+/// Fault suffix for cell labels: empty for `None` (legacy labels are
+/// preserved verbatim), ` fault=<plan+retry>` otherwise.
+fn fault_suffix(fault: FaultSpec) -> String {
+    if fault.is_none() {
+        String::new()
+    } else {
+        format!(" fault={}", fault.label())
+    }
+}
+
 /// Short class label for cell names.
 fn class_label(class: SystemClass) -> &'static str {
     match class {
@@ -1189,10 +1336,10 @@ fn pad_id(pad: LaunchPad) -> u64 {
 }
 
 /// Folds every seeded parameter of a protocol experiment. The outage
-/// schedule folds last, and [`OutageSpec::None`] folds nothing — so
-/// every pre-availability-axis cell keeps its pinned seed, while any
-/// two cells differing in any outage parameter draw decorrelated trial
-/// streams.
+/// and fault schedules fold last (in that order), and both `None`
+/// coordinates fold nothing — so every pre-axis cell keeps its pinned
+/// seed, while any two cells differing in any outage, fault, or retry
+/// parameter draw decorrelated trial streams.
 fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     let mut s = fold(seed, class_id(e.class));
     s = fold(s, e.policy.id());
@@ -1203,7 +1350,8 @@ fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     s = fold(s, e.np as u64);
     s = fold(s, scheme_id(e.scheme));
     s = fold(s, e.max_steps);
-    e.outage.fold_into(s)
+    s = e.outage.fold_into(s);
+    e.fault.fold_into(s)
 }
 
 /// Stable id of a system class for seeding.

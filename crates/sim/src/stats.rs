@@ -180,6 +180,27 @@ pub struct AvailPoint {
     /// Deliveries dead-lettered while a server machine was down
     /// (requests lost to the outage windows).
     pub lost_requests: f64,
+    /// Client-side degradation measurements, carried only by trials
+    /// that ran a goodput probe under a fault plan (`None` elsewhere, so
+    /// fault-free cells accumulate nothing and report unchanged).
+    pub degrade: Option<DegradePoint>,
+}
+
+/// One trial's client-degradation measurements, produced by the goodput
+/// probe a fault-axis cell runs beside the adversary (see
+/// `fortress_sim::faults`). RNG-free by construction: computed from the
+/// probe's `Degradation` counters at trial end.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradePoint {
+    /// Fraction of issued probe requests that got an accepted answer.
+    pub goodput_fraction: f64,
+    /// Mean retransmissions per issued request.
+    pub retries_per_request: f64,
+    /// Redundant replies suppressed by request nonce.
+    pub duplicates_suppressed: f64,
+    /// Requests abandoned after exhausting the retry budget (plus the
+    /// unanswered tail at the mission window's end).
+    pub gave_up: f64,
 }
 
 /// Welford accumulators for the availability metrics of one sweep cell,
@@ -189,6 +210,9 @@ pub struct AvailPoint {
 ///
 /// `failover_latency` only accumulates trials that completed at least
 /// one failover, so its `n()` may be smaller than the other metrics'.
+/// The degradation accumulators likewise only see trials whose
+/// [`AvailPoint::degrade`] is populated (fault-axis cells with a goodput
+/// probe), so fault-free sweeps report them empty.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AvailStats {
     /// Per-trial downtime fraction.
@@ -199,6 +223,14 @@ pub struct AvailStats {
     pub failover_latency: RunningStats,
     /// Per-trial requests lost during outage windows.
     pub lost: RunningStats,
+    /// Per-trial goodput fraction, fault-axis trials only.
+    pub goodput: RunningStats,
+    /// Per-trial retransmissions per request, fault-axis trials only.
+    pub retries: RunningStats,
+    /// Per-trial duplicates suppressed, fault-axis trials only.
+    pub dup_suppressed: RunningStats,
+    /// Per-trial gave-up requests, fault-axis trials only.
+    pub gave_up: RunningStats,
 }
 
 impl Default for AvailStats {
@@ -217,6 +249,10 @@ impl AvailStats {
             failovers: RunningStats::new(),
             failover_latency: RunningStats::new(),
             lost: RunningStats::new(),
+            goodput: RunningStats::new(),
+            retries: RunningStats::new(),
+            dup_suppressed: RunningStats::new(),
+            gave_up: RunningStats::new(),
         }
     }
 
@@ -228,6 +264,12 @@ impl AvailStats {
             self.failover_latency.push(latency);
         }
         self.lost.push(point.lost_requests);
+        if let Some(d) = point.degrade {
+            self.goodput.push(d.goodput_fraction);
+            self.retries.push(d.retries_per_request);
+            self.dup_suppressed.push(d.duplicates_suppressed);
+            self.gave_up.push(d.gave_up);
+        }
     }
 
     /// Merges another accumulator into this one, metric by metric (the
@@ -237,6 +279,10 @@ impl AvailStats {
         self.failovers.merge(&other.failovers);
         self.failover_latency.merge(&other.failover_latency);
         self.lost.merge(&other.lost);
+        self.goodput.merge(&other.goodput);
+        self.retries.merge(&other.retries);
+        self.dup_suppressed.merge(&other.dup_suppressed);
+        self.gave_up.merge(&other.gave_up);
     }
 
     /// Whether no trial contributed availability measurements (cells of

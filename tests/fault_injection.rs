@@ -151,6 +151,7 @@ fn partition_and_heal_keeps_replicas_convergent() {
 
 /// SimNet-level fault injection: drops and partitions obey their config.
 #[test]
+#[allow(deprecated)] // exercises the single-cut partition shim
 fn simnet_faults_compose() {
     let mut net = SimNet::new(SimConfig {
         seed: 5,
