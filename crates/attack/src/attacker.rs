@@ -15,6 +15,7 @@
 use fortress_core::messages::ClientRequest;
 use fortress_core::probelog::SuspicionPolicy;
 use fortress_core::system::Stack;
+use fortress_net::addr::Addr;
 use fortress_net::transport::Transport;
 use fortress_obf::scheme::Scheme;
 use rand::Rng;
@@ -44,6 +45,8 @@ pub struct DirectAttacker {
     pacer: Pacer,
     next_seq: u64,
     report: AttackReport,
+    // Reused across probes: same wire bytes, no per-probe allocations.
+    req: ClientRequest,
 }
 
 impl DirectAttacker {
@@ -65,6 +68,7 @@ impl DirectAttacker {
             pacer: Pacer::unconstrained(omega),
             next_seq: 0,
             report: AttackReport::default(),
+            req: ClientRequest { seq: 0, client: name.to_owned(), op: Vec::new() },
         }
     }
 
@@ -82,12 +86,10 @@ impl DirectAttacker {
                 break; // space exhausted (SO target must be long dead)
             };
             self.next_seq += 1;
-            let req = ClientRequest {
-                seq: self.next_seq,
-                client: self.name.clone(),
-                op: self.scheme.craft_exploit(guess).to_bytes(),
-            };
-            stack.submit(&self.name, &req);
+            self.req.seq = self.next_seq;
+            self.req.op.clear();
+            self.scheme.craft_exploit(guess).write_to(&mut self.req.op);
+            stack.submit(&self.name, &self.req);
             self.report.server_probes += 1;
             stack.pump();
         }
@@ -96,12 +98,7 @@ impl DirectAttacker {
 
     /// Collects crash observations from the attacker's own connections.
     fn observe<T: Transport>(&mut self, stack: &mut Stack<T>) {
-        let closures = stack
-            .drain_client(&self.name)
-            .iter()
-            .filter(|e| e.is_closure())
-            .count();
-        self.report.closures_observed += closures as u64;
+        self.report.closures_observed += stack.drain_client_closures(&self.name);
     }
 
     /// Discards stale knowledge after the target re-randomized.
@@ -131,6 +128,12 @@ pub struct FortressAttacker {
     pad_pacer: Pacer,
     next_seq: u64,
     report: AttackReport,
+    // Proxy addresses are fixed for the stack's lifetime (crash/restart
+    // keeps the address): fetched once instead of cloned per step.
+    proxy_addrs: Vec<Addr>,
+    // Reused encode buffers: same wire bytes, no per-probe allocations.
+    frame: Vec<u8>,
+    req: ClientRequest,
 }
 
 impl FortressAttacker {
@@ -157,6 +160,9 @@ impl FortressAttacker {
             pad_pacer: Pacer::unconstrained(omega),
             next_seq: 0,
             report: AttackReport::default(),
+            proxy_addrs: stack.proxy_addrs(),
+            frame: Vec::new(),
+            req: ClientRequest { seq: 0, client: name.to_owned(), op: Vec::new() },
         }
     }
 
@@ -173,11 +179,11 @@ impl FortressAttacker {
     /// Launches one unit time-step of the three-pronged attack.
     pub fn step<T: Transport, R: Rng + ?Sized>(&mut self, stack: &mut Stack<T>, rng: &mut R) {
         // 1. Direct probes at proxies — one encode shared across the tier.
-        let proxy_addrs = stack.proxy_addrs();
         for _ in 0..self.direct_pacer.probes_this_step() {
             if let Some(guess) = self.proxy_scanner.next_guess(rng) {
-                let bytes = self.scheme.craft_exploit(guess).to_bytes();
-                stack.broadcast_raw(&self.name, &proxy_addrs, bytes);
+                self.frame.clear();
+                self.scheme.craft_exploit(guess).write_to(&mut self.frame);
+                stack.broadcast_frame(&self.name, &self.proxy_addrs, &self.frame);
                 self.report.proxy_probes += 1;
                 stack.pump();
             }
@@ -187,48 +193,34 @@ impl FortressAttacker {
         for _ in 0..self.indirect_pacer.probes_this_step() {
             if let Some(guess) = self.server_scanner.next_guess(rng) {
                 self.next_seq += 1;
-                let req = ClientRequest {
-                    seq: self.next_seq,
-                    client: self.name.clone(),
-                    op: self.scheme.craft_exploit(guess).to_bytes(),
-                };
-                stack.submit(&self.name, &req);
+                self.req.seq = self.next_seq;
+                self.req.op.clear();
+                self.scheme.craft_exploit(guess).write_to(&mut self.req.op);
+                stack.submit(&self.name, &self.req);
                 self.report.server_probes += 1;
                 stack.pump();
             }
         }
 
         // 3. Launch pad: full-rate server probing from a held proxy.
-        let pad = (0..proxy_addrs.len()).find(|i| stack.proxy_is_compromised(*i));
+        let pad = (0..self.proxy_addrs.len()).find(|i| stack.proxy_is_compromised(*i));
         if let Some(pad_index) = pad {
             for _ in 0..self.pad_pacer.probes_this_step() {
                 if let Some(guess) = self.server_scanner.next_guess(rng) {
                     self.next_seq += 1;
-                    let req = ClientRequest {
-                        seq: self.next_seq,
-                        client: self.name.clone(),
-                        op: self.scheme.craft_exploit(guess).to_bytes(),
-                    };
-                    stack.submit_via_proxy(pad_index, &req);
+                    self.req.seq = self.next_seq;
+                    self.req.op.clear();
+                    self.scheme.craft_exploit(guess).write_to(&mut self.req.op);
+                    stack.submit_via_proxy(pad_index, &self.req);
                     self.report.pad_probes += 1;
                     stack.pump();
                 }
             }
             // The attacker reads the held proxy's inbox for observations.
-            let closures = stack
-                .drain_proxy_inbox(pad_index)
-                .iter()
-                .filter(|e| e.is_closure())
-                .count();
-            self.report.closures_observed += closures as u64;
+            self.report.closures_observed += stack.drain_proxy_closures(pad_index);
         }
 
-        let closures = stack
-            .drain_client(&self.name)
-            .iter()
-            .filter(|e| e.is_closure())
-            .count();
-        self.report.closures_observed += closures as u64;
+        self.report.closures_observed += stack.drain_client_closures(&self.name);
     }
 
     /// Discards stale knowledge after the defender re-randomized.

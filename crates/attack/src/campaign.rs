@@ -261,6 +261,9 @@ struct Arsenal {
     scheme: Scheme,
     next_seq: u64,
     report: AttackReport,
+    // Reused encode buffers: same wire bytes, no per-probe allocations.
+    frame: Vec<u8>,
+    req: ClientRequest,
 }
 
 impl Arsenal {
@@ -271,7 +274,23 @@ impl Arsenal {
             scheme,
             next_seq: 0,
             report: AttackReport::default(),
+            frame: Vec::new(),
+            req: ClientRequest { seq: 0, client: String::new(), op: Vec::new() },
         }
+    }
+
+    /// Rebuilds the reused request in place: fresh seq, `identity` as
+    /// the client, `guess`'s exploit as the op — no allocations once the
+    /// buffers have warmed up.
+    fn refill_req(&mut self, identity: &str, guess: fortress_obf::keys::RandomizationKey) {
+        self.next_seq += 1;
+        self.req.seq = self.next_seq;
+        if self.req.client != identity {
+            self.req.client.clear();
+            self.req.client.push_str(identity);
+        }
+        self.req.op.clear();
+        self.scheme.craft_exploit(guess).write_to(&mut self.req.op);
     }
 
     /// One guessed key broadcast raw at every proxy process. `addrs` is
@@ -285,9 +304,10 @@ impl Arsenal {
         rng: &mut StdRng,
     ) {
         if let Some(guess) = scanner.next_guess(rng) {
-            let bytes = self.scheme.craft_exploit(guess).to_bytes();
+            self.frame.clear();
+            self.scheme.craft_exploit(guess).write_to(&mut self.frame);
             // One encode, one shared buffer across the whole tier.
-            stack.broadcast_raw(&self.name, addrs, bytes);
+            stack.broadcast_frame(&self.name, addrs, &self.frame);
             self.report.proxy_probes += 1;
             stack.pump();
         }
@@ -309,8 +329,9 @@ impl Arsenal {
             return;
         }
         if let Some(guess) = scanner.next_guess(rng) {
-            let bytes = self.scheme.craft_exploit(guess).to_bytes();
-            stack.send_raw(&self.name, addrs[target], bytes);
+            self.frame.clear();
+            self.scheme.craft_exploit(guess).write_to(&mut self.frame);
+            stack.send_frame(&self.name, addrs[target], &self.frame);
             self.report.proxy_probes += 1;
             stack.pump();
         }
@@ -326,13 +347,8 @@ impl Arsenal {
         rng: &mut StdRng,
     ) {
         if let Some(guess) = scanner.next_guess(rng) {
-            self.next_seq += 1;
-            let req = ClientRequest {
-                seq: self.next_seq,
-                client: identity.to_owned(),
-                op: self.scheme.craft_exploit(guess).to_bytes(),
-            };
-            stack.submit(identity, &req);
+            self.refill_req(identity, guess);
+            stack.submit(identity, &self.req);
             self.report.server_probes += 1;
             stack.pump();
         }
@@ -348,13 +364,10 @@ impl Arsenal {
         rng: &mut StdRng,
     ) {
         if let Some(guess) = scanner.next_guess(rng) {
-            self.next_seq += 1;
-            let req = ClientRequest {
-                seq: self.next_seq,
-                client: self.name.clone(),
-                op: self.scheme.craft_exploit(guess).to_bytes(),
-            };
-            stack.submit_via_proxy(pad, &req);
+            let name = std::mem::take(&mut self.name);
+            self.refill_req(&name, guess);
+            self.name = name;
+            stack.submit_via_proxy(pad, &self.req);
             self.report.pad_probes += 1;
             stack.pump();
         }
@@ -368,21 +381,13 @@ impl Arsenal {
     /// Collects crash observations from `identity`'s connections and, if
     /// a proxy is held, from its leaked inbox.
     fn observe<T: Transport>(&mut self, stack: &mut Stack<T>, identity: &str, pad: Option<usize>) {
-        let mut closures = stack
-            .drain_client(identity)
-            .iter()
-            .filter(|e| e.is_closure())
-            .count();
+        let mut closures = stack.drain_client_closures(identity);
         if let Some(pad) = pad {
             if stack.proxy_is_compromised(pad) {
-                closures += stack
-                    .drain_proxy_inbox(pad)
-                    .iter()
-                    .filter(|e| e.is_closure())
-                    .count();
+                closures += stack.drain_proxy_closures(pad);
             }
         }
-        self.report.closures_observed += closures as u64;
+        self.report.closures_observed += closures;
     }
 }
 

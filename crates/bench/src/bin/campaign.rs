@@ -31,15 +31,24 @@
 //! contributes `fault_cells_per_sec`, `mean_goodput_fraction` and
 //! `mean_retries_per_request`.
 //!
+//! The **campaign slice** runs the protocol campaign grid
+//! ([`CampaignGrid::paper_default`]) through its arena-reusing trial
+//! path, contributing `campaign_cells_per_sec`, plus a warm-vs-cold
+//! arena microbenchmark whose ratio is `arena_reuse_speedup` — the
+//! per-trial stack-assembly cost the trial arena saves.
+//!
 //! ```text
 //! cargo run --release -p fortress-bench --bin campaign [out_path]
 //! ```
 
-use fortress_sim::runner::{Runner, TrialBudget};
+use fortress_attack::campaign::StrategyKind;
+use fortress_sim::campaign_mc::{run_cell_measured, CampaignGrid};
+use fortress_sim::runner::{trial_seed, Runner, TrialBudget};
 use fortress_sim::scenario::{
     availability_sweep, fault_sweep, paper_default_sweep, run_scenario_measured, CrossCheck,
     SweepCell, SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
 };
+use fortress_sim::clear_arena;
 use std::time::Instant;
 
 /// Adaptive per-cell budget: protocol trials are ms-scale, so spend them
@@ -60,6 +69,12 @@ const MICRO_TRIALS_PER_CALL: u64 = 64;
 /// Fixed S2 pump workload: benign requests plus wrong-key probes, the
 /// traffic mix a campaign trial pushes through `Stack::pump`.
 const PUMP_REQUESTS: u64 = 1_500;
+
+/// Trials of the arena-reuse microbenchmark, run twice: once with the
+/// trial arena warm (every trial re-keys a pooled stack shell) and once
+/// with the arena cleared before every trial (every trial pays the
+/// fresh assembly).
+const ARENA_TRIALS: u64 = 200;
 
 /// Drives the fixed S2 pump workload and returns
 /// `(deliveries, wall_s)` — deliveries as counted by the transport, so
@@ -243,6 +258,41 @@ fn main() {
     println!("== fault slice (network-fault axis) ==");
     println!("{}", fault_parallel.to_table().to_aligned());
 
+    // The protocol campaign grid through the arena-reusing trial path:
+    // `CampaignGrid::run` schedules cells on the shared pool and every
+    // trial re-keys a pooled stack shell instead of assembling a fresh
+    // one.
+    let grid = CampaignGrid::paper_default();
+    let n_campaign_cells = grid.cells().len();
+    let start = Instant::now();
+    let campaign_report = grid.run(&runner8, BUDGET, base_seed);
+    let campaign_wall = start.elapsed().as_secs_f64();
+    let campaign_cells_per_sec = n_campaign_cells as f64 / campaign_wall;
+    let campaign_trials: u64 = campaign_report.cells.iter().map(|o| o.estimate.n).sum();
+    println!("== protocol campaign grid (arena-reused trials) ==");
+    println!("{}", campaign_report.to_table().to_aligned());
+
+    // Arena-reuse microbenchmark: the exact same trial stream, warm vs
+    // cleared-before-every-trial, on one grid cell's experiment. The
+    // ratio is the per-trial cost of stack assembly the arena saves.
+    let arena_exp = grid.experiment(&grid.cells()[0]);
+    let arena_strategy = StrategyKind::PacedBelowThreshold;
+    let arena_seed = 0x000A_7E4A;
+    clear_arena();
+    let _ = run_cell_measured(&arena_exp, arena_strategy, trial_seed(arena_seed, 0));
+    let start = Instant::now();
+    for i in 1..=ARENA_TRIALS {
+        let _ = run_cell_measured(&arena_exp, arena_strategy, trial_seed(arena_seed, i));
+    }
+    let arena_warm_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for i in 1..=ARENA_TRIALS {
+        clear_arena();
+        let _ = run_cell_measured(&arena_exp, arena_strategy, trial_seed(arena_seed, i));
+    }
+    let arena_cold_wall = start.elapsed().as_secs_f64();
+    let arena_reuse_speedup = arena_cold_wall / arena_warm_wall;
+
     // Pool vs per-call scoped spawning, µs-scale batch regime. Pin four
     // workers (even on smaller machines): the comparison is the cost of
     // four scoped spawns per call vs four persistent workers, which is
@@ -289,6 +339,16 @@ fn main() {
            \"mean_goodput_fraction\": {mean_goodput:.6},\n    \
            \"mean_retries_per_request\": {mean_retries:.6},\n    \
            \"deterministic_serial_vs_parallel\": {fault_deterministic}\n  }},\n  \
+         \"campaign\": {{\n    \
+           \"workload\": \"paper_default grid: 3 suspicion x 3 fleet x 5 strategies, arena-reused trials\",\n    \
+           \"cells\": {n_campaign_cells},\n    \
+           \"trials_total\": {campaign_trials},\n    \
+           \"wall_s\": {campaign_wall:.4},\n    \
+           \"campaign_cells_per_sec\": {campaign_cells_per_sec:.2},\n    \
+           \"arena_trials\": {ARENA_TRIALS},\n    \
+           \"arena_cold_wall_s\": {arena_cold_wall:.4},\n    \
+           \"arena_warm_wall_s\": {arena_warm_wall:.4},\n    \
+           \"arena_reuse_speedup\": {arena_reuse_speedup:.3}\n  }},\n  \
          \"pool_microbench\": {{\n    \
            \"calls\": {MICRO_CALLS},\n    \
            \"trials_per_call\": {MICRO_TRIALS_PER_CALL},\n    \

@@ -1,0 +1,107 @@
+//! STEAL SMOKE — the work-stealing determinism gate for CI.
+//!
+//! Runs the network-fault sweep and the protocol campaign grid three
+//! ways each:
+//!
+//! 1. a 1-thread scheduler — the bit-exact serial reference;
+//! 2. an 8-worker pool under the normal queue schedule;
+//! 3. an 8-worker pool in **forced-steal** mode
+//!    ([`Runner::with_forced_steal`]): no chunk reaches a worker via
+//!    the queue, every one is claimed off the steal board — the most
+//!    adversarial schedule the pool can produce.
+//!
+//! All three reports must be bit-identical (stealing splits a
+//! straggler's remaining trial range at a chunk boundary, so it changes
+//! who executes a chunk, never its seeds, range or merge slot), and the
+//! forced runs must report a nonzero steal count — proving the steal
+//! path actually executed the work. The binary exits non-zero on any
+//! divergence; CI greps the emitted JSON for the identity flags.
+//!
+//! ```text
+//! cargo run --release -p fortress-bench --bin steal_smoke [out_path]
+//! ```
+
+use fortress_sim::campaign_mc::CampaignGrid;
+use fortress_sim::runner::{Runner, TrialBudget};
+use fortress_sim::scenario::{fault_sweep, SweepScheduler};
+use std::time::Instant;
+
+/// Adaptive per-cell budget, matching the campaign binary: adaptive
+/// stopping makes the trial schedule itself depend on merged stats, so
+/// a steal that perturbed any merge would also perturb the budget —
+/// strictly harder to pass than a fixed count.
+const BUDGET: TrialBudget = TrialBudget::TargetRse {
+    target: 0.05,
+    min_trials: 64,
+    max_trials: 512,
+    batch: 64,
+};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_steal.json".to_string());
+    let base_seed = 0xF0_47;
+
+    // Fault sweep, three ways.
+    let cells = fault_sweep(base_seed);
+    let serial = SweepScheduler::new(&Runner::with_threads(1), BUDGET).run(&cells);
+    let pooled = SweepScheduler::new(&Runner::with_threads(8), BUDGET).run(&cells);
+    let forced_runner = Runner::with_threads(8).with_forced_steal(true);
+    let start = Instant::now();
+    let forced = SweepScheduler::new(&forced_runner, BUDGET).run(&cells);
+    let forced_wall = start.elapsed().as_secs_f64();
+    let fault_steals = forced_runner.steals();
+    let fault_identical =
+        serial.to_json() == pooled.to_json() && serial.to_json() == forced.to_json();
+    assert!(
+        fault_identical,
+        "fault sweep diverged between serial, pooled and forced-steal schedules"
+    );
+    assert!(
+        fault_steals > 0,
+        "forced-steal mode must route chunks through the steal board"
+    );
+
+    // Campaign grid, three ways.
+    let grid = CampaignGrid::paper_default();
+    let g_serial = grid.run(&Runner::with_threads(1), BUDGET, base_seed);
+    let g_pooled = grid.run(&Runner::with_threads(8), BUDGET, base_seed);
+    let g_forced_runner = Runner::with_threads(8).with_forced_steal(true);
+    let start = Instant::now();
+    let g_forced = grid.run(&g_forced_runner, BUDGET, base_seed);
+    let g_forced_wall = start.elapsed().as_secs_f64();
+    let campaign_steals = g_forced_runner.steals();
+    let campaign_identical = g_serial.to_json() == g_pooled.to_json()
+        && g_serial.to_json() == g_forced.to_json();
+    assert!(
+        campaign_identical,
+        "campaign grid diverged between serial, pooled and forced-steal schedules"
+    );
+    assert!(
+        campaign_steals > 0,
+        "forced-steal mode must route campaign chunks through the steal board"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"serial vs 8-thread vs forced-steal, fault sweep + campaign grid, adaptive rse<=0.05\",\n  \
+           \"fault_cells\": {},\n  \
+           \"fault_forced_wall_s\": {forced_wall:.4},\n  \
+           \"fault_steals\": {fault_steals},\n  \
+           \"fault_three_way_identical\": {fault_identical},\n  \
+           \"campaign_cells\": {},\n  \
+           \"campaign_forced_wall_s\": {g_forced_wall:.4},\n  \
+           \"campaign_steals\": {campaign_steals},\n  \
+           \"campaign_three_way_identical\": {campaign_identical}\n}}\n",
+        cells.len(),
+        grid.cells().len(),
+    );
+    print!("{json}");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("[written {out_path}]"),
+        Err(e) => {
+            eprintln!("[could not write {out_path}: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

@@ -30,7 +30,13 @@ pub struct ClientRequest {
 impl ClientRequest {
     /// Encodes for transport: [`WireKind::ClientRequest`] tag, then body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::tagged(WireKind::ClientRequest.tag());
+        self.encode_reusing(Vec::new())
+    }
+
+    /// [`ClientRequest::encode`] into a reused buffer (cleared first and
+    /// returned by value) — the probe hot path cycles one allocation.
+    pub fn encode_reusing(&self, buf: Vec<u8>) -> Vec<u8> {
+        let mut w = Writer::tagged_reusing(WireKind::ClientRequest.tag(), buf);
         w.put_u64(self.seq).put_str(&self.client).put_bytes(&self.op);
         w.finish()
     }

@@ -120,6 +120,14 @@ impl ProbeLog {
         self.policy
     }
 
+    /// Clears every observation, keeping the policy and allocated
+    /// capacity — the trial-arena reset path.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.flagged.clear();
+        self.total_invalid = 0;
+    }
+
     /// Total invalid requests observed across all sources.
     pub fn total_invalid(&self) -> u64 {
         self.total_invalid
@@ -129,7 +137,10 @@ impl ProbeLog {
     /// the suspicion flag.
     pub fn record_invalid(&mut self, source: &str, now: u64) {
         self.total_invalid += 1;
-        let q = self.events.entry(source.to_owned()).or_default();
+        if !self.events.contains_key(source) {
+            self.events.insert(source.to_owned(), VecDeque::new());
+        }
+        let q = self.events.get_mut(source).expect("just inserted");
         q.push_back(now);
         // The window is the half-open interval (now − window, now]: an
         // event exactly `window` steps old has aged out.

@@ -144,6 +144,22 @@ impl Proxy {
         &self.name
     }
 
+    /// Rewinds to the just-constructed state with fresh credentials,
+    /// keeping the name server and every allocated buffer — the
+    /// trial-arena reset path. Behaves exactly like a proxy newly built
+    /// by [`Proxy::new`] with the same name, policy and topology.
+    pub fn reset(&mut self, signer: Signer) {
+        self.signer = signer;
+        self.log.reset();
+        self.now = 0;
+        self.responded.clear();
+        for q in &mut self.outstanding {
+            q.clear();
+        }
+        self.logged.clear();
+        self.forwarded = 0;
+    }
+
     /// Requests forwarded so far.
     pub fn forwarded(&self) -> u64 {
         self.forwarded

@@ -54,7 +54,7 @@ use fortress_net::addr::Addr;
 use fortress_net::event::{NetEvent, NetStats};
 use fortress_net::fault::{FaultPlan, FaultyTransport};
 use fortress_net::sim::{SimConfig, SimNet};
-use fortress_net::transport::Transport;
+use fortress_net::transport::{Transport, TrialReset};
 use fortress_obf::daemon::ForkingDaemon;
 use fortress_obf::keys::KeySpace;
 use fortress_obf::process::ProbeOutcome;
@@ -117,6 +117,25 @@ impl Default for StackConfig {
             ns: 3,
             seed: 0,
         }
+    }
+}
+
+impl StackConfig {
+    /// Whether `other` assembles an identically-*shaped* stack: every
+    /// knob equal except the seed. Two same-shaped configurations build
+    /// stacks with the same node counts, names, registration order and
+    /// policies, differing only in key material and network timing — so
+    /// a stack built from one can be rewound to the other with
+    /// [`Stack::reset`] instead of reassembled. The trial arena keys
+    /// reuse on this predicate.
+    pub fn same_shape(&self, other: &StackConfig) -> bool {
+        self.class == other.class
+            && self.entropy_bits == other.entropy_bits
+            && self.scheme == other.scheme
+            && self.policy == other.policy
+            && self.suspicion == other.suspicion
+            && self.np == other.np
+            && self.ns == other.ns
     }
 }
 
@@ -227,6 +246,7 @@ pub struct Stack<T: Transport = SimNet> {
     server_targets: Vec<Addr>,
     /// Reused event buffer for the pump loop (no per-round allocation).
     scratch: Vec<NetEvent>,
+    wire_buf: Vec<u8>,
     /// Malformed deliveries per endpoint address.
     malformed: HashMap<Addr, u64>,
     /// Availability counters over the PB tier (see [`Availability`]).
@@ -424,12 +444,84 @@ impl<T: Transport> Stack<T> {
             proxy_targets,
             server_targets,
             scratch: Vec::new(),
+            wire_buf: Vec::new(),
             malformed: HashMap::new(),
             avail: Availability::default(),
             primary_lost_at: None,
             views_seen: 0,
             dead_lettered_seen: 0,
         })
+    }
+
+    /// Rewinds an assembled stack to the state [`Stack::with_transport`]
+    /// would produce for the same *shape* under master seed `seed` — the
+    /// trial-arena reset path. Instead of reconstructing every node, the
+    /// transport is rewound in place ([`TrialReset::trial_reset`], keeping
+    /// the node endpoints), the authority re-derives its master from the
+    /// same `seed ^ 0xca11` the constructor uses, and each daemon/engine
+    /// is re-keyed and cleared. Key draws replay in assembly order
+    /// (server keys, then proxy keys, from a fresh `StdRng(seed)`) and
+    /// principals re-register in assembly order (proxies, then servers),
+    /// so every key, address and RNG stream is **bit-for-bit identical**
+    /// to a fresh [`Stack::with_transport`] build with the same
+    /// configuration. Client endpoints are dropped; re-attached clients
+    /// recycle the same addresses in attach order.
+    pub fn reset(&mut self, seed: u64)
+    where
+        T: TrialReset,
+    {
+        use rand::SeedableRng;
+        self.cfg.seed = seed;
+        let keep = self.proxies.len() + self.pb_servers.len() + self.smr_servers.len();
+        self.net.trial_reset(seed ^ 0x5eed, keep);
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.authority.reset_with_seed(seed ^ 0xca11);
+
+        let space = KeySpace::from_entropy_bits(self.cfg.entropy_bits);
+        let server_assignment = match self.cfg.class {
+            SystemClass::S0Smr => KeyAssignment::DistinctPerNode,
+            _ => KeyAssignment::SharedAcrossGroup,
+        };
+        // Same RNG draw order as assembly: server keys first, then proxies.
+        self.server_rr = Rerandomizer::new(space, self.cfg.policy, server_assignment);
+        let n_servers = self.pb_servers.len() + self.smr_servers.len();
+        let server_keys = self.server_rr.initial_keys(n_servers, &mut self.rng);
+        self.proxy_rr = (!self.proxies.is_empty())
+            .then(|| Rerandomizer::new(space, self.cfg.policy, KeyAssignment::DistinctPerNode));
+        let proxy_keys = self
+            .proxy_rr
+            .as_mut()
+            .map(|rr| rr.initial_keys(self.proxies.len(), &mut self.rng))
+            .unwrap_or_default();
+
+        // Same authority counter order as assembly: proxies, then servers.
+        let authority = Arc::clone(&self.authority);
+        for (i, p) in self.proxies.iter_mut().enumerate() {
+            let signer = Signer::register(p.daemon.name(), &authority);
+            p.engine.reset(signer);
+            p.daemon.reset(proxy_keys[i]);
+        }
+        for (i, s) in self.pb_servers.iter_mut().enumerate() {
+            let signer = Signer::register(s.daemon.name(), &authority);
+            s.engine.reset(KvStore::new(), signer);
+            s.daemon.reset(server_keys[i]);
+            s.down = false;
+        }
+        for (i, s) in self.smr_servers.iter_mut().enumerate() {
+            let signer = Signer::register(s.daemon.name(), &authority);
+            s.engine.reset(KvStore::new(), signer);
+            s.daemon.reset(server_keys[i]);
+        }
+
+        self.clients.clear();
+        self.step = 0;
+        self.suspects.clear();
+        self.scratch.clear();
+        self.malformed.clear();
+        self.avail = Availability::default();
+        self.primary_lost_at = None;
+        self.views_seen = 0;
+        self.dead_lettered_seen = 0;
     }
 
     /// The assembled class.
@@ -638,7 +730,9 @@ impl<T: Transport> Stack<T> {
     /// Panics if `client` was not registered with [`Stack::add_client`].
     pub fn submit(&mut self, client: &str, req: &ClientRequest) {
         let from = *self.clients.get(client).expect("client not registered");
-        let payload = Bytes::from(req.encode());
+        let buf = req.encode_reusing(std::mem::take(&mut self.wire_buf));
+        let payload = Bytes::copy_from_slice(&buf);
+        self.wire_buf = buf;
         let targets = match self.cfg.class {
             SystemClass::S2Fortress => &self.proxy_targets,
             _ => &self.server_targets,
@@ -669,6 +763,29 @@ impl<T: Transport> Stack<T> {
         self.net.broadcast(from, to, Bytes::from(bytes));
     }
 
+    /// Like [`Stack::broadcast_raw`], but borrowing the frame: short
+    /// frames are copied inline into the shared payload with no heap
+    /// allocation, so the probe hot loop can reuse one encode buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered.
+    pub fn broadcast_frame(&mut self, client: &str, to: &[Addr], frame: &[u8]) {
+        let from = *self.clients.get(client).expect("client not registered");
+        self.net.broadcast(from, to, Bytes::copy_from_slice(frame));
+    }
+
+    /// Like [`Stack::send_raw`], but borrowing the frame (see
+    /// [`Stack::broadcast_frame`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered.
+    pub fn send_frame(&mut self, client: &str, to: Addr, frame: &[u8]) {
+        let from = *self.clients.get(client).expect("client not registered");
+        self.net.send(from, to, Bytes::copy_from_slice(frame));
+    }
+
     /// Launch-pad path: submit a request to the servers *from* proxy `i`.
     ///
     /// # Panics
@@ -682,7 +799,9 @@ impl<T: Transport> Stack<T> {
             "launch-pad requires a compromised proxy"
         );
         let from = self.proxies[proxy_index].addr;
-        let payload = Bytes::from(req.encode());
+        let buf = req.encode_reusing(std::mem::take(&mut self.wire_buf));
+        let payload = Bytes::copy_from_slice(&buf);
+        self.wire_buf = buf;
         self.net.broadcast(from, &self.server_targets, payload);
     }
 
@@ -710,6 +829,38 @@ impl<T: Transport> Stack<T> {
         out
     }
 
+    /// Drains a client endpoint, returning only the count of closure
+    /// events. This is the attacker's per-step observation: it drains
+    /// through the stack's reused scratch buffer instead of returning a
+    /// fresh `Vec` per call like [`Stack::drain_client`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered.
+    pub fn drain_client_closures(&mut self, client: &str) -> u64 {
+        let addr = *self.clients.get(client).expect("client not registered");
+        self.drain_closures_at(addr)
+    }
+
+    /// Closure-count variant of [`Stack::drain_proxy_inbox`] (see
+    /// [`Stack::drain_client_closures`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the proxy is compromised.
+    pub fn drain_proxy_closures(&mut self, proxy_index: usize) -> u64 {
+        assert!(
+            self.proxies[proxy_index].daemon.is_compromised(),
+            "only a compromised proxy leaks its inbox"
+        );
+        let addr = self.proxies[proxy_index].addr;
+        self.drain_closures_at(addr)
+    }
+
+    fn drain_closures_at(&mut self, addr: Addr) -> u64 {
+        self.net.drain_closure_count(addr)
+    }
+
     /// Delivers all in-flight traffic, running node logic until quiescence.
     pub fn pump(&mut self) {
         loop {
@@ -729,6 +880,9 @@ impl<T: Transport> Stack<T> {
         // its capacity is given back (and kept) at the end.
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.proxies.len() {
+            if !self.net.has_pending(self.proxies[i].addr) {
+                continue;
+            }
             scratch.clear();
             self.net.drain_into(self.proxies[i].addr, &mut scratch);
             for ev in scratch.drain(..) {
@@ -737,6 +891,9 @@ impl<T: Transport> Stack<T> {
             }
         }
         for i in 0..self.pb_servers.len() {
+            if !self.net.has_pending(self.pb_servers[i].addr) {
+                continue;
+            }
             scratch.clear();
             self.net.drain_into(self.pb_servers[i].addr, &mut scratch);
             if self.pb_servers[i].down {
@@ -752,6 +909,9 @@ impl<T: Transport> Stack<T> {
             }
         }
         for i in 0..self.smr_servers.len() {
+            if !self.net.has_pending(self.smr_servers[i].addr) {
+                continue;
+            }
             scratch.clear();
             self.net.drain_into(self.smr_servers[i].addr, &mut scratch);
             for ev in scratch.drain(..) {
@@ -1141,25 +1301,47 @@ impl<T: Transport> Stack<T> {
         let state = self.compromise_state();
         self.track_availability();
         let step = self.step;
-        let mut server_daemons: Vec<&mut ForkingDaemon> = match self.cfg.class {
-            SystemClass::S0Smr => self.smr_servers.iter_mut().map(|s| &mut s.daemon).collect(),
-            _ => self.pb_servers.iter_mut().map(|s| &mut s.daemon).collect(),
-        };
-        // Rerandomizer works on a slice; collect owned mutable refs.
-        {
-            let mut daemons: Vec<ForkingDaemon> =
-                server_daemons.iter().map(|d| (**d).clone()).collect();
-            self.server_rr.end_of_step(step, &mut daemons, &mut self.rng);
-            for (slot, fresh) in server_daemons.iter_mut().zip(daemons) {
-                **slot = fresh;
+        // Plan the maintenance decision first (RNG draws identical to
+        // `Rerandomizer::end_of_step`), then apply it to the daemons in
+        // place — they stay embedded in their nodes, with no per-step
+        // clone-out/copy-back and no allocation.
+        match self.cfg.class {
+            SystemClass::S0Smr => {
+                let n = self.smr_servers.len();
+                if self.server_rr.plan_end_of_step(step, n, &mut self.rng) {
+                    let keys = self.server_rr.planned_keys();
+                    for (node, key) in self.smr_servers.iter_mut().zip(keys) {
+                        node.daemon.rerandomize(*key);
+                    }
+                } else {
+                    for node in &mut self.smr_servers {
+                        Rerandomizer::recover(&mut node.daemon);
+                    }
+                }
+            }
+            _ => {
+                let n = self.pb_servers.len();
+                if self.server_rr.plan_end_of_step(step, n, &mut self.rng) {
+                    let keys = self.server_rr.planned_keys();
+                    for (node, key) in self.pb_servers.iter_mut().zip(keys) {
+                        node.daemon.rerandomize(*key);
+                    }
+                } else {
+                    for node in &mut self.pb_servers {
+                        Rerandomizer::recover(&mut node.daemon);
+                    }
+                }
             }
         }
         if let Some(rr) = &mut self.proxy_rr {
-            let mut daemons: Vec<ForkingDaemon> =
-                self.proxies.iter().map(|p| p.daemon.clone()).collect();
-            rr.end_of_step(step, &mut daemons, &mut self.rng);
-            for (node, fresh) in self.proxies.iter_mut().zip(daemons) {
-                node.daemon = fresh;
+            if rr.plan_end_of_step(step, self.proxies.len(), &mut self.rng) {
+                for (node, key) in self.proxies.iter_mut().zip(rr.planned_keys()) {
+                    node.daemon.rerandomize(*key);
+                }
+            } else {
+                for node in &mut self.proxies {
+                    Rerandomizer::recover(&mut node.daemon);
+                }
             }
         }
         self.step += 1;
@@ -1180,6 +1362,62 @@ mod tests {
             seq,
             client: client.into(),
             op: scheme.craft_exploit(guess).to_bytes(),
+        }
+    }
+
+    /// Drives a stack through an adversarial workload — in- and
+    /// out-of-space exploit guesses, crashes, restarts, re-randomization,
+    /// suspicion flagging — appending every observable (response bytes,
+    /// compromise state, availability, suspects) to `tag`.
+    fn drive_fingerprint(stack: &mut Stack<SimNet>, tag: &mut Vec<u8>) {
+        stack.add_client("mallory");
+        let scheme = stack.config().scheme;
+        for step in 0..80u64 {
+            let req =
+                exploit_request(step + 1, "mallory", scheme, RandomizationKey(step % 96));
+            stack.submit("mallory", &req);
+            stack.pump();
+            for ev in stack.drain_client("mallory") {
+                if let Some(p) = ev.payload() {
+                    tag.extend_from_slice(p);
+                }
+                tag.push(0xEE);
+            }
+            let state = stack.end_step();
+            tag.extend_from_slice(
+                format!("{state:?}|{:?}|{:?}", stack.availability(), stack.suspects())
+                    .as_bytes(),
+            );
+        }
+    }
+
+    #[test]
+    fn reset_replays_fresh_build_bit_for_bit() {
+        for class in [SystemClass::S2Fortress, SystemClass::S1Pb, SystemClass::S0Smr] {
+            let cfg_a = StackConfig {
+                class,
+                seed: 41,
+                entropy_bits: 6,
+                ..StackConfig::default()
+            };
+            let cfg_b = StackConfig { seed: 1234, ..cfg_a };
+            assert!(cfg_a.same_shape(&cfg_b));
+
+            let mut fresh = Stack::new(cfg_b).unwrap();
+            let mut fp_fresh = Vec::new();
+            drive_fingerprint(&mut fresh, &mut fp_fresh);
+
+            let mut reused = Stack::new(cfg_a).unwrap();
+            let mut dirt = Vec::new();
+            drive_fingerprint(&mut reused, &mut dirt); // dirty every component
+            reused.reset(1234);
+            let mut fp_reused = Vec::new();
+            drive_fingerprint(&mut reused, &mut fp_reused);
+
+            assert_eq!(
+                fp_fresh, fp_reused,
+                "reset diverged from a fresh build for {class:?}"
+            );
         }
     }
 

@@ -37,9 +37,15 @@ use crate::sig::Signature;
 pub struct KeyAuthority {
     principals: RwLock<HashMap<String, SecretKey>>,
     /// Master seed from which registered keys are derived; keeps whole-system
-    /// runs reproducible from a single seed.
-    master: SecretKey,
+    /// runs reproducible from a single seed. Behind a lock only so
+    /// [`KeyAuthority::reset_with_seed`] can rewind shared handles.
+    master: RwLock<SecretKey>,
     counter: RwLock<u64>,
+}
+
+fn master_from_seed(seed: u64) -> SecretKey {
+    let digest = Sha256::digest_parts(&[b"fortress-authority-seed", &seed.to_le_bytes()]);
+    SecretKey::from_bytes(digest.0)
 }
 
 impl KeyAuthority {
@@ -48,7 +54,7 @@ impl KeyAuthority {
         let master = SecretKey::generate(&mut rand::thread_rng());
         KeyAuthority {
             principals: RwLock::new(HashMap::new()),
-            master,
+            master: RwLock::new(master),
             counter: RwLock::new(0),
         }
     }
@@ -56,12 +62,24 @@ impl KeyAuthority {
     /// Creates an authority whose registrations are a deterministic function
     /// of `seed` and the registration order/names.
     pub fn with_seed(seed: u64) -> Self {
-        let digest = Sha256::digest_parts(&[b"fortress-authority-seed", &seed.to_le_bytes()]);
         KeyAuthority {
             principals: RwLock::new(HashMap::new()),
-            master: SecretKey::from_bytes(digest.0),
+            master: RwLock::new(master_from_seed(seed)),
             counter: RwLock::new(0),
         }
+    }
+
+    /// Rewinds shared handles to the state [`KeyAuthority::with_seed`]
+    /// would construct: principals cleared (keeping map capacity), the
+    /// derivation counter zeroed, the master key re-derived from `seed`.
+    /// Re-registering the same names in the same order afterwards yields
+    /// identical keys — the trial-arena reset path.
+    pub fn reset_with_seed(&self, seed: u64) {
+        let mut principals = self.principals.write();
+        let mut counter = self.counter.write();
+        *self.master.write() = master_from_seed(seed);
+        principals.clear();
+        *counter = 0;
     }
 
     /// Registers a new principal and returns its secret signing key.
@@ -77,9 +95,10 @@ impl KeyAuthority {
             return Err(CryptoError::DuplicatePrincipal(name.to_owned()));
         }
         let mut counter = self.counter.write();
+        let master = self.master.read();
         let digest = Sha256::digest_parts(&[
             b"fortress-principal",
-            self.master.expose(),
+            master.expose(),
             &counter.to_le_bytes(),
             name.as_bytes(),
         ]);
@@ -102,9 +121,10 @@ impl KeyAuthority {
             return Err(CryptoError::UnknownPrincipal(name.to_owned()));
         }
         let mut counter = self.counter.write();
+        let master = self.master.read();
         let digest = Sha256::digest_parts(&[
             b"fortress-rekey",
-            self.master.expose(),
+            master.expose(),
             &counter.to_le_bytes(),
             name.as_bytes(),
         ]);

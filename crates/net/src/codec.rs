@@ -75,7 +75,15 @@ impl Writer {
 
     /// Creates a writer that starts with a message tag byte.
     pub fn tagged(tag: u8) -> Writer {
-        let mut w = Writer::new();
+        Writer::tagged_reusing(tag, Vec::new())
+    }
+
+    /// Creates a tagged writer that reuses `buf`'s allocation (clearing
+    /// any contents). [`Writer::finish`] hands the buffer back, so an
+    /// encode hot path can cycle one allocation across messages.
+    pub fn tagged_reusing(tag: u8, mut buf: Vec<u8>) -> Writer {
+        buf.clear();
+        let mut w = Writer { buf };
         w.put_u8(tag);
         w
     }

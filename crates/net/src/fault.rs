@@ -43,7 +43,7 @@ use bytes::Bytes;
 
 use crate::addr::Addr;
 use crate::event::{NetEvent, NetStats};
-use crate::transport::Transport;
+use crate::transport::{Transport, TrialReset};
 
 /// Dedicated per-trial stream salt for the fault plan's SplitMix64
 /// stream — the fault-axis sibling of `fortress_sim::outage`'s
@@ -236,6 +236,9 @@ impl Ord for Held {
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     plan: FaultPlan,
+    /// The stream seed the decorator was (re)built with, retained so
+    /// [`TrialReset::trial_reset`] can rewind the fault stream too.
+    stream_seed: u64,
     rng: SplitMix64,
     /// The decorator's own clock: one step per [`Transport::step`] call.
     clock: u64,
@@ -258,6 +261,7 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             plan,
+            stream_seed,
             rng: SplitMix64::new(stream_seed),
             clock: 0,
             seq: 0,
@@ -265,6 +269,28 @@ impl<T: Transport> FaultyTransport<T> {
             injected_drops: 0,
             injected_dups: 0,
         }
+    }
+
+    /// Rewinds decorator *and* inner transport for the next trial: the
+    /// inner backend is reset under `inner_seed` (keeping the first
+    /// `keep_endpoints` registrations), and the decorator's fault stream
+    /// is re-seeded with `stream_seed` — the two-seed form trial drivers
+    /// need, since the fault stream is derived per trial from
+    /// [`FAULT_STREAM`] independently of the stack seed. Equivalent
+    /// bit-for-bit to `FaultyTransport::new(fresh_inner, plan,
+    /// stream_seed)` with the kept registrations replayed.
+    pub fn trial_reset_with(&mut self, inner_seed: u64, stream_seed: u64, keep_endpoints: usize)
+    where
+        T: TrialReset,
+    {
+        self.inner.trial_reset(inner_seed, keep_endpoints);
+        self.stream_seed = stream_seed;
+        self.rng = SplitMix64::new(stream_seed);
+        self.clock = 0;
+        self.seq = 0;
+        self.held.clear();
+        self.injected_drops = 0;
+        self.injected_dups = 0;
     }
 
     /// The wrapped transport.
@@ -371,6 +397,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.drain_into(at, out);
     }
 
+    fn drain_closure_count(&mut self, at: Addr) -> u64 {
+        // Held frames live outside the inner inboxes, so delegating is
+        // exact: only delivered events can be drained.
+        self.inner.drain_closure_count(at)
+    }
+
+    fn has_pending(&self, addr: Addr) -> bool {
+        // Held (delayed/reordered) frames are not in any inbox until a
+        // `step` releases them into the inner transport, so the inner
+        // answer is exact.
+        self.inner.has_pending(addr)
+    }
+
     fn step(&mut self) -> bool {
         if self.plan.is_none() {
             return self.inner.step();
@@ -418,6 +457,20 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
     fn now(&self) -> u64 {
         self.inner.now()
+    }
+}
+
+impl<T: Transport + TrialReset> TrialReset for FaultyTransport<T> {
+    /// Single-seed reset: rewinds the inner backend under `seed` and the
+    /// fault stream to the stream seed the decorator currently holds.
+    /// Per-trial drivers that re-derive the fault stream should prefer
+    /// [`FaultyTransport::trial_reset_with`].
+    fn trial_reset(&mut self, seed: u64, keep_endpoints: usize) {
+        self.trial_reset_with(seed, self.stream_seed, keep_endpoints);
+    }
+
+    fn endpoint_count(&self) -> usize {
+        self.inner.endpoint_count()
     }
 }
 
@@ -647,6 +700,50 @@ mod tests {
         let mut out = Vec::new();
         net.drain_into(b, &mut out);
         assert!(out.is_empty());
+    }
+
+    /// The decorator's arena contract: `trial_reset_with` replays a
+    /// fresh decorator (fresh inner + fresh fault stream) bit-for-bit,
+    /// including drop/dup schedules and the held-message clock.
+    #[test]
+    fn trial_reset_with_replays_fresh_decorator_bit_for_bit() {
+        let plan = FaultPlan::Degraded {
+            loss: 0.2,
+            delay_min: 0,
+            delay_max: 4,
+            dup: 0.1,
+            partition: None,
+        };
+        let drive = |net: &mut FaultyTransport<SimNet>,
+                     a: Addr,
+                     b: Addr|
+         -> (Vec<NetEvent>, NetStats, u64) {
+            for p in payloads(30) {
+                net.send(a, b, p);
+            }
+            run_quiet(net);
+            let mut out = Vec::new();
+            net.drain_into(b, &mut out);
+            (out, net.stats(), net.now())
+        };
+        let mk = |sim_seed: u64, stream: u64| {
+            let mut net = FaultyTransport::new(
+                SimNet::new(SimConfig { seed: sim_seed, ..SimConfig::default() }),
+                plan,
+                stream,
+            );
+            let a = net.register("a");
+            let b = net.register("b");
+            (net, a, b)
+        };
+        let (mut fresh, fa, fb) = mk(5, 77);
+        let want = drive(&mut fresh, fa, fb);
+
+        let (mut reused, ra, rb) = mk(3, 99);
+        let _ = drive(&mut reused, ra, rb); // dirty schedule, clock, stats
+        reused.trial_reset_with(5, 77, 2);
+        assert_eq!(reused.endpoint_count(), 2);
+        assert_eq!(drive(&mut reused, ra, rb), want);
     }
 
     #[test]

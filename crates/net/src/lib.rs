@@ -104,5 +104,5 @@ pub use event::{NetEvent, NetStats};
 pub use fault::{FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
 pub use sim::{Latency, SimConfig, SimNet};
 pub use threaded::{NetHandle, ThreadNet};
-pub use transport::Transport;
+pub use transport::{Transport, TrialReset};
 pub use wire::WireKind;

@@ -68,12 +68,59 @@ struct InFlight {
     payload: Bytes,
 }
 
+/// A set of peer addresses stored as a bitmask. `insert`/`remove` are
+/// single word ops and iteration yields addresses in ascending order
+/// without sorting or allocating — the deterministic closure-event order
+/// [`SimNet::crash`] needs, on the hot path of every exploit probe.
+#[derive(Debug, Default)]
+struct ConnSet {
+    words: Vec<u64>,
+}
+
+impl ConnSet {
+    fn insert(&mut self, addr: Addr) {
+        let i = addr.raw() as usize;
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    fn remove(&mut self, addr: Addr) {
+        let i = addr.raw() as usize;
+        if let Some(word) = self.words.get_mut(i / 64) {
+            *word &= !(1 << (i % 64));
+        }
+    }
+
+    /// Zeroes the set, keeping the backing allocation for reuse.
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set members in ascending address order.
+    fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(Addr::from_raw((w * 64) as u32 + b))
+            })
+        })
+    }
+}
+
 #[derive(Debug, Default)]
 struct EndpointState {
     name: String,
     inbox: VecDeque<NetEvent>,
     /// Peers with an open connection since the last restart.
-    connections: HashSet<Addr>,
+    connections: ConnSet,
     crashed: bool,
 }
 
@@ -106,8 +153,19 @@ pub struct SimNet {
     rng: StdRng,
     now: u64,
     seq: u64,
+    /// Endpoint slots. Only the first `live` are registered; slots past
+    /// the watermark are kept after [`SimNet::trial_reset`] so their
+    /// buffers can be recycled by the next trial's registrations.
     endpoints: Vec<EndpointState>,
-    queue: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    live: usize,
+    /// FIFO delivery queue used for [`Latency::Fixed`]: due times are
+    /// non-decreasing in send order (the clock is monotonic), so
+    /// `(due, seq)` heap order equals insertion order and a ring buffer
+    /// replaces the heap + side map entirely.
+    fifo: VecDeque<InFlight>,
+    /// Heap + side-map path for [`Latency::Uniform`], where jitter
+    /// reorders deliveries.
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
     in_flight: HashMap<u64, InFlight>,
     cuts: Vec<Cut>,
     stats: NetStats,
@@ -122,6 +180,8 @@ impl SimNet {
             now: 0,
             seq: 0,
             endpoints: Vec::new(),
+            live: 0,
+            fifo: VecDeque::new(),
             queue: BinaryHeap::new(),
             in_flight: HashMap::new(),
             cuts: Vec::new(),
@@ -129,14 +189,68 @@ impl SimNet {
         }
     }
 
+    fn fixed_latency(&self) -> bool {
+        matches!(self.config.latency, Latency::Fixed(_))
+    }
+
     /// Registers a named endpoint and returns its address.
     pub fn register(&mut self, name: &str) -> Addr {
-        let addr = Addr::from_raw(self.endpoints.len() as u32);
-        self.endpoints.push(EndpointState {
-            name: name.to_owned(),
-            ..EndpointState::default()
-        });
+        let addr = Addr::from_raw(self.live as u32);
+        if self.live < self.endpoints.len() {
+            // Recycle a slot parked by `trial_reset`: same address, fresh
+            // state, no new allocations when the name fits.
+            let ep = &mut self.endpoints[self.live];
+            ep.name.clear();
+            ep.name.push_str(name);
+            ep.inbox.clear();
+            ep.connections.clear();
+            ep.crashed = false;
+        } else {
+            self.endpoints.push(EndpointState {
+                name: name.to_owned(),
+                ..EndpointState::default()
+            });
+        }
+        self.live += 1;
         addr
+    }
+
+    /// Number of live registered endpoints — the natural `keep_endpoints`
+    /// watermark to capture right after assembly.
+    pub fn endpoint_count(&self) -> usize {
+        self.live
+    }
+
+    /// Rewinds the network to its just-constructed state under a fresh
+    /// `seed`, keeping the first `keep_endpoints` registrations (their
+    /// addresses and names stay valid) and every buffer allocation.
+    /// Endpoints registered after the watermark are forgotten; their
+    /// slots are recycled by later [`SimNet::register`] calls, which
+    /// hand out the same addresses again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_endpoints` exceeds the live registration count.
+    pub fn trial_reset(&mut self, seed: u64, keep_endpoints: usize) {
+        assert!(
+            keep_endpoints <= self.live,
+            "watermark beyond live endpoints"
+        );
+        self.config.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.now = 0;
+        self.seq = 0;
+        self.fifo.clear();
+        self.queue.clear();
+        self.in_flight.clear();
+        self.cuts.clear();
+        self.stats = NetStats::default();
+        for ep in &mut self.endpoints[..self.live] {
+            ep.inbox.clear();
+            ep.connections.clear();
+            ep.crashed = false;
+        }
+        self.live = keep_endpoints;
     }
 
     /// The name an endpoint registered under.
@@ -168,8 +282,8 @@ impl SimNet {
     ///
     /// Panics if either address was not issued by this network.
     pub fn send(&mut self, from: Addr, to: Addr, payload: Bytes) {
-        assert!((from.raw() as usize) < self.endpoints.len(), "unknown sender");
-        assert!((to.raw() as usize) < self.endpoints.len(), "unknown receiver");
+        assert!((from.raw() as usize) < self.live, "unknown sender");
+        assert!((to.raw() as usize) < self.live, "unknown receiver");
         self.stats.sent += 1;
 
         if self.endpoints[to.raw() as usize].crashed {
@@ -191,20 +305,36 @@ impl SimNet {
             Latency::Uniform(lo, hi) => self.rng.gen_range(lo..=hi),
         };
         let due = self.now + latency.max(1);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse((due, seq, to.raw())));
-        self.in_flight.insert(seq, InFlight { due, from, to, payload });
+        let msg = InFlight { due, from, to, payload };
+        if self.fixed_latency() {
+            self.fifo.push_back(msg);
+        } else {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Reverse((due, seq)));
+            self.in_flight.insert(seq, msg);
+        }
     }
 
     /// Advances logical time to the next delivery and delivers every message
     /// due at that instant. Returns `false` when nothing is in flight.
     pub fn advance(&mut self) -> bool {
-        let Some(Reverse((due, _, _))) = self.queue.peek().copied() else {
+        if self.fixed_latency() {
+            let Some(due) = self.fifo.front().map(|m| m.due) else {
+                return false;
+            };
+            self.now = due;
+            while self.fifo.front().is_some_and(|m| m.due == due) {
+                let msg = self.fifo.pop_front().expect("peeked");
+                self.deliver(msg);
+            }
+            return true;
+        }
+        let Some(Reverse((due, _))) = self.queue.peek().copied() else {
             return false;
         };
         self.now = due;
-        while let Some(Reverse((t, seq, _))) = self.queue.peek().copied() {
+        while let Some(Reverse((t, seq))) = self.queue.peek().copied() {
             if t != due {
                 break;
             }
@@ -265,6 +395,17 @@ impl SimNet {
         self.endpoints[addr.raw() as usize].inbox.len()
     }
 
+    /// Discards everything pending at `addr`, returning the number of
+    /// [`NetEvent::ConnectionClosed`] events among them — the in-place
+    /// form of [`Transport::drain_closure_count`](crate::transport::Transport::drain_closure_count):
+    /// no event is moved out of the inbox, it is counted and cleared.
+    pub fn drain_closure_count(&mut self, addr: Addr) -> u64 {
+        let inbox = &mut self.endpoints[addr.raw() as usize].inbox;
+        let n = inbox.iter().filter(|e| e.is_closure()).count() as u64;
+        inbox.clear();
+        n
+    }
+
     /// Crashes the process at `addr`: its inbox is lost and every connected
     /// peer observes a [`NetEvent::ConnectionClosed`].
     ///
@@ -278,14 +419,18 @@ impl SimNet {
         }
         self.endpoints[idx].crashed = true;
         self.endpoints[idx].inbox.clear();
-        let peers: Vec<Addr> = self.endpoints[idx].connections.drain().collect();
-        let mut sorted = peers;
-        sorted.sort(); // deterministic event order
-        for peer in sorted {
+        // Steal the connection set so peers can be mutated while iterating.
+        // Bit order is ascending — exactly the sorted order the old
+        // Vec-collect-and-sort produced — with zero allocation per crash.
+        let peers = std::mem::take(&mut self.endpoints[idx].connections);
+        for peer in peers.iter() {
             self.push_event(peer, NetEvent::ConnectionClosed { peer: addr, at: self.now });
             // The peer's connection to the crashed node is gone too.
-            self.endpoints[peer.raw() as usize].connections.remove(&addr);
+            self.endpoints[peer.raw() as usize].connections.remove(addr);
         }
+        let mut peers = peers;
+        peers.clear();
+        self.endpoints[idx].connections = peers;
     }
 
     /// Restarts a crashed endpoint with a clean connection table (the
@@ -373,6 +518,14 @@ impl crate::transport::Transport for SimNet {
         SimNet::drain_into(self, at, out);
     }
 
+    fn drain_closure_count(&mut self, at: Addr) -> u64 {
+        SimNet::drain_closure_count(self, at)
+    }
+
+    fn has_pending(&self, addr: Addr) -> bool {
+        SimNet::pending(self, addr) != 0
+    }
+
     /// One [`SimNet::advance`]: delivers everything due at the next
     /// logical instant.
     fn step(&mut self) -> bool {
@@ -397,6 +550,16 @@ impl crate::transport::Transport for SimNet {
 
     fn now(&self) -> u64 {
         SimNet::now(self)
+    }
+}
+
+impl crate::transport::TrialReset for SimNet {
+    fn trial_reset(&mut self, seed: u64, keep_endpoints: usize) {
+        SimNet::trial_reset(self, seed, keep_endpoints);
+    }
+
+    fn endpoint_count(&self) -> usize {
+        SimNet::endpoint_count(self)
     }
 }
 
@@ -627,5 +790,59 @@ mod tests {
     fn advance_on_idle_returns_false() {
         let (mut net, _, _) = two_nodes();
         assert!(!net.advance());
+    }
+
+    /// Drives one full "trial" on a net: registers a late endpoint (as a
+    /// per-trial client would), exchanges seeded lossy traffic, crashes
+    /// and restarts, and returns everything observable.
+    fn drive_trial(net: &mut SimNet, a: Addr, s: Addr) -> (Vec<NetEvent>, NetStats, u64) {
+        let c = net.register("client-0");
+        for i in 0..20u8 {
+            net.send(a, s, Bytes::copy_from_slice(&[i]));
+            net.send(c, s, Bytes::copy_from_slice(&[100 + i]));
+        }
+        net.run_until_quiet();
+        net.crash(s);
+        net.restart(s);
+        net.send(a, s, b("again"));
+        net.run_until_quiet();
+        let mut seen = net.drain(s);
+        seen.extend(net.drain(a));
+        seen.extend(net.drain(c));
+        (seen, net.stats(), net.now())
+    }
+
+    #[test]
+    fn trial_reset_replays_a_fresh_network_bit_for_bit() {
+        let cfg = SimConfig {
+            seed: 11,
+            drop_rate: 0.3,
+            ..SimConfig::default()
+        };
+        // Reference: two independent fresh networks, seeds 11 and 99.
+        let mut fresh = SimNet::new(cfg);
+        let fa = fresh.register("a");
+        let fs = fresh.register("s");
+        let first = drive_trial(&mut fresh, fa, fs);
+        let mut fresh2 = SimNet::new(SimConfig { seed: 99, ..cfg });
+        let fa2 = fresh2.register("a");
+        let fs2 = fresh2.register("s");
+        let second = drive_trial(&mut fresh2, fa2, fs2);
+
+        // Reused: one network, reset between the trials.
+        let mut net = SimNet::new(cfg);
+        let a = net.register("a");
+        let s = net.register("s");
+        let watermark = net.endpoint_count();
+        assert_eq!(watermark, 2);
+        assert_eq!(drive_trial(&mut net, a, s), first);
+        net.trial_reset(99, watermark);
+        assert_eq!(net.endpoint_count(), 2);
+        assert_eq!(net.name(a), "a");
+        assert_eq!(
+            drive_trial(&mut net, a, s),
+            second,
+            "reset trial must replay a fresh seed-99 network exactly"
+        );
     }
 }

@@ -23,12 +23,29 @@ use crate::addr::Addr;
 use crate::event::{NetEvent, NetStats};
 use crate::transport::Transport;
 
-/// Upper bound on one [`Transport::step`] park while sender threads are
-/// live. Bounded so a pump loop re-checks its exit condition at a steady
-/// cadence even if a notification is missed, and short enough that
-/// time-stepped drive loops (e.g. `examples/failover.rs`) see no added
-/// latency worth naming.
+/// Base duration of one [`Transport::step`] park while sender threads
+/// are live. The first park uses exactly this, so time-stepped drive
+/// loops (e.g. `examples/failover.rs`) see no added latency worth
+/// naming; each further *consecutive* empty drain doubles the park (see
+/// [`park_wait`]) so a long-idle waiter backs off instead of waking
+/// 1000×/s for nothing.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Ceiling of the exponential park backoff. Bounded so a pump loop
+/// re-checks its exit condition at a steady cadence even if a
+/// notification is missed — a missed wakeup costs at most this long,
+/// never an unbounded doubling.
+const PARK_CEILING: Duration = Duration::from_millis(16);
+
+/// Park duration for the `idle_steps`-th consecutive empty drain:
+/// [`PARK_TIMEOUT`] doubled per extra idle step, clamped to
+/// [`PARK_CEILING`]. Pure so the schedule is unit-testable.
+fn park_wait(idle_steps: u32) -> Duration {
+    let doublings = idle_steps.saturating_sub(1).min(10);
+    PARK_TIMEOUT
+        .saturating_mul(1u32 << doublings)
+        .min(PARK_CEILING)
+}
 
 #[derive(Debug)]
 struct Registry {
@@ -296,12 +313,16 @@ impl Transport for ThreadNet {
 
     /// Reports whether traffic arrived since the last `step` — and, on
     /// the second-plus *consecutive* idle step while live sender threads
-    /// exist, **parks on a condvar** (bounded by [`PARK_TIMEOUT`])
-    /// instead of returning immediately: a `loop {{ step() }}` waiter
-    /// driving a stack concurrently with sender threads blocks until
-    /// traffic arrives rather than spin-yielding through empty drains.
-    /// The first idle step never parks, so a pump loop's single
-    /// exit-probe call — and with it every deployment with no
+    /// exist, **parks on a condvar** instead of returning immediately:
+    /// a `loop {{ step() }}` waiter driving a stack concurrently with
+    /// sender threads blocks until traffic arrives rather than
+    /// spin-yielding through empty drains. The park length backs off
+    /// exponentially with consecutive empty drains — [`PARK_TIMEOUT`]
+    /// at first, doubling per idle step up to [`PARK_CEILING`] (see
+    /// [`park_wait`]) — and any arrival resets it, so a briefly idle
+    /// loop stays responsive while a long-idle one stops waking
+    /// 1000×/s. The first idle step never parks, so a pump loop's
+    /// single exit-probe call — and with it every deployment with no
     /// handle-owned endpoints at all — sees no added latency.
     ///
     /// The liveness condition (`live_handles > 0`) is evaluated **under
@@ -321,7 +342,7 @@ impl Transport for ThreadNet {
             // Missed-wakeup-safe: arrivals and live_handles are both
             // re-checked under the lock their writers bump them under.
             let (guard, _) = cvar
-                .wait_timeout(signal, PARK_TIMEOUT)
+                .wait_timeout(signal, park_wait(self.idle_steps))
                 .unwrap_or_else(|e| e.into_inner());
             signal = guard;
         }
@@ -639,6 +660,65 @@ mod tests {
         thread.join().unwrap();
         assert!(woke, "the crashed-but-held handle's send must be seen");
         let _ = polls;
+        let mut out = Vec::new();
+        net.drain_into(b, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    /// The backoff schedule is pure: base on the first park, doubling
+    /// per consecutive empty drain, clamped at the ceiling — and immune
+    /// to shift overflow at absurd idle counts.
+    #[test]
+    fn park_backoff_doubles_and_is_bounded() {
+        assert_eq!(park_wait(1), PARK_TIMEOUT);
+        assert_eq!(park_wait(2), 2 * PARK_TIMEOUT);
+        assert_eq!(park_wait(3), 4 * PARK_TIMEOUT);
+        assert_eq!(park_wait(5), PARK_CEILING);
+        assert_eq!(park_wait(100), PARK_CEILING);
+        assert_eq!(park_wait(u32::MAX), PARK_CEILING);
+        // 0 never reaches the park (the first idle step returns
+        // immediately), but the function stays total.
+        assert_eq!(park_wait(0), PARK_TIMEOUT);
+    }
+
+    /// Backed-off parks are still wakeable: after enough idle steps to
+    /// reach the ceiling, a sender's delivery must interrupt the park
+    /// rather than sleep out the full [`PARK_CEILING`].
+    #[test]
+    fn late_sends_wake_a_backed_off_park() {
+        let mut net = ThreadNet::new();
+        let b = Transport::register(&mut net, "b");
+        let sender = net.register("sender");
+        // Drive to the backoff ceiling: each consecutive empty drain
+        // doubles the park, so a handful of steps suffice.
+        for _ in 0..8 {
+            assert!(!net.step());
+        }
+        let thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            sender.send(b, Bytes::from_static(b"wake up"));
+        });
+        let start = std::time::Instant::now();
+        let mut polls = 0u32;
+        let woke = loop {
+            polls += 1;
+            if net.step() {
+                break true;
+            }
+            if polls > 500 {
+                break false;
+            }
+        };
+        thread.join().unwrap();
+        assert!(woke, "the send must wake the backed-off park");
+        // Generous bound: the ~5ms send plus at most one full-ceiling
+        // park plus CI preemption headroom — but far under what 500
+        // ceiling-length timeouts would take.
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "a backed-off park slept past the wake ({:?})",
+            start.elapsed()
+        );
         let mut out = Vec::new();
         net.drain_into(b, &mut out);
         assert_eq!(out.len(), 1);

@@ -47,6 +47,27 @@ pub trait Transport {
     /// clears and reuses across pump rounds).
     fn drain_into(&mut self, at: Addr, out: &mut Vec<NetEvent>);
 
+    /// Discards every event pending at `at`, returning how many of them
+    /// were [`NetEvent::ConnectionClosed`]. Semantically identical to
+    /// draining into a buffer, counting closures and dropping the rest —
+    /// which is exactly what the default does — but backends can answer
+    /// without materializing (moving) any events, which matters in probe
+    /// loops that drain a flood of closure notifications every step.
+    fn drain_closure_count(&mut self, at: Addr) -> u64 {
+        let mut out = Vec::new();
+        self.drain_into(at, &mut out);
+        out.iter().filter(|e| e.is_closure()).count() as u64
+    }
+
+    /// Whether any event is pending at `addr` right now. Backends that
+    /// can answer in O(1) override this so pump loops skip empty
+    /// inboxes; the conservative default says `true` (drain to find
+    /// out), which is always correct.
+    fn has_pending(&self, addr: Addr) -> bool {
+        let _ = addr;
+        true
+    }
+
     /// Makes delivery progress: advances logical time on the simulator
     /// (returning `true` while traffic is in flight). Eagerly-delivering
     /// transports return whether traffic arrived since the last `step`
@@ -76,6 +97,27 @@ pub trait Transport {
     fn now(&self) -> u64 {
         0
     }
+}
+
+/// Transports that can be rewound and re-seeded between Monte-Carlo
+/// trials, so one allocation's worth of buffers serves a whole cell.
+///
+/// The contract backing the trial arena: after
+/// `trial_reset(seed, keep)` the transport must behave **bit-for-bit**
+/// like a freshly constructed instance seeded with `seed` whose first
+/// `keep` registrations were replayed — same addresses, same RNG
+/// stream, same delivery order — while retaining its internal buffer
+/// allocations. Registrations past the watermark are forgotten and
+/// their slots recycled, so per-trial endpoints (attacker clients)
+/// re-register to identical addresses on the next trial.
+pub trait TrialReset {
+    /// Rewinds to the just-constructed state under `seed`, keeping the
+    /// first `keep_endpoints` registrations.
+    fn trial_reset(&mut self, seed: u64, keep_endpoints: usize);
+
+    /// Currently registered endpoints — the watermark to capture right
+    /// after assembly.
+    fn endpoint_count(&self) -> usize;
 }
 
 #[cfg(test)]

@@ -50,6 +50,14 @@ impl ForkingDaemon {
         }
     }
 
+    /// Rewinds to the just-booted state under `key` (see
+    /// [`SimProcess::reset`]): the child runs again with zero counters
+    /// and the restart count clears. The trial-arena reset path.
+    pub fn reset(&mut self, key: RandomizationKey) {
+        self.child.reset(key);
+        self.restarts = 0;
+    }
+
     /// Node name.
     pub fn name(&self) -> &str {
         self.child.name()

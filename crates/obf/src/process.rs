@@ -76,6 +76,16 @@ impl SimProcess {
         }
     }
 
+    /// Rewinds to the just-booted state under `key`: running, zero
+    /// counters. Equivalent to `SimProcess::new(self.name(), self.scheme(), key)`
+    /// without reallocating the name — the trial-arena reset path.
+    pub fn reset(&mut self, key: RandomizationKey) {
+        self.key = key;
+        self.state = ProcessState::Running;
+        self.served = 0;
+        self.crashes = 0;
+    }
+
     /// Process name.
     pub fn name(&self) -> &str {
         &self.name

@@ -71,20 +71,33 @@ impl KeyAssignment {
         n: usize,
         rng: &mut R,
     ) -> Vec<RandomizationKey> {
+        let mut keys = Vec::with_capacity(n);
+        self.draw_keys_into(space, n, rng, &mut keys);
+        keys
+    }
+
+    /// [`KeyAssignment::draw_keys`] into a caller-owned buffer, reusing
+    /// its allocation. The RNG consumption is identical.
+    pub fn draw_keys_into<R: Rng + ?Sized>(
+        &self,
+        space: KeySpace,
+        n: usize,
+        rng: &mut R,
+        keys: &mut Vec<RandomizationKey>,
+    ) {
+        keys.clear();
         match self {
             KeyAssignment::SharedAcrossGroup => {
                 let k = space.sample(rng);
-                vec![k; n]
+                keys.resize(n, k);
             }
             KeyAssignment::DistinctPerNode => {
-                let mut keys: Vec<RandomizationKey> = Vec::with_capacity(n);
                 while keys.len() < n {
                     let k = space.sample(rng);
                     if !keys.contains(&k) {
                         keys.push(k);
                     }
                 }
-                keys
             }
         }
     }
@@ -121,6 +134,8 @@ pub struct Rerandomizer {
     policy: ObfuscationPolicy,
     assignment: KeyAssignment,
     rerandomizations: u64,
+    /// Reused across steps so PO maintenance allocates nothing.
+    key_buf: Vec<RandomizationKey>,
 }
 
 impl Rerandomizer {
@@ -135,6 +150,7 @@ impl Rerandomizer {
             policy,
             assignment,
             rerandomizations: 0,
+            key_buf: Vec::new(),
         }
     }
 
@@ -163,30 +179,56 @@ impl Rerandomizer {
         nodes: &mut [ForkingDaemon],
         rng: &mut R,
     ) -> bool {
-        if self.policy.rerandomizes_at(step) {
-            let keys = self.assignment.draw_keys(self.space, nodes.len(), rng);
-            for (node, key) in nodes.iter_mut().zip(keys) {
-                node.rerandomize(key);
+        if self.plan_end_of_step(step, nodes.len(), rng) {
+            for (node, key) in nodes.iter_mut().zip(&self.key_buf) {
+                node.rerandomize(*key);
             }
-            self.rerandomizations += 1;
             true
         } else {
-            // Proactive recovery: reboot with the same executable. A
-            // compromised node is NOT cleansed in the model's terms — the
-            // reboot would clear the process image, but the attacker still
-            // knows the unchanged key and re-lands the exploit immediately
-            // (paper §4.2: control persists "until re-randomization is
-            // applied", and recovery is not re-randomization). We collapse
-            // that re-exploitation dance by leaving control in place.
             for node in nodes.iter_mut() {
-                if node.is_compromised() {
-                    continue;
-                }
-                let key = node.key();
-                node.rerandomize(key);
+                Rerandomizer::recover(node);
             }
             false
         }
+    }
+
+    /// The decision half of [`Rerandomizer::end_of_step`], with identical
+    /// RNG consumption but no node access: returns `true` — with this
+    /// step's fresh keys readable via [`Rerandomizer::planned_keys`] —
+    /// when the policy re-randomizes at `step`, `false` when the group is
+    /// merely recovered (apply [`Rerandomizer::recover`] per node). The
+    /// split lets drive loops maintain daemons embedded in larger node
+    /// structs without cloning them into a contiguous slice first.
+    pub fn plan_end_of_step<R: Rng + ?Sized>(&mut self, step: u64, n: usize, rng: &mut R) -> bool {
+        if !self.policy.rerandomizes_at(step) {
+            return false;
+        }
+        let assignment = self.assignment;
+        assignment.draw_keys_into(self.space, n, rng, &mut self.key_buf);
+        self.rerandomizations += 1;
+        true
+    }
+
+    /// The keys drawn by the last [`Rerandomizer::plan_end_of_step`] call
+    /// that returned `true`, one per node in group order.
+    pub fn planned_keys(&self) -> &[RandomizationKey] {
+        &self.key_buf
+    }
+
+    /// Per-node proactive recovery — the `false` branch of
+    /// [`Rerandomizer::end_of_step`]: reboot with the same executable. A
+    /// compromised node is NOT cleansed in the model's terms — the reboot
+    /// would clear the process image, but the attacker still knows the
+    /// unchanged key and re-lands the exploit immediately (paper §4.2:
+    /// control persists "until re-randomization is applied", and recovery
+    /// is not re-randomization). We collapse that re-exploitation dance
+    /// by leaving control in place.
+    pub fn recover(node: &mut ForkingDaemon) {
+        if node.is_compromised() {
+            return;
+        }
+        let key = node.key();
+        node.rerandomize(key);
     }
 
     /// Number of re-randomizations applied so far.

@@ -61,6 +61,14 @@ impl ExploitPayload {
     /// for embedding in a request op.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::WIRE_PREFIX.len() + 10);
+        self.write_to(&mut out);
+        out
+    }
+
+    /// Appends the wire encoding to `out` — the probe hot path reuses
+    /// one buffer across millions of guesses instead of allocating a
+    /// fresh `Vec` per probe. Byte-identical to [`ExploitPayload::to_bytes`].
+    pub fn write_to(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(Self::WIRE_PREFIX);
         match self {
             ExploitPayload::ReturnOverwrite { target, region } => {
@@ -78,7 +86,6 @@ impl ExploitPayload {
                 out.extend_from_slice(&encoded.to_le_bytes());
             }
         }
-        out
     }
 
     /// Decodes an op if it carries an exploit; `None` for benign ops or

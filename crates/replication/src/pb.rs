@@ -143,6 +143,23 @@ impl<S: Service> PbReplica<S> {
         }
     }
 
+    /// Rewinds to the just-constructed state with a fresh service and
+    /// credentials, keeping map capacity — the trial-arena reset path.
+    /// Behaves exactly like `PbReplica::new(cfg, index, service, signer)`
+    /// with this replica's `cfg` and `index`.
+    pub fn reset(&mut self, service: S, signer: Signer) {
+        self.service = service;
+        self.signer = signer;
+        self.view = 0;
+        self.seq = 0;
+        self.now = 0;
+        self.last_primary_sign_of_life = 0;
+        self.last_heartbeat_sent = 0;
+        self.executed.clear();
+        self.pending_updates.clear();
+        self.replies_sent = 0;
+    }
+
     /// This replica's index.
     pub fn index(&self) -> usize {
         self.index

@@ -208,6 +208,27 @@ impl<S: Service> SmrReplica<S> {
         })
     }
 
+    /// Rewinds to the just-constructed state with a fresh service and
+    /// credentials, keeping map capacity — the trial-arena reset path.
+    /// Behaves exactly like `SmrReplica::new(cfg, index, service, signer)`
+    /// with this replica's `cfg` and `index`.
+    pub fn reset(&mut self, service: S, signer: Signer) {
+        self.service = service;
+        self.signer = signer;
+        self.view = 0;
+        self.next_seq = 0;
+        self.last_exec = 0;
+        self.now = 0;
+        self.log.clear();
+        self.prepares.clear();
+        self.commits.clear();
+        self.executed.clear();
+        self.pending.clear();
+        self.view_change_votes.clear();
+        self.voted_view = 0;
+        self.replies_sent = 0;
+    }
+
     /// This replica's index.
     pub fn index(&self) -> usize {
         self.index

@@ -1,0 +1,142 @@
+//! Per-worker trial arenas: reuse assembled [`Stack`]s across trials.
+//!
+//! Building a protocol stack is two orders of magnitude more allocation
+//! than running one of its steps — names, engines, registries, key
+//! draws. A Monte-Carlo cell runs hundreds of trials against stacks
+//! that differ **only in their seed**, so the arena keeps each worker
+//! thread's assembled stacks around and rewinds them with
+//! [`Stack::reset`] instead of reassembling.
+//!
+//! # Contract
+//!
+//! [`Stack::reset`] is bit-for-bit: a reset stack replays the exact RNG
+//! streams, addresses and key draws a freshly built stack with the same
+//! configuration would (asserted by `fortress-core`'s
+//! `reset_replays_fresh_build_bit_for_bit` and this module's
+//! [tests](self#tests)). Reuse is keyed on
+//! [`StackConfig::same_shape`] — every knob but the seed — so a cached
+//! stack is only ever rewound within its own topology. The arena is
+//! `thread_local`, giving each pool worker its own cache with no
+//! synchronization on the trial hot path.
+
+use std::cell::{Cell, RefCell};
+
+use fortress_core::system::{Stack, StackConfig};
+use fortress_net::sim::SimNet;
+
+/// Cached stacks per worker thread. The paper-default campaign grid has
+/// 9 shapes (3 suspicion policies × 3 fleet sizes); the cap bounds
+/// memory if a sweep enumerates many more.
+const ARENA_CAP: usize = 16;
+
+thread_local! {
+    static ARENA: RefCell<Vec<Stack<SimNet>>> = const { RefCell::new(Vec::new()) };
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` against a stack assembled under `cfg`, drawing it from this
+/// thread's arena when a same-shaped stack is cached (rewound to
+/// `cfg.seed` via [`Stack::reset`]) and building it fresh otherwise.
+/// The stack returns to the arena afterwards. Results are bit-identical
+/// either way — callers cannot observe whether they got a reused shell.
+pub fn with_arena_stack<R>(cfg: StackConfig, f: impl FnOnce(&mut Stack<SimNet>) -> R) -> R {
+    let cached = ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.iter()
+            .position(|s| s.config().same_shape(&cfg))
+            .map(|i| a.swap_remove(i))
+    });
+    let mut stack = match cached {
+        Some(mut s) => {
+            HITS.with(|c| c.set(c.get() + 1));
+            s.reset(cfg.seed);
+            s
+        }
+        None => {
+            MISSES.with(|c| c.set(c.get() + 1));
+            Stack::new(cfg).expect("stack assembly is validated by construction")
+        }
+    };
+    let out = f(&mut stack);
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.len() < ARENA_CAP {
+            a.push(stack);
+        }
+    });
+    out
+}
+
+/// This thread's arena counters: `(reuse hits, fresh builds)`. Purely
+/// diagnostic — the bench binaries report the reuse rate with them.
+pub fn arena_stats() -> (u64, u64) {
+    (HITS.with(Cell::get), MISSES.with(Cell::get))
+}
+
+/// Drops this thread's cached stacks and zeroes its counters — for
+/// benches that compare cold (fresh-build) against warm (reuse) paths.
+pub fn clear_arena() {
+    ARENA.with(|a| a.borrow_mut().clear());
+    HITS.with(|c| c.set(0));
+    MISSES.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortress_attack::campaign::StrategyKind;
+    use fortress_core::system::SystemClass;
+    use fortress_model::params::Policy;
+
+    use crate::campaign_mc::run_cell_measured;
+    use crate::protocol_mc::ProtocolExperiment;
+
+    fn exp(class: SystemClass) -> ProtocolExperiment {
+        ProtocolExperiment {
+            entropy_bits: 6,
+            omega: 8.0,
+            max_steps: 600,
+            ..ProtocolExperiment::new(class, Policy::StartupOnly)
+        }
+    }
+
+    /// The arena is invisible in the results: trials run against reused
+    /// shells produce the exact outcomes of fresh-built ones, in every
+    /// interleaving of seeds and shapes.
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_builds() {
+        let e2 = exp(SystemClass::S2Fortress);
+        let e1 = exp(SystemClass::S1Pb);
+        let seeds = [3u64, 911, 3, 77, 1_000_003];
+        // Reference pass: cold arena for every trial.
+        let mut want = Vec::new();
+        for &s in &seeds {
+            clear_arena();
+            want.push(run_cell_measured(&e2, StrategyKind::PacedBelowThreshold, s));
+            want.push(e1.run_measured(s));
+        }
+        // Warm pass: one arena across all trials, shapes interleaved.
+        clear_arena();
+        let mut got = Vec::new();
+        for &s in &seeds {
+            got.push(run_cell_measured(&e2, StrategyKind::PacedBelowThreshold, s));
+            got.push(e1.run_measured(s));
+        }
+        let (hits, misses) = arena_stats();
+        assert!(hits >= 8, "warm pass must reuse: {hits} hits / {misses} misses");
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(format!("{w:?}"), format!("{g:?}"), "arena reuse changed a trial");
+        }
+    }
+
+    #[test]
+    fn arena_caps_and_counts() {
+        clear_arena();
+        let e = exp(SystemClass::S2Fortress);
+        run_cell_measured(&e, StrategyKind::PacedBelowThreshold, 1);
+        run_cell_measured(&e, StrategyKind::PacedBelowThreshold, 2);
+        let (hits, misses) = arena_stats();
+        assert_eq!((hits, misses), (1, 1), "second same-shape trial reuses");
+    }
+}

@@ -260,14 +260,21 @@ pub fn run_cell_measured(
     seed: u64,
 ) -> TrialMeasure {
     // Fault dispatch: `None` runs the bare transport (byte-identical to
-    // the pre-axis path — no decorator, no probe, no extra RNG);
-    // `Degraded` wraps the same assembly in the fault decorator and
-    // rides a goodput probe along.
+    // the pre-axis path — no decorator, no probe, no extra RNG), drawn
+    // from the worker's trial arena so a cell's trials rewind one
+    // assembled stack instead of rebuilding; `Degraded` wraps the same
+    // assembly in the fault decorator and rides a goodput probe along.
     match exp.fault {
-        FaultSpec::None => run_cell_on(exp, strategy, seed, exp.build_stack(seed), None),
-        FaultSpec::Degraded { plan, retry } => {
-            run_cell_on(exp, strategy, seed, exp.build_faulty_stack(seed, plan), Some(retry))
-        }
+        FaultSpec::None => crate::arena::with_arena_stack(exp.stack_config(seed), |stack| {
+            run_cell_on(exp, strategy, seed, stack, None)
+        }),
+        FaultSpec::Degraded { plan, retry } => run_cell_on(
+            exp,
+            strategy,
+            seed,
+            &mut exp.build_faulty_stack(seed, plan),
+            Some(retry),
+        ),
     }
 }
 
@@ -279,35 +286,35 @@ fn run_cell_on<T: Transport>(
     exp: &ProtocolExperiment,
     strategy: StrategyKind,
     seed: u64,
-    mut stack: Stack<T>,
+    stack: &mut Stack<T>,
     retry: Option<RetryPolicy>,
 ) -> TrialMeasure {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
     let mut outage = OutageDriver::new(exp.outage, seed);
     let mut adversary = strategy.build(
-        &mut stack,
+        stack,
         "attacker",
         exp.scheme,
         exp.omega,
         exp.suspicion,
         &mut rng,
     );
-    let mut probe = retry.map(|policy| GoodputProbe::new(&mut stack, "probe", policy));
+    let mut probe = retry.map(|policy| GoodputProbe::new(stack, "probe", policy));
     for step in 1..=exp.max_steps {
-        outage.before_step(&mut stack, step);
-        adversary.step(&mut stack, &mut rng);
+        outage.before_step(stack, step);
+        adversary.step(stack, &mut rng);
         if let Some(probe) = probe.as_mut() {
-            probe.step(&mut stack, step);
+            probe.step(stack, step);
         }
         if stack.end_step() != CompromiseState::Intact {
-            return TrialMeasure::of_protocol_trial(exp.max_steps, step, true, &stack)
+            return TrialMeasure::of_protocol_trial(exp.max_steps, step, true, stack)
                 .with_degrade(probe.as_mut().map(GoodputProbe::finish));
         }
         if exp.policy == Policy::Proactive {
             adversary.on_rerandomized(&mut rng);
         }
     }
-    TrialMeasure::of_protocol_trial(exp.max_steps, exp.max_steps, false, &stack)
+    TrialMeasure::of_protocol_trial(exp.max_steps, exp.max_steps, false, stack)
         .with_degrade(probe.as_mut().map(GoodputProbe::finish))
 }
 

@@ -15,32 +15,108 @@
 //! tests in both modules; this engine is what makes simulating expected
 //! lifetimes of ~10⁶ steps (Figure 1's small-α corner) instantaneous.
 
+use crate::runner::trial_seed;
 use fortress_markov::LaunchPad;
 use fortress_model::params::{AttackParams, Policy, ProbeModel};
 use fortress_model::{survival, SystemKind};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// Samples a geometric step count (1-based) with success probability `p`
-/// by inversion.
+/// A geometric hazard with its log-survival denominator precomputed —
+/// the table-driven form of [`sample_geometric`].
 ///
 /// The denominator is `ln(1−p)` computed as `(−p).ln_1p()`: for the tiny
 /// `p` of the small-α corner (`p ≈ 10⁻⁹` and below), `(1.0 - p).ln()`
 /// rounds `1.0 - p` to 1 and collapses to `ln(1) = 0`, turning the
 /// division into ±inf; `ln_1p` keeps full precision down to the smallest
 /// subnormal `p`.
+///
+/// Within a campaign cell `p` is a constant, so the `ln_1p` call — by far
+/// the most expensive instruction of a draw — can be hoisted out of the
+/// trial loop. Two invariants keep the table bit-identical to the
+/// per-call path:
+///
+/// * The cached value is the **denominator**, and [`HazardTable::sample`]
+///   still divides by it. Caching the *reciprocal* and multiplying would
+///   round differently (two roundings instead of one) and silently break
+///   every golden that pins lifetimes.
+/// * [`HazardTable::sample_block`] seeds draw `k` from
+///   [`trial_seed`]`(base_seed, start + k)` — exactly the counter-based
+///   per-trial seeding of [`crate::runner::Runner`] — so a block of `n`
+///   draws equals `n` independent runner trials, regardless of how the
+///   block is split across threads or chunks.
+#[derive(Clone, Copy, Debug)]
+pub struct HazardTable {
+    p: f64,
+    /// `ln(1 − p)` via `ln_1p`; meaningful only for `0 < p < 1`.
+    ln_q: f64,
+}
+
+impl HazardTable {
+    /// Builds the table for per-step success probability `p`.
+    pub fn new(p: f64) -> HazardTable {
+        HazardTable { p, ln_q: (-p).ln_1p() }
+    }
+
+    /// The success probability this table was built for.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples one geometric step count (1-based) by inversion —
+    /// bit-identical to [`sample_geometric`]`(self.p(), rng)`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        if self.p <= 0.0 {
+            return u64::MAX;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let steps = u.ln() / self.ln_q;
+        if steps >= u64::MAX as f64 {
+            return u64::MAX;
+        }
+        steps.ceil().max(1.0) as u64
+    }
+
+    /// Fills `out[k]` with the draw of trial `start + k` under
+    /// `base_seed`: each slot gets its own counter-seeded [`SmallRng`]
+    /// (the runner's seeding rule), so block boundaries cannot affect
+    /// values — `sample_block(s, 0, &mut buf[..n])` splits into any
+    /// partition of sub-blocks and produces identical bits.
+    ///
+    /// The degenerate hazards are hoisted: the block body runs the
+    /// branch-free inversion only, with `p` classified once per call
+    /// rather than once per draw.
+    pub fn sample_block(&self, base_seed: u64, start: u64, out: &mut [u64]) {
+        if self.p >= 1.0 {
+            out.fill(1);
+            return;
+        }
+        if self.p <= 0.0 {
+            out.fill(u64::MAX);
+            return;
+        }
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(base_seed, start + k as u64));
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let steps = u.ln() / self.ln_q;
+            *slot = if steps >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                steps.ceil().max(1.0) as u64
+            };
+        }
+    }
+}
+
+/// Samples a geometric step count (1-based) with success probability `p`
+/// by inversion. One-shot form of [`HazardTable`] — the table is the
+/// single definition of the arithmetic, so the two are bit-identical.
 fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
-    if p >= 1.0 {
-        return 1;
-    }
-    if p <= 0.0 {
-        return u64::MAX;
-    }
-    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let steps = u.ln() / (-p).ln_1p();
-    if steps >= u64::MAX as f64 {
-        return u64::MAX;
-    }
-    steps.ceil().max(1.0) as u64
+    HazardTable::new(p).sample(rng)
 }
 
 /// Samples the discovery step of a key probed at `rate` values per step
@@ -121,6 +197,45 @@ pub fn sample_lifetime<R: Rng + ?Sized>(
             };
             server_step.min(all_proxies)
         }
+    }
+}
+
+/// Samples the lifetimes of trials `start .. start + out.len()` under
+/// `base_seed` into `out` — the batched form of running
+/// [`sample_lifetime`] once per trial through the
+/// [runner](crate::runner::Runner), and bit-identical to it: slot `k` is
+/// exactly what a runner trial with index `start + k` draws, because both
+/// seed the trial's [`SmallRng`] from [`trial_seed`]`(base_seed, start + k)`.
+///
+/// Under [`Policy::Proactive`] the whole lifetime is one geometric draw,
+/// so the block goes through a [`HazardTable`] built once per call: the
+/// `ln_1p` of the hazard is computed once instead of once per trial, and
+/// the inner loop is branch-free. [`Policy::StartupOnly`] lifetimes
+/// combine several draws, so they fall back to per-trial
+/// [`sample_lifetime`] (still counter-seeded, still bit-identical).
+pub fn sample_lifetime_block(
+    kind: SystemKind,
+    policy: Policy,
+    params: &AttackParams,
+    launch_pad: LaunchPad,
+    base_seed: u64,
+    start: u64,
+    out: &mut [u64],
+) {
+    if policy == Policy::Proactive {
+        let p = match kind {
+            SystemKind::S1Pb => survival::s1_po_step(params, ProbeModel::Broadcast),
+            SystemKind::S0Smr => survival::s0_po_step(params, ProbeModel::Broadcast),
+            SystemKind::S2Fortress { kappa } => {
+                survival::s2_po_step(params, ProbeModel::Broadcast, kappa)
+            }
+        };
+        HazardTable::new(p).sample_block(base_seed, start, out);
+        return;
+    }
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(trial_seed(base_seed, start + k as u64));
+        *slot = sample_lifetime(kind, policy, params, launch_pad, &mut rng);
     }
 }
 
@@ -265,6 +380,75 @@ mod tests {
             "mean log-lifetime {} vs {expected}",
             stats.mean()
         );
+    }
+
+    #[test]
+    fn hazard_table_matches_sample_geometric_bit_for_bit() {
+        // The table caches the ln_1p denominator; the draw arithmetic
+        // must stay bit-identical across the whole p range, including
+        // the subnormal-adjacent corner the ln_1p form exists for.
+        for (i, p) in [0.9, 0.25, 1e-3, 1e-9, (2.0f64).powi(-60)].into_iter().enumerate() {
+            let table = HazardTable::new(p);
+            let mut a = StdRng::seed_from_u64(100 + i as u64);
+            let mut b = StdRng::seed_from_u64(100 + i as u64);
+            for _ in 0..1_000 {
+                assert_eq!(sample_geometric(p, &mut a), table.sample(&mut b), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_mode_matches_per_trial_runner_seeding_bit_for_bit() {
+        // A block of n draws must equal n counter-seeded runner trials
+        // for every system/policy pair — the seeding rule is the whole
+        // contract.
+        use crate::runner::trial_seed;
+        use rand::rngs::SmallRng;
+        let p = params(1e-3);
+        let cases: Vec<(SystemKind, Policy)> = vec![
+            (SystemKind::S1Pb, Policy::Proactive),
+            (SystemKind::S0Smr, Policy::Proactive),
+            (SystemKind::S2Fortress { kappa: 0.5 }, Policy::Proactive),
+            (SystemKind::S1Pb, Policy::StartupOnly),
+            (SystemKind::S0Smr, Policy::StartupOnly),
+            (SystemKind::S2Fortress { kappa: 0.5 }, Policy::StartupOnly),
+        ];
+        for (kind, policy) in cases {
+            let base = 0xB10C;
+            let mut block = [0u64; 256];
+            sample_lifetime_block(kind, policy, &p, LaunchPad::NextStep, base, 0, &mut block);
+            for (t, &got) in block.iter().enumerate() {
+                let mut rng = SmallRng::seed_from_u64(trial_seed(base, t as u64));
+                let want = sample_lifetime(kind, policy, &p, LaunchPad::NextStep, &mut rng);
+                assert_eq!(got, want, "{kind:?}/{policy:?} trial {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_boundaries_cannot_change_draws() {
+        // Counter-based seeding makes the block partition irrelevant:
+        // one 512-draw block equals any split into sub-blocks, which is
+        // what lets parallel workers (and work stealing) carve a cell's
+        // trial range at arbitrary chunk boundaries.
+        let table = HazardTable::new(1e-4);
+        let base = 77;
+        let mut whole = [0u64; 512];
+        table.sample_block(base, 0, &mut whole);
+        let mut split = [0u64; 512];
+        for (lo, hi) in [(0usize, 100), (100, 101), (101, 400), (400, 512)] {
+            table.sample_block(base, lo as u64, &mut split[lo..hi]);
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn degenerate_hazards_fill_blocks() {
+        let mut out = [7u64; 16];
+        HazardTable::new(1.0).sample_block(1, 0, &mut out);
+        assert_eq!(out, [1u64; 16]);
+        HazardTable::new(0.0).sample_block(1, 0, &mut out);
+        assert_eq!(out, [u64::MAX; 16]);
     }
 
     #[test]

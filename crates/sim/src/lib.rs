@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod abstract_mc;
+pub mod arena;
 pub mod campaign_mc;
 pub mod event_mc;
 pub mod faults;
@@ -65,8 +66,9 @@ pub mod scenario;
 pub mod stats;
 
 pub use abstract_mc::AbstractModel;
+pub use arena::{arena_stats, clear_arena, with_arena_stack};
 pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
-pub use event_mc::sample_lifetime;
+pub use event_mc::{sample_lifetime, sample_lifetime_block, HazardTable};
 pub use faults::{FaultSpec, GoodputProbe};
 pub use outage::{OutageDriver, OutageSpec};
 pub use protocol_mc::ProtocolExperiment;

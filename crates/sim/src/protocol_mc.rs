@@ -104,8 +104,9 @@ impl ProtocolExperiment {
 
     /// The [`StackConfig`] one trial of this experiment runs under —
     /// shared by the bare and the fault-decorated assembly paths so the
-    /// two can never drift apart.
-    fn stack_config(&self, seed: u64) -> StackConfig {
+    /// two can never drift apart, and by the trial arena, which keys
+    /// stack reuse on the configuration's shape.
+    pub(crate) fn stack_config(&self, seed: u64) -> StackConfig {
         StackConfig {
             class: self.class,
             entropy_bits: self.entropy_bits,
@@ -153,13 +154,16 @@ impl ProtocolExperiment {
             );
         }
         // Fault dispatch: `None` runs the bare transport (byte-identical
-        // to the pre-axis path — no decorator, no probe, no extra RNG);
-        // `Degraded` wraps the same assembly in the fault decorator and
-        // rides a goodput probe along.
+        // to the pre-axis path — no decorator, no probe, no extra RNG),
+        // drawn from the worker's trial arena; `Degraded` wraps the same
+        // assembly in the fault decorator and rides a goodput probe
+        // along.
         match self.fault {
-            FaultSpec::None => self.run_direct_on(seed, self.build_stack(seed), None),
+            FaultSpec::None => crate::arena::with_arena_stack(self.stack_config(seed), |stack| {
+                self.run_direct_on(seed, stack, None)
+            }),
             FaultSpec::Degraded { plan, retry } => {
-                self.run_direct_on(seed, self.build_faulty_stack(seed, plan), Some(retry))
+                self.run_direct_on(seed, &mut self.build_faulty_stack(seed, plan), Some(retry))
             }
         }
     }
@@ -171,35 +175,35 @@ impl ProtocolExperiment {
     fn run_direct_on<T: Transport>(
         &self,
         seed: u64,
-        mut stack: Stack<T>,
+        stack: &mut Stack<T>,
         retry: Option<RetryPolicy>,
     ) -> TrialMeasure {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
         let mut outage = OutageDriver::new(self.outage, seed);
         let mut attacker = DirectAttacker::new(
-            &mut stack,
+            stack,
             "attacker",
             self.scheme,
             self.omega,
             &mut rng,
         );
-        let mut probe = retry.map(|policy| GoodputProbe::new(&mut stack, "probe", policy));
+        let mut probe = retry.map(|policy| GoodputProbe::new(stack, "probe", policy));
         for step in 1..=self.max_steps {
-            outage.before_step(&mut stack, step);
-            attacker.step(&mut stack, &mut rng);
+            outage.before_step(stack, step);
+            attacker.step(stack, &mut rng);
             if let Some(probe) = probe.as_mut() {
-                probe.step(&mut stack, step);
+                probe.step(stack, step);
             }
             let state = stack.end_step();
             if state != CompromiseState::Intact {
-                return TrialMeasure::of_protocol_trial(self.max_steps, step, true, &stack)
+                return TrialMeasure::of_protocol_trial(self.max_steps, step, true, stack)
                     .with_degrade(probe.as_mut().map(GoodputProbe::finish));
             }
             if self.policy == Policy::Proactive {
                 attacker.on_rerandomized(&mut rng);
             }
         }
-        TrialMeasure::of_protocol_trial(self.max_steps, self.max_steps, false, &stack)
+        TrialMeasure::of_protocol_trial(self.max_steps, self.max_steps, false, stack)
             .with_degrade(probe.as_mut().map(GoodputProbe::finish))
     }
 

@@ -151,7 +151,6 @@ fn partition_and_heal_keeps_replicas_convergent() {
 
 /// SimNet-level fault injection: drops and partitions obey their config.
 #[test]
-#[allow(deprecated)] // exercises the single-cut partition shim
 fn simnet_faults_compose() {
     let mut net = SimNet::new(SimConfig {
         seed: 5,
@@ -163,7 +162,7 @@ fn simnet_faults_compose() {
     let c = net.register("c");
 
     // Partition {a} | {b}: a→b drops, a→c flows.
-    net.partition(&[a], &[b]);
+    net.schedule_partition(&[a], &[b], net.now(), u64::MAX, false);
     net.send(a, b, Bytes::from_static(b"x"));
     net.send(a, c, Bytes::from_static(b"y"));
     net.run_until_quiet();
@@ -171,7 +170,7 @@ fn simnet_faults_compose() {
     assert_eq!(net.pending(c), 1);
 
     // Heal, crash c mid-flight: a sees the closure.
-    net.heal();
+    net.clear_partitions();
     net.send(a, c, Bytes::from_static(b"z"));
     net.crash(c);
     net.run_until_quiet();
