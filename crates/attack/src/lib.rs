@@ -23,6 +23,9 @@
 //!   (paced-below-threshold, scan-then-strike, burst, adaptive-backoff),
 //!   enumerated by [`campaign::StrategyKind`] for the grid sweeps in
 //!   `fortress-sim`.
+//! * [`shard`] — cross-shard placement of one probe budget against a
+//!   sharded fleet: concentrate on the hottest shard vs. spread thin
+//!   ([`shard::ShardPlacement`], the fleet sweeps' adversary knob).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +34,10 @@ pub mod attacker;
 pub mod campaign;
 pub mod pacing;
 pub mod scan;
+pub mod shard;
 
 pub use attacker::{AttackReport, DirectAttacker, FortressAttacker};
 pub use campaign::{AdversaryStrategy, StrategyKind};
 pub use pacing::Pacer;
 pub use scan::{KeyScanner, ScanStrategy};
+pub use shard::ShardPlacement;

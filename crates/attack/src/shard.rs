@@ -1,0 +1,91 @@
+//! Cross-shard adversary placement: how one probe budget is spent
+//! against a sharded fortress fleet.
+//!
+//! A fleet of N independent fortress groups multiplies the attacker's
+//! choices without multiplying its budget: ω probes per step can be
+//! **concentrated** on the group that serves the most traffic (the
+//! hottest shard of a skewed key distribution — the biggest blast radius
+//! per compromised key) or **spread thin** across every group (N slower
+//! races, betting on the minimum of N lifetimes). Which placement wins
+//! is exactly the dilution-vs-concentration question the shard axis
+//! exists to answer; the directional expectation (concentrate beats
+//! spread on the hottest shard's lifetime) is pinned by
+//! `fortress-sim`'s shard tests.
+
+/// How a fleet-level adversary splits its probe budget across fortress
+/// groups. Carried on the shard axis of the sweep surface and folded
+/// into cell seeds via [`ShardPlacement::id`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardPlacement {
+    /// The whole budget ω on the hottest shard; other groups see none.
+    Concentrate,
+    /// ω/N per group: every shard raced simultaneously, each slowly.
+    Spread,
+}
+
+impl ShardPlacement {
+    /// Both placements, in canonical axis order.
+    pub const ALL: [ShardPlacement; 2] = [ShardPlacement::Concentrate, ShardPlacement::Spread];
+
+    /// Stable label (used in reports, cell labels and golden files).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardPlacement::Concentrate => "concentrate",
+            ShardPlacement::Spread => "spread",
+        }
+    }
+
+    /// Stable numeric id for content-derived cell seeding.
+    pub fn id(&self) -> u64 {
+        match self {
+            ShardPlacement::Concentrate => 1,
+            ShardPlacement::Spread => 2,
+        }
+    }
+
+    /// The probe budget group `group` faces when the fleet-wide budget
+    /// is `omega`, the hottest shard is `hottest`, and the fleet has
+    /// `groups` groups. Zero means the group is not attacked at all (the
+    /// drive loop skips building an adversary for it).
+    pub fn omega_for_group(&self, omega: f64, group: usize, hottest: usize, groups: usize) -> f64 {
+        match self {
+            ShardPlacement::Concentrate => {
+                if group == hottest {
+                    omega
+                } else {
+                    0.0
+                }
+            }
+            ShardPlacement::Spread => omega / groups as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_conserved_under_both_placements() {
+        for placement in ShardPlacement::ALL {
+            let total: f64 = (0..4)
+                .map(|g| placement.omega_for_group(8.0, g, 2, 4))
+                .sum();
+            assert!((total - 8.0).abs() < 1e-12, "{placement:?} leaks budget");
+        }
+    }
+
+    #[test]
+    fn concentrate_targets_only_the_hottest() {
+        let p = ShardPlacement::Concentrate;
+        assert_eq!(p.omega_for_group(8.0, 2, 2, 4), 8.0);
+        assert_eq!(p.omega_for_group(8.0, 0, 2, 4), 0.0);
+    }
+
+    #[test]
+    fn labels_and_ids_are_stable_and_distinct() {
+        assert_eq!(ShardPlacement::Concentrate.label(), "concentrate");
+        assert_eq!(ShardPlacement::Spread.label(), "spread");
+        assert_ne!(ShardPlacement::Concentrate.id(), ShardPlacement::Spread.id());
+    }
+}

@@ -31,6 +31,13 @@
 //! contributes `fault_cells_per_sec`, `mean_goodput_fraction` and
 //! `mean_retries_per_request`.
 //!
+//! The **shard slice** (`scenario::shard_sweep`: a vacuous coordinate,
+//! both cross-shard placements on a 3-group fleet, and a concentrated
+//! fleet with a mid-trial rebalance) runs the same three-way
+//! bit-identity check and contributes `shard_cells_per_sec` and
+//! `hot_shard_lifetime_ratio` (concentrate/spread mean hottest-shard
+//! lifetime — below 1 when concentrating the probe budget pays).
+//!
 //! The **campaign slice** runs the protocol campaign grid
 //! ([`CampaignGrid::paper_default`]) through its arena-reusing trial
 //! path, contributing `campaign_cells_per_sec`, plus a warm-vs-cold
@@ -45,8 +52,8 @@ use fortress_attack::campaign::StrategyKind;
 use fortress_sim::campaign_mc::{run_cell_measured, CampaignGrid};
 use fortress_sim::runner::{trial_seed, Runner, TrialBudget};
 use fortress_sim::scenario::{
-    availability_sweep, fault_sweep, paper_default_sweep, run_scenario_measured, CrossCheck,
-    SweepCell, SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
+    availability_sweep, fault_sweep, paper_default_sweep, run_scenario_measured, shard_sweep,
+    CrossCheck, SweepCell, SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
 };
 use fortress_sim::clear_arena;
 use std::time::Instant;
@@ -258,6 +265,31 @@ fn main() {
     println!("== fault slice (network-fault axis) ==");
     println!("{}", fault_parallel.to_table().to_aligned());
 
+    // The shard slice: multi-tenant fleet cells through the same three
+    // paths, three-way bit-identity required.
+    let shard_cells = shard_sweep(base_seed);
+    let shard_reference = run_cells_serially(&shard_cells, &Runner::with_threads(1));
+    let shard_serial =
+        SweepScheduler::new(&Runner::with_threads(1), BUDGET).run(&shard_cells);
+    let start = Instant::now();
+    let shard_parallel = SweepScheduler::new(&runner8, BUDGET).run(&shard_cells);
+    let shard_wall = start.elapsed().as_secs_f64();
+    let shard_deterministic = shard_serial.to_json() == shard_parallel.to_json()
+        && shard_reference.to_json() == shard_serial.to_json();
+    assert!(
+        shard_deterministic,
+        "shard sweep reports diverged between the cell-at-a-time reference, \
+         the serial scheduler and the cell-parallel scheduler — determinism \
+         contract broken"
+    );
+    let n_shard_cells = shard_cells.len();
+    let shard_cells_per_sec = n_shard_cells as f64 / shard_wall;
+    let hot_shard_lifetime_ratio = shard_parallel
+        .hot_shard_lifetime_ratio()
+        .expect("the shard slice carries both placements");
+    println!("== shard slice (multi-tenant fleet axis) ==");
+    println!("{}", shard_parallel.to_table().to_aligned());
+
     // The protocol campaign grid through the arena-reusing trial path:
     // `CampaignGrid::run` schedules cells on the shared pool and every
     // trial re-keys a pooled stack shell instead of assembling a fresh
@@ -339,6 +371,13 @@ fn main() {
            \"mean_goodput_fraction\": {mean_goodput:.6},\n    \
            \"mean_retries_per_request\": {mean_retries:.6},\n    \
            \"deterministic_serial_vs_parallel\": {fault_deterministic}\n  }},\n  \
+         \"shards\": {{\n    \
+           \"workload\": \"shard slice: vacuous + 3-group zipf1.2 concentrate/spread + concentrate reb@6 on S2\",\n    \
+           \"cells\": {n_shard_cells},\n    \
+           \"wall_s\": {shard_wall:.4},\n    \
+           \"shard_cells_per_sec\": {shard_cells_per_sec:.2},\n    \
+           \"hot_shard_lifetime_ratio\": {hot_shard_lifetime_ratio:.4},\n    \
+           \"deterministic_serial_vs_parallel\": {shard_deterministic}\n  }},\n  \
          \"campaign\": {{\n    \
            \"workload\": \"paper_default grid: 3 suspicion x 3 fleet x 5 strategies, arena-reused trials\",\n    \
            \"cells\": {n_campaign_cells},\n    \

@@ -32,12 +32,16 @@
 //!   in the examples), integrating randomized processes (`fortress-obf`),
 //!   replication engines (`fortress-replication`) and the proxy/client
 //!   tiers; this is the stack the protocol-level Monte-Carlo drives.
+//! * [`fleet`] — sharded multi-tenant assembly: N independent fortress
+//!   groups over one shared transport, routed by the [`nameserver`]
+//!   key-hash shard directory ([`nameserver::ShardMap`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod error;
+pub mod fleet;
 pub mod messages;
 pub mod nameserver;
 pub mod probelog;
@@ -47,8 +51,9 @@ pub mod wire;
 
 pub use client::{DirectClient, FortressClient};
 pub use error::FortressError;
+pub use fleet::{Fleet, FleetConfig};
 pub use messages::{ClientRequest, ClientRequestRef, ProxyResponse};
-pub use nameserver::{NameServer, ReplicationType};
+pub use nameserver::{NameServer, ReplicationType, ShardMap};
 pub use probelog::{ProbeLog, SuspicionPolicy};
 pub use proxy::{Proxy, ProxyInput, ProxyOutput};
 pub use system::{Availability, CompromiseState, Stack, StackConfig, SystemClass};

@@ -101,6 +101,11 @@ pub struct StackConfig {
     /// Number of PB servers `ns` (S1/S2; the paper uses 3). S0 is fixed at
     /// `n = 3f + 1 = 4` by the SMR quorum arithmetic.
     pub ns: usize,
+    /// Fortress-group index within a sharded fleet (0 for a standalone
+    /// stack). Purely a *shape* tag: it changes no node behavior, but it
+    /// keys trial-arena reuse so a cached fleet shell is only ever rewound
+    /// into the same per-shard position it was assembled for.
+    pub group: usize,
     /// Master seed: network latencies, key draws, principal keys.
     pub seed: u64,
 }
@@ -115,6 +120,7 @@ impl Default for StackConfig {
             suspicion: SuspicionPolicy::default(),
             np: 3,
             ns: 3,
+            group: 0,
             seed: 0,
         }
     }
@@ -136,6 +142,7 @@ impl StackConfig {
             && self.suspicion == other.suspicion
             && self.np == other.np
             && self.ns == other.ns
+            && self.group == other.group
     }
 }
 
@@ -470,10 +477,28 @@ impl<T: Transport> Stack<T> {
     where
         T: TrialReset,
     {
+        let keep = self.node_endpoint_count();
+        self.net.trial_reset(seed ^ 0x5eed, keep);
+        self.reset_nodes(seed);
+    }
+
+    /// Number of node endpoints (proxies + servers) this stack registered
+    /// on its transport — the per-group slice of a shared net's
+    /// trial-reset watermark.
+    pub fn node_endpoint_count(&self) -> usize {
+        self.proxies.len() + self.pb_servers.len() + self.smr_servers.len()
+    }
+
+    /// The node-side half of [`Stack::reset`]: re-keys and clears every
+    /// daemon, engine and counter exactly as `reset` does, **without**
+    /// touching the transport. A standalone stack never calls this
+    /// directly; a fleet does — its groups share one transport, which the
+    /// fleet rewinds *once* (with the fleet-wide endpoint watermark)
+    /// before resetting each group's nodes in registration order, so the
+    /// combined replay is bit-identical to a fresh fleet assembly.
+    pub fn reset_nodes(&mut self, seed: u64) {
         use rand::SeedableRng;
         self.cfg.seed = seed;
-        let keep = self.proxies.len() + self.pb_servers.len() + self.smr_servers.len();
-        self.net.trial_reset(seed ^ 0x5eed, keep);
         self.rng = rand::rngs::StdRng::seed_from_u64(seed);
         self.authority.reset_with_seed(seed ^ 0xca11);
 

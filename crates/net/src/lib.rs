@@ -94,6 +94,7 @@ pub mod addr;
 pub mod codec;
 pub mod event;
 pub mod fault;
+pub mod shared;
 pub mod sim;
 pub mod threaded;
 pub mod transport;
@@ -102,6 +103,7 @@ pub mod wire;
 pub use addr::Addr;
 pub use event::{NetEvent, NetStats};
 pub use fault::{FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
+pub use shared::SharedNet;
 pub use sim::{Latency, SimConfig, SimNet};
 pub use threaded::{NetHandle, ThreadNet};
 pub use transport::{Transport, TrialReset};

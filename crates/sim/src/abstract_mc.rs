@@ -6,14 +6,21 @@
 //! attacker's per-remaining-key hazard at step `i` is `ω/(χ − (i−1)ω)`; a
 //! PO defender resets keys (and the attacker's eliminations) every step.
 //!
-//! This engine costs O(steps) per trial — use it to validate the O(1)
+//! The SO paths cost O(steps) per trial — use them to validate the O(1)
 //! event-driven sampler and the closed forms, not for the `α = 10⁻⁵`
-//! corner of Figure 1.
+//! corner of Figure 1. Under PO the per-step state resets completely, so
+//! the step loop collapses to one geometric draw: those branches go
+//! through [`HazardTable`] with the per-step hazard assembled in closed
+//! form, making PO trials O(1) here too (and block-samplable via
+//! [`AbstractModel::simulate_block`]).
 
+use crate::event_mc::HazardTable;
+use crate::runner::trial_seed;
 use fortress_markov::LaunchPad;
 use fortress_model::params::{AttackParams, Policy};
 use fortress_model::SystemKind;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Abstract-model Monte-Carlo configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -73,11 +80,72 @@ impl AbstractModel {
 
     /// Simulates one trial; returns the step index (1-based) at which the
     /// system was compromised, capped at `max_steps`.
+    ///
+    /// PO trials are memoryless — every step sees the same hazard — so
+    /// they are one [`HazardTable`] draw; SO trials walk the steps.
     pub fn simulate_once<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.policy == Policy::Proactive {
+            return HazardTable::new(self.po_step_hazard())
+                .sample(rng)
+                .min(self.max_steps);
+        }
         match self.kind {
             SystemKind::S1Pb => self.run_shared_key(rng, 1.0),
             SystemKind::S0Smr => self.run_s0(rng),
             SystemKind::S2Fortress { kappa } => self.run_s2(rng, kappa),
+        }
+    }
+
+    /// Fills `out[k]` with the lifetime of trial `start + k` under
+    /// `base_seed` — the batched form of running [`simulate_once`] once
+    /// per trial through the [runner](crate::runner::Runner), and
+    /// bit-identical to it: both seed trial `start + k`'s [`SmallRng`]
+    /// from [`trial_seed`]`(base_seed, start + k)`, so block boundaries
+    /// cannot affect values.
+    ///
+    /// PO blocks go through [`HazardTable::sample_block`] (the hazard and
+    /// its `ln_1p` computed once per call); SO trials keep step-by-step
+    /// fidelity per slot.
+    ///
+    /// [`simulate_once`]: AbstractModel::simulate_once
+    pub fn simulate_block(&self, base_seed: u64, start: u64, out: &mut [u64]) {
+        if self.policy == Policy::Proactive {
+            HazardTable::new(self.po_step_hazard()).sample_block(base_seed, start, out);
+            for slot in out.iter_mut() {
+                *slot = (*slot).min(self.max_steps);
+            }
+            return;
+        }
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(trial_seed(base_seed, start + k as u64));
+            *slot = self.simulate_once(&mut rng);
+        }
+    }
+
+    /// The constant per-step compromise probability under PO, assembled
+    /// from the same per-key hazards the step loop would draw:
+    ///
+    /// * S1 — the one shared key falls: `h`;
+    /// * S0 — ≥ 2 of 4 keys land in the same step (a step starts with
+    ///   all four hidden): `1 − (1−h)⁴ − 4h(1−h)³`;
+    /// * S2 — the server key falls at the indirect rate `κω` or all
+    ///   three proxies land together: `1 − (1−hs)(1 − hp³)`. The launch
+    ///   pad never activates under PO — it requires a proxy *held at the
+    ///   start of a step*, and PO wipes the proxies every step.
+    fn po_step_hazard(&self) -> f64 {
+        let omega = self.params.omega();
+        match self.kind {
+            SystemKind::S1Pb => self.hazard(0.0, omega),
+            SystemKind::S0Smr => {
+                let h = self.hazard(0.0, omega);
+                let q = 1.0 - h;
+                1.0 - q.powi(4) - 4.0 * h * q.powi(3)
+            }
+            SystemKind::S2Fortress { kappa } => {
+                let hs = self.hazard(0.0, kappa * omega);
+                let hp = self.hazard(0.0, omega);
+                1.0 - (1.0 - hs) * (1.0 - hp.powi(3))
+            }
         }
     }
 
@@ -89,7 +157,8 @@ impl AbstractModel {
         (rate / remaining).clamp(0.0, 1.0)
     }
 
-    /// S1: one shared key probed by a broadcast stream at rate `scale·ω`.
+    /// S1 under SO: one shared key probed without replacement by a
+    /// broadcast stream at rate `scale·ω`.
     fn run_shared_key<R: Rng + ?Sized>(&self, rng: &mut R, scale: f64) -> u64 {
         let omega = self.params.omega() * scale;
         let mut eliminated = 0.0;
@@ -98,45 +167,39 @@ impl AbstractModel {
             if rng.gen::<f64>() < h {
                 return step;
             }
-            match self.policy {
-                Policy::Proactive => { /* fresh key, fresh guesses */ }
-                Policy::StartupOnly => eliminated += omega,
-            }
+            eliminated += omega;
         }
         self.max_steps
     }
 
-    /// S0: four distinct keys; compromised when two are simultaneously
-    /// uncovered (PO: within one step; SO: cumulatively).
+    /// S0 under SO: four distinct keys, cumulatively uncovered;
+    /// compromised when two are held at once.
     fn run_s0<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let omega = self.params.omega();
         let mut eliminated = 0.0;
         let mut found = [false; 4];
         for step in 1..=self.max_steps {
             let h = self.hazard(eliminated, omega);
-            let mut this_step = 0;
+            let mut held = 0;
             for f in &mut found {
                 if !*f && rng.gen::<f64>() < h {
                     *f = true;
                 }
                 if *f {
-                    this_step += 1;
+                    held += 1;
                 }
             }
-            if this_step >= 2 {
+            if held >= 2 {
                 return step;
             }
-            match self.policy {
-                Policy::Proactive => found = [false; 4],
-                Policy::StartupOnly => eliminated += omega,
-            }
+            eliminated += omega;
         }
         self.max_steps
     }
 
-    /// S2: three distinct proxy keys (direct stream at ω) plus one shared
-    /// server key (indirect stream at κω, plus the pad's ω once a proxy is
-    /// held at the start of a step).
+    /// S2 under SO: three distinct proxy keys (direct stream at ω) plus
+    /// one shared server key (indirect stream at κω, plus the pad's ω
+    /// once a proxy is held at the start of a step).
     fn run_s2<R: Rng + ?Sized>(&self, rng: &mut R, kappa: f64) -> u64 {
         let omega = self.params.omega();
         let mut proxy_eliminated = 0.0;
@@ -166,13 +229,8 @@ impl AbstractModel {
             if proxies.iter().all(|p| *p) {
                 return step;
             }
-            match self.policy {
-                Policy::Proactive => proxies = [false; 3],
-                Policy::StartupOnly => {
-                    proxy_eliminated += omega;
-                    server_eliminated += server_rate;
-                }
-            }
+            proxy_eliminated += omega;
+            server_eliminated += server_rate;
         }
         self.max_steps
     }
@@ -307,6 +365,86 @@ mod tests {
             e_with.mean < e_without.mean,
             "pads must shorten lifetimes: {e_with:?} vs {e_without:?}"
         );
+    }
+
+    #[test]
+    fn s0_po_matches_closed_form() {
+        let alpha = 0.02;
+        let model = AbstractModel::new(SystemKind::S0Smr, Policy::Proactive, params(alpha));
+        let est = estimate(&model, 4000, 8);
+        let analytic = expected_lifetime(
+            SystemKind::S0Smr,
+            Policy::Proactive,
+            ProbeModel::Broadcast,
+            &params(alpha),
+        )
+        .unwrap();
+        assert!(
+            (est.mean - analytic).abs() / analytic < 0.06,
+            "MC {est:?} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn block_mode_matches_per_trial_seeding_bit_for_bit() {
+        // A block of n trials must equal n counter-seeded runner trials
+        // for every system/policy pair — PO goes through
+        // HazardTable::sample_block, SO through per-slot walkers, and
+        // both must land on the runner's exact bits.
+        use rand::rngs::SmallRng;
+        let cases: Vec<(SystemKind, Policy)> = vec![
+            (SystemKind::S1Pb, Policy::Proactive),
+            (SystemKind::S0Smr, Policy::Proactive),
+            (SystemKind::S2Fortress { kappa: 0.5 }, Policy::Proactive),
+            (SystemKind::S1Pb, Policy::StartupOnly),
+            (SystemKind::S0Smr, Policy::StartupOnly),
+            (SystemKind::S2Fortress { kappa: 0.5 }, Policy::StartupOnly),
+        ];
+        for (kind, policy) in cases {
+            let model = AbstractModel::new(kind, policy, params(0.02));
+            let base = 0xAB_B10C;
+            let mut block = [0u64; 256];
+            model.simulate_block(base, 0, &mut block);
+            for (t, &got) in block.iter().enumerate() {
+                let mut rng =
+                    SmallRng::seed_from_u64(crate::runner::trial_seed(base, t as u64));
+                let want = model.simulate_once(&mut rng);
+                assert_eq!(got, want, "{kind:?}/{policy:?} trial {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_boundaries_cannot_change_abstract_draws() {
+        // Counter seeding makes the partition irrelevant, so workers can
+        // carve a cell's trial range at arbitrary chunk boundaries.
+        let model = AbstractModel::new(
+            SystemKind::S2Fortress { kappa: 0.5 },
+            Policy::Proactive,
+            params(0.02),
+        );
+        let base = 0xAB_0002;
+        let mut whole = [0u64; 300];
+        model.simulate_block(base, 0, &mut whole);
+        let mut split = [0u64; 300];
+        for (lo, hi) in [(0usize, 7), (7, 130), (130, 131), (131, 300)] {
+            model.simulate_block(base, lo as u64, &mut split[lo..hi]);
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn po_block_respects_max_steps_cap() {
+        let mut model = AbstractModel::new(
+            SystemKind::S1Pb,
+            Policy::Proactive,
+            AttackParams::from_alpha(1e9, 1e-9).unwrap(),
+        );
+        model.max_steps = 40;
+        let mut block = [0u64; 64];
+        model.simulate_block(3, 0, &mut block);
+        assert!(block.iter().all(|&t| t <= 40), "cap must clamp block draws");
+        assert!(block.contains(&40), "tiny hazard must hit the cap");
     }
 
     #[test]

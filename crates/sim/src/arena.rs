@@ -21,6 +21,7 @@
 
 use std::cell::{Cell, RefCell};
 
+use fortress_core::fleet::{Fleet, FleetConfig};
 use fortress_core::system::{Stack, StackConfig};
 use fortress_net::sim::SimNet;
 
@@ -33,6 +34,9 @@ thread_local! {
     static ARENA: RefCell<Vec<Stack<SimNet>>> = const { RefCell::new(Vec::new()) };
     static HITS: Cell<u64> = const { Cell::new(0) };
     static MISSES: Cell<u64> = const { Cell::new(0) };
+    static FLEET_ARENA: RefCell<Vec<Fleet<SimNet>>> = const { RefCell::new(Vec::new()) };
+    static FLEET_HITS: Cell<u64> = const { Cell::new(0) };
+    static FLEET_MISSES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Runs `f` against a stack assembled under `cfg`, drawing it from this
@@ -68,18 +72,61 @@ pub fn with_arena_stack<R>(cfg: StackConfig, f: impl FnOnce(&mut Stack<SimNet>) 
     out
 }
 
+/// The fleet analogue of [`with_arena_stack`]: runs `f` against a
+/// [`Fleet`] assembled under `cfg`, rewinding a cached same-shaped
+/// fleet (keyed on [`FleetConfig::same_shape`] — group count plus
+/// per-group shape) via [`Fleet::reset`] when one is available. Sharded
+/// cells' fault-free trials all come through here, so a cell's trials
+/// rewind one assembled fleet instead of rebuilding N stacks each.
+pub fn with_arena_fleet<R>(cfg: FleetConfig, f: impl FnOnce(&mut Fleet<SimNet>) -> R) -> R {
+    let cached = FLEET_ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.iter()
+            .position(|fl| fl.config().same_shape(&cfg))
+            .map(|i| a.swap_remove(i))
+    });
+    let mut fleet = match cached {
+        Some(mut fl) => {
+            FLEET_HITS.with(|c| c.set(c.get() + 1));
+            fl.reset(cfg.stack.seed);
+            fl
+        }
+        None => {
+            FLEET_MISSES.with(|c| c.set(c.get() + 1));
+            Fleet::new(cfg).expect("fleet assembly is validated by construction")
+        }
+    };
+    let out = f(&mut fleet);
+    FLEET_ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.len() < ARENA_CAP {
+            a.push(fleet);
+        }
+    });
+    out
+}
+
 /// This thread's arena counters: `(reuse hits, fresh builds)`. Purely
 /// diagnostic — the bench binaries report the reuse rate with them.
 pub fn arena_stats() -> (u64, u64) {
     (HITS.with(Cell::get), MISSES.with(Cell::get))
 }
 
-/// Drops this thread's cached stacks and zeroes its counters — for
-/// benches that compare cold (fresh-build) against warm (reuse) paths.
+/// This thread's **fleet**-arena counters: `(reuse hits, fresh builds)`.
+pub fn fleet_arena_stats() -> (u64, u64) {
+    (FLEET_HITS.with(Cell::get), FLEET_MISSES.with(Cell::get))
+}
+
+/// Drops this thread's cached stacks and fleets and zeroes the
+/// counters — for benches that compare cold (fresh-build) against warm
+/// (reuse) paths.
 pub fn clear_arena() {
     ARENA.with(|a| a.borrow_mut().clear());
     HITS.with(|c| c.set(0));
     MISSES.with(|c| c.set(0));
+    FLEET_ARENA.with(|a| a.borrow_mut().clear());
+    FLEET_HITS.with(|c| c.set(0));
+    FLEET_MISSES.with(|c| c.set(0));
 }
 
 #[cfg(test)]
@@ -127,6 +174,38 @@ mod tests {
         assert!(hits >= 8, "warm pass must reuse: {hits} hits / {misses} misses");
         for (w, g) in want.iter().zip(&got) {
             assert_eq!(format!("{w:?}"), format!("{g:?}"), "arena reuse changed a trial");
+        }
+    }
+
+    /// Fleet reuse is equally invisible: sharded trials against rewound
+    /// fleets reproduce fresh-built fleets bit-for-bit.
+    #[test]
+    fn fleet_arena_reuse_is_bit_identical_to_fresh_builds() {
+        use fortress_attack::shard::ShardPlacement;
+        use crate::fleet_mc::{run_fleet_measured, ShardSpec};
+        let mut e = exp(SystemClass::S2Fortress);
+        e.max_steps = 60;
+        e.shard = ShardSpec::Sharded {
+            shards: 2,
+            zipf_s: 1.2,
+            placement: ShardPlacement::Concentrate,
+            rebalance_at: 20,
+        };
+        let seeds = [5u64, 1009, 5, 33];
+        let mut want = Vec::new();
+        for &s in &seeds {
+            clear_arena();
+            want.push(run_fleet_measured(&e, StrategyKind::PacedBelowThreshold, s));
+        }
+        clear_arena();
+        let mut got = Vec::new();
+        for &s in &seeds {
+            got.push(run_fleet_measured(&e, StrategyKind::PacedBelowThreshold, s));
+        }
+        let (hits, misses) = fleet_arena_stats();
+        assert_eq!((hits, misses), (3, 1), "warm pass must reuse the fleet shell");
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(format!("{w:?}"), format!("{g:?}"), "fleet reuse changed a trial");
         }
     }
 

@@ -259,6 +259,13 @@ pub fn run_cell_measured(
     strategy: StrategyKind,
     seed: u64,
 ) -> TrialMeasure {
+    // Shard dispatch first: a non-vacuous shard coordinate runs the cell
+    // as a fleet behind the key-hash directory (`fleet_mc`), which does
+    // its own fault dispatch. `ShardSpec::None` falls through to the
+    // exact pre-axis single-stack path below.
+    if !exp.shard.is_none() {
+        return crate::fleet_mc::run_fleet_measured(exp, strategy, seed);
+    }
     // Fault dispatch: `None` runs the bare transport (byte-identical to
     // the pre-axis path — no decorator, no probe, no extra RNG), drawn
     // from the worker's trial arena so a cell's trials rewind one

@@ -26,6 +26,7 @@
 //! declarative [`scenario::SweepSpec`] axis builder (class × SO/PO ×
 //! entropy × suspicion × fleet × strategy × [`outage`] schedule — the
 //! availability axis — × [`faults`] schedule — the network-fault
+//! axis — × [`fleet_mc`] shard coordinate — the multi-tenant shard
 //! axis), a cell-parallel [`scenario::SweepScheduler`]
 //! that runs sweep cells as first-class jobs on the shared worker pool,
 //! and a [`scenario::CrossCheck`] that validates protocol cells against
@@ -58,6 +59,7 @@ pub mod arena;
 pub mod campaign_mc;
 pub mod event_mc;
 pub mod faults;
+pub mod fleet_mc;
 pub mod outage;
 pub mod protocol_mc;
 pub mod report;
@@ -66,14 +68,15 @@ pub mod scenario;
 pub mod stats;
 
 pub use abstract_mc::AbstractModel;
-pub use arena::{arena_stats, clear_arena, with_arena_stack};
+pub use arena::{arena_stats, clear_arena, fleet_arena_stats, with_arena_fleet, with_arena_stack};
 pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::{sample_lifetime, sample_lifetime_block, HazardTable};
 pub use faults::{FaultSpec, GoodputProbe};
+pub use fleet_mc::{run_fleet_measured, ShardProbe, ShardSpec, ZipfWorkload};
 pub use outage::{OutageDriver, OutageSpec};
 pub use protocol_mc::ProtocolExperiment;
 pub use runner::{Runner, RunnerError, TrialBudget};
 pub use scenario::{
     CrossCheck, Scenario, ScenarioSpec, SweepCell, SweepReport, SweepScheduler, SweepSpec,
 };
-pub use stats::{AvailPoint, AvailStats, Estimate, RunningStats};
+pub use stats::{AvailPoint, AvailStats, Estimate, RunningStats, ShardPoint};

@@ -54,6 +54,12 @@ pub struct ProtocolExperiment {
     /// fault axis; [`FaultSpec::None`] preserves the pre-axis behavior
     /// and seeds bit-for-bit — no decorator, no goodput probe).
     pub fault: FaultSpec,
+    /// Shard coordinate: run the cell as a multi-group fleet behind the
+    /// key-hash directory (the shard axis;
+    /// [`ShardSpec::None`](crate::fleet_mc::ShardSpec) preserves the
+    /// pre-axis behavior and seeds bit-for-bit — no fleet, no workload).
+    /// S2 campaign cells only; the 1-tier paths ignore it.
+    pub shard: crate::fleet_mc::ShardSpec,
 }
 
 impl ProtocolExperiment {
@@ -73,6 +79,7 @@ impl ProtocolExperiment {
             max_steps: 50_000,
             outage: OutageSpec::None,
             fault: FaultSpec::None,
+            shard: crate::fleet_mc::ShardSpec::None,
         }
     }
 

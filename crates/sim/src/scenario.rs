@@ -112,6 +112,7 @@ use crate::abstract_mc::AbstractModel;
 use crate::campaign_mc::run_cell_measured;
 use crate::event_mc::sample_lifetime;
 use crate::faults::FaultSpec;
+use crate::fleet_mc::ShardSpec;
 use crate::outage::OutageSpec;
 use crate::protocol_mc::ProtocolExperiment;
 use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
@@ -177,6 +178,7 @@ impl TrialMeasure {
                 failover_latency: avail.mean_failover_latency(),
                 lost_requests: avail.lost_requests as f64,
                 degrade: None,
+                shard: None,
             }),
         }
     }
@@ -186,6 +188,15 @@ impl TrialMeasure {
     pub fn with_degrade(mut self, degrade: Option<crate::stats::DegradePoint>) -> TrialMeasure {
         if let Some(avail) = self.avail.as_mut() {
             avail.degrade = degrade;
+        }
+        self
+    }
+
+    /// Attaches a shard point (fleet-level observables of a sharded
+    /// trial) to the availability measurement, if one exists.
+    pub fn with_shard(mut self, shard: Option<crate::stats::ShardPoint>) -> TrialMeasure {
+        if let Some(avail) = self.avail.as_mut() {
+            avail.shard = shard;
         }
         self
     }
@@ -242,12 +253,13 @@ impl Scenario for AbstractModel {
 impl Scenario for ProtocolExperiment {
     fn label(&self) -> String {
         format!(
-            "protocol {} {} chi=2^{}{}{}",
+            "protocol {} {} chi=2^{}{}{}{}",
             class_label(self.class),
             self.policy.suffix(),
             self.entropy_bits,
             outage_suffix(self.outage),
             fault_suffix(self.fault),
+            shard_suffix(self.shard),
         )
     }
 
@@ -305,7 +317,7 @@ impl Scenario for ScenarioSpec {
             ),
             ScenarioSpec::Protocol(e) => e.label(),
             ScenarioSpec::Campaign { experiment: e, strategy } => format!(
-                "{} {} chi=2^{} w={}/t={} np={} {}{}{}",
+                "{} {} chi=2^{} w={}/t={} np={} {}{}{}{}",
                 class_label(e.class),
                 e.policy.suffix(),
                 e.entropy_bits,
@@ -315,6 +327,7 @@ impl Scenario for ScenarioSpec {
                 strategy.display_label(),
                 outage_suffix(e.outage),
                 fault_suffix(e.fault),
+                shard_suffix(e.shard),
             ),
         }
     }
@@ -470,7 +483,7 @@ impl SweepCell {
     }
 }
 
-/// A declarative sweep: eight axes over a shared experiment template,
+/// A declarative sweep: nine axes over a shared experiment template,
 /// compiled to a flat, content-seeded cell list.
 ///
 /// For [`SystemClass::S2Fortress`] the full cartesian product of
@@ -498,6 +511,10 @@ pub struct SweepSpec {
     /// Network-fault axis (every class — faults live at the transport
     /// layer, below the replication scheme).
     pub faults: Vec<FaultSpec>,
+    /// Shard axis (S2 cells only — the fleet multiplies fortress
+    /// *groups*, which only the fortified class deploys as tenants
+    /// behind the key-hash directory).
+    pub shards: Vec<ShardSpec>,
     /// Shared experiment template; each cell overrides the swept fields.
     pub base: ProtocolExperiment,
 }
@@ -515,6 +532,7 @@ impl SweepSpec {
             strategies: vec![StrategyKind::PacedBelowThreshold],
             outages: vec![base.outage],
             faults: vec![base.fault],
+            shards: vec![base.shard],
             base,
         }
     }
@@ -567,15 +585,22 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the shard axis (the multi-tenant fleet dimension).
+    pub fn shards(mut self, shards: Vec<ShardSpec>) -> SweepSpec {
+        self.shards = shards;
+        self
+    }
+
     /// Compiles the axes to the flat cell list in axis-major order
     /// (class, policy, entropy, suspicion, fleet, strategy, outage,
-    /// fault). The order is presentation only — every cell's seed
-    /// derives from its content, so reordering or subsetting axes
+    /// fault, shard). The order is presentation only — every cell's
+    /// seed derives from its content, so reordering or subsetting axes
     /// changes no cell's trials. Vacuous axes collapse: 1-tier classes
-    /// skip suspicion / fleet / strategy (no proxy tier), and S0
-    /// additionally skips the outage axis (no PB tier to take down).
-    /// The fault axis applies to every class — network faults live at
-    /// the transport layer, below the replication scheme.
+    /// skip suspicion / fleet / strategy **and the shard axis** (only
+    /// the fortified class deploys fleet tenants), and S0 additionally
+    /// skips the outage axis (no PB tier to take down). The fault axis
+    /// applies to every class — network faults live at the transport
+    /// layer, below the replication scheme.
     pub fn compile(&self, base_seed: u64) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         for &class in &self.classes {
@@ -587,20 +612,26 @@ impl SweepSpec {
                                 for &strategy in &self.strategies {
                                     for &outage in &self.outages {
                                         for &fault in &self.faults {
-                                            let experiment = ProtocolExperiment {
-                                                class,
-                                                policy,
-                                                entropy_bits,
-                                                suspicion,
-                                                np,
-                                                outage,
-                                                fault,
-                                                ..self.base
-                                            };
-                                            cells.push(SweepCell::of(
-                                                ScenarioSpec::Campaign { experiment, strategy },
-                                                base_seed,
-                                            ));
+                                            for &shard in &self.shards {
+                                                let experiment = ProtocolExperiment {
+                                                    class,
+                                                    policy,
+                                                    entropy_bits,
+                                                    suspicion,
+                                                    np,
+                                                    outage,
+                                                    fault,
+                                                    shard,
+                                                    ..self.base
+                                                };
+                                                cells.push(SweepCell::of(
+                                                    ScenarioSpec::Campaign {
+                                                        experiment,
+                                                        strategy,
+                                                    },
+                                                    base_seed,
+                                                ));
+                                            }
                                         }
                                     }
                                 }
@@ -620,6 +651,7 @@ impl SweepSpec {
                                     entropy_bits,
                                     outage,
                                     fault,
+                                    shard: ShardSpec::None,
                                     ..self.base
                                 };
                                 cells.push(SweepCell::of(
@@ -768,6 +800,51 @@ pub fn fault_base(class: SystemClass) -> ProtocolExperiment {
     }
 }
 
+/// The shard slice the `campaign` bench and CI smoke run: a vacuous
+/// coordinate (the exact single-stack pre-axis path, doubling as a
+/// passthrough check), a 3-group fleet under both cross-shard
+/// placements, and a concentrated fleet with a mid-trial rebalance —
+/// all on the fortified S2 under a rate-disciplined adversary.
+pub fn shard_sweep(base_seed: u64) -> Vec<SweepCell> {
+    let shards = vec![
+        ShardSpec::None,
+        ShardSpec::Sharded {
+            shards: 3,
+            zipf_s: 1.2,
+            placement: fortress_attack::shard::ShardPlacement::Concentrate,
+            rebalance_at: 0,
+        },
+        ShardSpec::Sharded {
+            shards: 3,
+            zipf_s: 1.2,
+            placement: fortress_attack::shard::ShardPlacement::Spread,
+            rebalance_at: 0,
+        },
+        ShardSpec::Sharded {
+            shards: 3,
+            zipf_s: 1.2,
+            placement: fortress_attack::shard::ShardPlacement::Concentrate,
+            rebalance_at: 6,
+        },
+    ];
+    SweepSpec::new(shard_base()).shards(shards).compile(base_seed)
+}
+
+/// The shared experiment template of the shard slice — one definition,
+/// reused by [`shard_sweep`], the directional placement tests and the
+/// shard-sweep example. Fall-biased (narrow key space, full-rate
+/// attacker) so the hottest-shard lifetime signal lands inside the
+/// mission window instead of censoring at it.
+pub fn shard_base() -> ProtocolExperiment {
+    ProtocolExperiment {
+        entropy_bits: 7,
+        omega: 8.0,
+        max_steps: 400,
+        suspicion: SuspicionPolicy { window: 16, threshold: 8 },
+        ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+    }
+}
+
 /// The measured outcome of one sweep cell.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -829,10 +906,13 @@ impl SweepReport {
     /// availability columns included (`-` where a cell's scenario has no
     /// availability dimension). The degradation columns (goodput,
     /// retries, duplicate suppression, give-ups) appear only when some
-    /// cell ran under a fault plan — sweeps without the fault axis keep
-    /// the exact pre-axis column set, which the golden files pin.
+    /// cell ran under a fault plan, and the shard columns (hottest-shard
+    /// lifetime/load, moved requests, fallen groups) only when some cell
+    /// ran sharded — sweeps without those axes keep the exact pre-axis
+    /// column set, which the golden files pin.
     pub fn to_table(&self) -> CsvTable {
         let degraded = self.cells.iter().any(|o| o.avail.goodput.n() > 0);
+        let sharded = self.cells.iter().any(|o| o.avail.hot_lifetime.n() > 0);
         let mut headers = vec![
             "cell",
             "kappa",
@@ -848,6 +928,9 @@ impl SweepReport {
         ];
         if degraded {
             headers.extend(["goodput", "retries_per_req", "dup_suppressed", "gave_up"]);
+        }
+        if sharded {
+            headers.extend(["hot_lifetime", "hot_load", "moved_requests", "groups_fallen"]);
         }
         let mut table = CsvTable::new(&headers);
         for o in &self.cells {
@@ -870,6 +953,14 @@ impl SweepReport {
                     fmt_avail(&o.avail.retries),
                     fmt_avail(&o.avail.dup_suppressed),
                     fmt_avail(&o.avail.gave_up),
+                ]);
+            }
+            if sharded {
+                row.extend([
+                    fmt_avail(&o.avail.hot_lifetime),
+                    fmt_avail(&o.avail.hot_load),
+                    fmt_avail(&o.avail.moved),
+                    fmt_avail(&o.avail.groups_fallen),
                 ]);
             }
             table.push_row(row);
@@ -895,7 +986,8 @@ impl SweepReport {
                 "{{\"cell\":\"{}\",\"kappa\":{},\"mean\":{},\"n\":{},\"censored\":{},\
                  \"downtime\":{},\"failovers\":{},\"failover_latency\":{},\
                  \"lost_requests\":{},\"goodput\":{},\"retries\":{},\
-                 \"dup_suppressed\":{},\"gave_up\":{}}}",
+                 \"dup_suppressed\":{},\"gave_up\":{},\"hot_lifetime\":{},\
+                 \"hot_load\":{},\"moved_requests\":{},\"groups_fallen\":{}}}",
                 o.cell.label,
                 kappa,
                 o.estimate.mean,
@@ -909,6 +1001,10 @@ impl SweepReport {
                 avail_json(&o.avail.retries),
                 avail_json(&o.avail.dup_suppressed),
                 avail_json(&o.avail.gave_up),
+                avail_json(&o.avail.hot_lifetime),
+                avail_json(&o.avail.hot_load),
+                avail_json(&o.avail.moved),
+                avail_json(&o.avail.groups_fallen),
             ));
         }
         out.push(']');
@@ -952,6 +1048,28 @@ impl SweepReport {
             }
         }
         (acc.n() > 0).then(|| acc.mean())
+    }
+
+    /// Ratio of the mean hottest-shard lifetime under concentrated vs
+    /// spread placement, across the sharded cells whose labels say which
+    /// placement they ran (`None` unless both placements appear) — the
+    /// shard-axis headline the campaign bench emits: below 1.0 means
+    /// concentrating the probe budget kills the hottest shard faster.
+    pub fn hot_shard_lifetime_ratio(&self) -> Option<f64> {
+        let mut conc = RunningStats::new();
+        let mut spread = RunningStats::new();
+        for o in &self.cells {
+            if o.avail.hot_lifetime.n() == 0 {
+                continue;
+            }
+            if o.cell.label.contains("concentrate") {
+                conc.push(o.avail.hot_lifetime.mean());
+            } else if o.cell.label.contains("spread") {
+                spread.push(o.avail.hot_lifetime.mean());
+            }
+        }
+        (conc.n() > 0 && spread.n() > 0 && spread.mean() > 0.0)
+            .then(|| conc.mean() / spread.mean())
     }
 }
 
@@ -1300,6 +1418,16 @@ fn fault_suffix(fault: FaultSpec) -> String {
     }
 }
 
+/// Shard suffix for cell labels: empty for `None` (legacy labels are
+/// preserved verbatim), ` shard=<groups+skew+placement>` otherwise.
+fn shard_suffix(shard: ShardSpec) -> String {
+    if shard.is_none() {
+        String::new()
+    } else {
+        format!(" shard={}", shard.label())
+    }
+}
+
 /// Short class label for cell names.
 fn class_label(class: SystemClass) -> &'static str {
     match class {
@@ -1335,11 +1463,11 @@ fn pad_id(pad: LaunchPad) -> u64 {
     }
 }
 
-/// Folds every seeded parameter of a protocol experiment. The outage
-/// and fault schedules fold last (in that order), and both `None`
-/// coordinates fold nothing — so every pre-axis cell keeps its pinned
-/// seed, while any two cells differing in any outage, fault, or retry
-/// parameter draw decorrelated trial streams.
+/// Folds every seeded parameter of a protocol experiment. The outage,
+/// fault and shard coordinates fold last (in that order), and all three
+/// `None` coordinates fold nothing — so every pre-axis cell keeps its
+/// pinned seed, while any two cells differing in any outage, fault,
+/// retry or shard parameter draw decorrelated trial streams.
 fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     let mut s = fold(seed, class_id(e.class));
     s = fold(s, e.policy.id());
@@ -1351,7 +1479,8 @@ fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     s = fold(s, scheme_id(e.scheme));
     s = fold(s, e.max_steps);
     s = e.outage.fold_into(s);
-    e.fault.fold_into(s)
+    s = e.fault.fold_into(s);
+    e.shard.fold_into(s)
 }
 
 /// Stable id of a system class for seeding.

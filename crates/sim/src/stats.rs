@@ -184,6 +184,29 @@ pub struct AvailPoint {
     /// that ran a goodput probe under a fault plan (`None` elsewhere, so
     /// fault-free cells accumulate nothing and report unchanged).
     pub degrade: Option<DegradePoint>,
+    /// Fleet-level shard measurements, carried only by trials of sharded
+    /// cells (`None` elsewhere, so single-group sweeps accumulate nothing
+    /// and report unchanged).
+    pub shard: Option<ShardPoint>,
+}
+
+/// One trial's fleet-level shard measurements, produced by the sharded
+/// drive loop (see `fortress_sim::fleet_mc`). Carried only by cells whose
+/// shard axis is non-vacuous.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardPoint {
+    /// Steps until the *hottest* shard's group fell (the mission-window
+    /// cap when it survived) — the observable the cross-shard placement
+    /// question is about.
+    pub hot_lifetime: f64,
+    /// Fraction of issued workload requests routed to the hottest shard
+    /// (a direct read of the Zipf skew through the shard directory).
+    pub hot_load_fraction: f64,
+    /// In-flight requests re-routed to a new owner by a mid-trial
+    /// rebalance (0 for trials without a rebalance event).
+    pub moved_requests: f64,
+    /// Fortress groups whose compromise condition held by trial end.
+    pub groups_fallen: f64,
 }
 
 /// One trial's client-degradation measurements, produced by the goodput
@@ -231,6 +254,14 @@ pub struct AvailStats {
     pub dup_suppressed: RunningStats,
     /// Per-trial gave-up requests, fault-axis trials only.
     pub gave_up: RunningStats,
+    /// Per-trial hottest-shard lifetime, sharded trials only.
+    pub hot_lifetime: RunningStats,
+    /// Per-trial hottest-shard load fraction, sharded trials only.
+    pub hot_load: RunningStats,
+    /// Per-trial rebalance-moved requests, sharded trials only.
+    pub moved: RunningStats,
+    /// Per-trial fallen-group count, sharded trials only.
+    pub groups_fallen: RunningStats,
 }
 
 impl Default for AvailStats {
@@ -253,6 +284,10 @@ impl AvailStats {
             retries: RunningStats::new(),
             dup_suppressed: RunningStats::new(),
             gave_up: RunningStats::new(),
+            hot_lifetime: RunningStats::new(),
+            hot_load: RunningStats::new(),
+            moved: RunningStats::new(),
+            groups_fallen: RunningStats::new(),
         }
     }
 
@@ -270,6 +305,12 @@ impl AvailStats {
             self.dup_suppressed.push(d.duplicates_suppressed);
             self.gave_up.push(d.gave_up);
         }
+        if let Some(s) = point.shard {
+            self.hot_lifetime.push(s.hot_lifetime);
+            self.hot_load.push(s.hot_load_fraction);
+            self.moved.push(s.moved_requests);
+            self.groups_fallen.push(s.groups_fallen);
+        }
     }
 
     /// Merges another accumulator into this one, metric by metric (the
@@ -283,6 +324,10 @@ impl AvailStats {
         self.retries.merge(&other.retries);
         self.dup_suppressed.merge(&other.dup_suppressed);
         self.gave_up.merge(&other.gave_up);
+        self.hot_lifetime.merge(&other.hot_lifetime);
+        self.hot_load.merge(&other.hot_load);
+        self.moved.merge(&other.moved);
+        self.groups_fallen.merge(&other.groups_fallen);
     }
 
     /// Whether no trial contributed availability measurements (cells of

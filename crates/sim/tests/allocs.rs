@@ -27,7 +27,7 @@ use fortress_model::params::Policy;
 use fortress_sim::campaign_mc::run_cell_measured;
 use fortress_sim::protocol_mc::ProtocolExperiment;
 use fortress_sim::runner::trial_seed;
-use fortress_sim::{arena_stats, clear_arena};
+use fortress_sim::{arena_stats, clear_arena, fleet_arena_stats};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -129,5 +129,36 @@ fn arena_reused_trials_stay_under_the_allocation_cap() {
         per_step <= 10.0,
         "arena-reused trials allocate too much: {per_step:.1} allocs/step \
          ({per_trial:.0} per trial over {n} trials)"
+    );
+}
+
+#[test]
+fn fleet_arena_is_hit_by_sharded_trials() {
+    use fortress_attack::shard::ShardPlacement;
+    use fortress_sim::fleet_mc::{run_fleet_measured, ShardSpec};
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    let exp = ProtocolExperiment {
+        entropy_bits: 6,
+        omega: 8.0,
+        max_steps: 80,
+        shard: ShardSpec::Sharded {
+            shards: 2,
+            zipf_s: 1.2,
+            placement: ShardPlacement::Concentrate,
+            rebalance_at: 0,
+        },
+        ..ProtocolExperiment::new(SystemClass::S2Fortress, Policy::StartupOnly)
+    };
+    clear_arena();
+    let n = 12u64;
+    for i in 0..n {
+        let _ = run_fleet_measured(&exp, StrategyKind::PacedBelowThreshold, trial_seed(43, i));
+    }
+    let (hits, misses) = fleet_arena_stats();
+    assert_eq!(misses, 1, "one cold build assembles the fleet shell");
+    assert_eq!(
+        hits,
+        n - 1,
+        "every subsequent sharded trial must rewind the cached fleet"
     );
 }
