@@ -165,8 +165,18 @@ impl ProxyResponse {
 
     /// Encodes for transport: [`WireKind::ProxyResponse`] tag, then body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::tagged(WireKind::ProxyResponse.tag());
-        w.put_bytes(&self.reply.encode());
+        self.encode_reusing(Vec::new(), &mut Vec::new())
+    }
+
+    /// [`ProxyResponse::encode`] into a reused buffer (cleared first and
+    /// returned by value). The nested server reply is re-encoded through
+    /// `reply_scratch`, so a drive loop cycling both buffers encodes a
+    /// whole doubly-signed response without touching the allocator.
+    pub fn encode_reusing(&self, buf: Vec<u8>, reply_scratch: &mut Vec<u8>) -> Vec<u8> {
+        let inner = self.reply.encode_reusing(std::mem::take(reply_scratch));
+        let mut w = Writer::tagged_reusing(WireKind::ProxyResponse.tag(), buf);
+        w.put_bytes(&inner);
+        *reply_scratch = inner;
         encode_signature(&mut w, &self.proxy_sig);
         w.finish()
     }

@@ -254,6 +254,9 @@ pub struct Stack<T: Transport = SimNet> {
     /// Reused event buffer for the pump loop (no per-round allocation).
     scratch: Vec<NetEvent>,
     wire_buf: Vec<u8>,
+    /// Second encode scratch for the nested reply inside a
+    /// [`ProxyResponse`] (cycled like [`Stack::wire_buf`]).
+    reply_buf: Vec<u8>,
     /// Malformed deliveries per endpoint address.
     malformed: HashMap<Addr, u64>,
     /// Availability counters over the PB tier (see [`Availability`]).
@@ -452,6 +455,7 @@ impl<T: Transport> Stack<T> {
             server_targets,
             scratch: Vec::new(),
             wire_buf: Vec::new(),
+            reply_buf: Vec::new(),
             malformed: HashMap::new(),
             avail: Availability::default(),
             primary_lost_at: None,
@@ -832,10 +836,21 @@ impl<T: Transport> Stack<T> {
 
     /// Drains network events pending at a client endpoint.
     pub fn drain_client(&mut self, client: &str) -> Vec<NetEvent> {
-        let addr = *self.clients.get(client).expect("client not registered");
         let mut out = Vec::new();
-        self.net.drain_into(addr, &mut out);
+        self.drain_client_into(client, &mut out);
         out
+    }
+
+    /// [`Stack::drain_client`] appending into a caller-reused buffer —
+    /// what a drive loop polling many clients every iteration uses to
+    /// stay off the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not registered.
+    pub fn drain_client_into(&mut self, client: &str, out: &mut Vec<NetEvent>) {
+        let addr = *self.clients.get(client).expect("client not registered");
+        self.net.drain_into(addr, out);
     }
 
     /// Drains events at a compromised proxy (the attacker reads its inbox).
@@ -1030,14 +1045,22 @@ impl<T: Transport> Stack<T> {
         for out in outs {
             match out {
                 ProxyOutput::ForwardToServers(req) => {
-                    // Encode once; the transport shares the buffer across
-                    // the cached server targets.
-                    let payload = Bytes::from(req.encode());
+                    // Encode once into the cycled scratch; the transport
+                    // shares the payload across the cached server targets.
+                    let buf = req.encode_reusing(std::mem::take(&mut self.wire_buf));
+                    let payload = Bytes::copy_from_slice(&buf);
+                    self.wire_buf = buf;
                     self.net.broadcast(from, &self.server_targets, payload);
                 }
                 ProxyOutput::ToClient { client, response } => {
                     if let Some(addr) = self.clients.get(&client) {
-                        self.net.send(from, *addr, Bytes::from(response.encode()));
+                        let buf = response.encode_reusing(
+                            std::mem::take(&mut self.wire_buf),
+                            &mut self.reply_buf,
+                        );
+                        let payload = Bytes::copy_from_slice(&buf);
+                        self.wire_buf = buf;
+                        self.net.send(from, *addr, payload);
                     }
                 }
                 ProxyOutput::Suspect { source } => {
@@ -1113,12 +1136,18 @@ impl<T: Transport> Stack<T> {
             match out {
                 PbOutput::Broadcast(msg) => {
                     // `broadcast` skips `from` itself, so the cached full
-                    // group list is the right target slice.
-                    let payload = Bytes::from(msg.encode());
+                    // group list is the right target slice. Heartbeats —
+                    // the steady-state per-step frame — fit the payload
+                    // inline cap, so this path is allocation-free.
+                    let buf = msg.encode_reusing(std::mem::take(&mut self.wire_buf));
+                    let payload = Bytes::copy_from_slice(&buf);
+                    self.wire_buf = buf;
                     self.net.broadcast(from, &self.server_targets, payload);
                 }
                 PbOutput::Reply(reply) => {
-                    let payload = Bytes::from(reply.encode());
+                    let buf = reply.encode_reusing(std::mem::take(&mut self.wire_buf));
+                    let payload = Bytes::copy_from_slice(&buf);
+                    self.wire_buf = buf;
                     match self.cfg.class {
                         SystemClass::S2Fortress => {
                             // "returns the signed response to every proxy"
@@ -1186,16 +1215,24 @@ impl<T: Transport> Stack<T> {
         for out in outs {
             match out {
                 SmrOutput::Broadcast(msg) => {
-                    let payload = Bytes::from(msg.encode());
+                    let buf = msg.encode_reusing(std::mem::take(&mut self.wire_buf));
+                    let payload = Bytes::copy_from_slice(&buf);
+                    self.wire_buf = buf;
                     self.net.broadcast(from, &self.server_targets, payload);
                 }
                 SmrOutput::ToReplica(to, msg) => {
                     let addr = self.smr_servers[to].addr;
-                    self.net.send(from, addr, Bytes::from(msg.encode()));
+                    let buf = msg.encode_reusing(std::mem::take(&mut self.wire_buf));
+                    let payload = Bytes::copy_from_slice(&buf);
+                    self.wire_buf = buf;
+                    self.net.send(from, addr, payload);
                 }
                 SmrOutput::Reply(reply) => {
                     if let Some(addr) = self.clients.get(&reply.reply.client) {
-                        self.net.send(from, *addr, Bytes::from(reply.encode()));
+                        let buf = reply.encode_reusing(std::mem::take(&mut self.wire_buf));
+                        let payload = Bytes::copy_from_slice(&buf);
+                        self.wire_buf = buf;
+                        self.net.send(from, *addr, payload);
                     }
                 }
             }
@@ -1797,6 +1834,45 @@ mod tests {
         // shared-key servers: 9 child crashes, all healed by the daemons.
         assert_eq!(stack.server_restarts(), 9);
         assert!(!stack.is_compromised());
+    }
+
+    #[test]
+    fn s2_round_trip_runs_generically_on_kernel_sockets() {
+        // The same assembly and wire envelope, end-to-end through the
+        // kernel: every proxy/server/nameserver hop below is a real
+        // length-prefixed frame over a real socket.
+        let mut nets = vec![fortress_net::sock::SockNet::tcp()];
+        #[cfg(unix)]
+        nets.push(fortress_net::sock::SockNet::uds());
+        for net in nets {
+            let kind = net.kind();
+            let mut stack = Stack::with_transport(StackConfig::default(), net).unwrap();
+            stack.add_client("alice");
+            let mut client =
+                FortressClient::new("alice", stack.authority(), stack.ns().clone());
+            let req = client.request(b"PUT color teal");
+            stack.submit("alice", &req);
+            stack.pump();
+            let mut accepted = None;
+            for ev in stack.drain_client("alice") {
+                if let Some(payload) = ev.payload() {
+                    let resp = ProxyResponse::decode(payload).unwrap();
+                    if let Some(got) = client.on_response(&resp).unwrap() {
+                        accepted = Some(got);
+                    }
+                }
+            }
+            assert_eq!(accepted, Some((1, b"OK".to_vec())), "{kind:?}");
+            // The crash observable survives the kernel boundary too: a
+            // wrong-key exploit crashes the shared-key servers and the
+            // closures arrive as real EOFs.
+            let wrong = RandomizationKey(stack.server_keys()[0].0 ^ 1);
+            let probe = exploit_request(2, "alice", Scheme::Aslr, wrong);
+            stack.submit("alice", &probe);
+            stack.pump();
+            assert_eq!(stack.server_restarts(), 9, "{kind:?}");
+            assert!(!stack.is_compromised());
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! HDR-style latency histogram: exact below 128, ~1.6 % relative error
+//! above.
+//!
+//! Values under [`LINEAR_MAX`] get one bucket each; larger values keep
+//! their top 7 significant bits (a 6-bit mantissa under an implied
+//! leading 1), so every power-of-two range splits into 64 buckets and the
+//! worst-case quantile error is one part in 64. Recording is O(1) with no
+//! allocation after construction, which is what lets the soak loop record
+//! every response inline.
+
+/// Values below this get an exact, dedicated bucket.
+pub const LINEAR_MAX: u64 = 128;
+
+/// Mantissa bits kept for values ≥ [`LINEAR_MAX`] (excluding the implied
+/// leading 1).
+const MANTISSA_BITS: u64 = 6;
+
+/// Bucket count: 128 linear + 64 per power-of-two range for exponents
+/// 7..=63 (57 ranges).
+const BUCKETS: usize = LINEAR_MAX as usize + 57 * (1 << MANTISSA_BITS);
+
+/// Fixed-bucket log-linear histogram over `u64` samples (microseconds, in
+/// the soak harness — the unit is the caller's business).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+fn index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros()); // ≥ 7
+        let shift = msb - MANTISSA_BITS;
+        let mantissa = (v >> shift) - (1 << MANTISSA_BITS);
+        (LINEAR_MAX + (msb - 7) * (1 << MANTISSA_BITS) + mantissa) as usize
+    }
+}
+
+/// Lower bound of bucket `idx` (the reported quantile value: conservative,
+/// never above any sample that landed in the bucket).
+fn value_at(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_MAX {
+        idx
+    } else {
+        let e = (idx - LINEAR_MAX) / (1 << MANTISSA_BITS) + 7;
+        let m = (idx - LINEAR_MAX) % (1 << MANTISSA_BITS);
+        ((1 << MANTISSA_BITS) + m) << (e - MANTISSA_BITS)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (allocates its bucket array once).
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` ∈ [0, 1]: the smallest bucket whose
+    /// cumulative count covers `ceil(q · total)` samples. 0 when empty;
+    /// `q = 1.0` returns the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return value_at(i);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+        }
+        for v in 0..LINEAR_MAX {
+            let q = (v + 1) as f64 / LINEAR_MAX as f64;
+            assert_eq!(h.quantile(q), v, "quantile {q} should be exact");
+        }
+    }
+
+    #[test]
+    fn large_values_keep_seven_significant_bits() {
+        let mut h = Histogram::new();
+        for v in [128u64, 1_000, 65_537, 1 << 30, u64::MAX / 3, u64::MAX] {
+            h = Histogram::new();
+            h.record(v);
+            let got = h.quantile(0.5);
+            assert!(got <= v, "bucket lower bound must not exceed the sample");
+            // Relative error bounded by one mantissa step (1/64).
+            let err = (v - got) as f64 / v as f64;
+            assert!(err < 1.0 / 64.0 + 1e-12, "error {err} too large for {v}");
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        let mut h = Histogram::new();
+        // 900 fast samples at 100, 99 at 10_000, one at 1_000_000.
+        for _ in 0..900 {
+            h.record(100);
+        }
+        for _ in 0..99 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.quantile(0.5), 100);
+        assert!(h.quantile(0.99) >= 9_000 && h.quantile(0.99) <= 10_000);
+        assert!(h.quantile(0.999) >= 9_000 && h.quantile(0.999) <= 10_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_bounds() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 2 {
+            let i = index(v);
+            assert!(i >= last, "index must be monotone at {v}");
+            assert!(i < BUCKETS, "index {i} out of bounds at {v}");
+            last = i;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+        assert!(index(u64::MAX) < BUCKETS);
+    }
+}

@@ -1,4 +1,4 @@
-//! Network substrate for the FORTRESS protocol stack: two transports
+//! Network substrate for the FORTRESS protocol stack: three transports
 //! behind one explicit interface, and the wire-tag registry every message
 //! family encodes against.
 //!
@@ -18,6 +18,11 @@
 //!   peer**.
 //! * [`threaded::ThreadNet`] — a crossbeam-channel runtime with the same
 //!   semantics over real threads, used by the runnable examples.
+//! * [`sock::SockNet`] — the same semantics over real kernel sockets
+//!   (TCP loopback or Unix-domain, non-blocking with a hand-rolled
+//!   readiness loop), used by the `fortress-loadgen` wall-clock soak
+//!   harness. The shared behavioural contract all three must satisfy
+//!   lives in [`conformance`].
 //!
 //! The crash observable is the point: de-randomization attacks (paper
 //! §2.1–2.2) hinge on "a process crash at the target machine results in
@@ -92,10 +97,12 @@
 
 pub mod addr;
 pub mod codec;
+pub mod conformance;
 pub mod event;
 pub mod fault;
 pub mod shared;
 pub mod sim;
+pub mod sock;
 pub mod threaded;
 pub mod transport;
 pub mod wire;
@@ -105,6 +112,7 @@ pub use event::{NetEvent, NetStats};
 pub use fault::{FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
 pub use shared::SharedNet;
 pub use sim::{Latency, SimConfig, SimNet};
-pub use threaded::{NetHandle, ThreadNet};
+pub use sock::{SockKind, SockNet, SockTiming};
+pub use threaded::{NetHandle, ParkBackoff, ThreadNet};
 pub use transport::{Transport, TrialReset};
 pub use wire::WireKind;

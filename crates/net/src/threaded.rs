@@ -27,8 +27,8 @@ use crate::transport::Transport;
 /// are live. The first park uses exactly this, so time-stepped drive
 /// loops (e.g. `examples/failover.rs`) see no added latency worth
 /// naming; each further *consecutive* empty drain doubles the park (see
-/// [`park_wait`]) so a long-idle waiter backs off instead of waking
-/// 1000×/s for nothing.
+/// [`ParkBackoff::wait`]) so a long-idle waiter backs off instead of
+/// waking 1000×/s for nothing.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// Ceiling of the exponential park backoff. Bounded so a pump loop
@@ -37,14 +37,33 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 /// never an unbounded doubling.
 const PARK_CEILING: Duration = Duration::from_millis(16);
 
-/// Park duration for the `idle_steps`-th consecutive empty drain:
-/// [`PARK_TIMEOUT`] doubled per extra idle step, clamped to
-/// [`PARK_CEILING`]. Pure so the schedule is unit-testable.
-fn park_wait(idle_steps: u32) -> Duration {
-    let doublings = idle_steps.saturating_sub(1).min(10);
-    PARK_TIMEOUT
-        .saturating_mul(1u32 << doublings)
-        .min(PARK_CEILING)
+/// The park-backoff schedule [`Transport::step`] uses when idle. The
+/// defaults ([`PARK_TIMEOUT`] / [`PARK_CEILING`]) suit interactive
+/// drive loops; wall-clock harnesses on CI boxes with coarse schedulers
+/// can widen both via [`ThreadNet::with_backoff`] instead of relying on
+/// compiled-in constants holding for every machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParkBackoff {
+    /// First park length (and the granularity of the schedule).
+    pub base: Duration,
+    /// Clamp on the exponential doubling.
+    pub ceiling: Duration,
+}
+
+impl Default for ParkBackoff {
+    fn default() -> ParkBackoff {
+        ParkBackoff { base: PARK_TIMEOUT, ceiling: PARK_CEILING }
+    }
+}
+
+impl ParkBackoff {
+    /// Park duration for the `idle_steps`-th consecutive empty drain:
+    /// `base` doubled per extra idle step, clamped to `ceiling`. Pure so
+    /// the schedule is unit-testable.
+    fn wait(&self, idle_steps: u32) -> Duration {
+        let doublings = idle_steps.saturating_sub(1).min(10);
+        self.base.saturating_mul(1u32 << doublings).min(self.ceiling)
+    }
 }
 
 #[derive(Debug)]
@@ -111,11 +130,22 @@ pub struct ThreadNet {
     /// waiter (two-plus idle steps in a row, the spin pattern the park
     /// replaces) blocks instead of burning CPU.
     idle_steps: u32,
+    /// Park-backoff schedule (per clone: each drive loop may tune its
+    /// own patience).
+    backoff: ParkBackoff,
 }
 
 impl ThreadNet {
-    /// Creates an empty bus.
+    /// Creates an empty bus with the default park backoff.
     pub fn new() -> ThreadNet {
+        ThreadNet::with_backoff(ParkBackoff::default())
+    }
+
+    /// Creates an empty bus with an explicit park-backoff schedule —
+    /// the timing knob wall-clock harnesses use to trade idle wakeups
+    /// against wakeup latency on machines whose schedulers make the
+    /// defaults flaky.
+    pub fn with_backoff(backoff: ParkBackoff) -> ThreadNet {
         ThreadNet {
             registry: Arc::new(RwLock::new(Registry {
                 names: Vec::new(),
@@ -128,6 +158,7 @@ impl ThreadNet {
             signal: Arc::new((StdMutex::new(ParkSignal::default()), Condvar::new())),
             seen_arrivals: 0,
             idle_steps: 0,
+            backoff,
         }
     }
 
@@ -311,15 +342,37 @@ impl Transport for ThreadNet {
         }
     }
 
+    /// Counts-and-discards without materializing: the channel is
+    /// drained event by event straight into a counter, so a probe loop
+    /// absorbing a flood of closure notifications never moves the
+    /// events through an intermediate `Vec` (the default path's
+    /// per-call behaviour this must stay bit-identical to — pinned by
+    /// the conformance suite).
+    fn drain_closure_count(&mut self, at: Addr) -> u64 {
+        let reg = self.registry.read();
+        let rx = reg.receivers[at.raw() as usize]
+            .as_ref()
+            .expect("endpoint's receiver is owned by a NetHandle, not the bus")
+            .lock();
+        let mut closures = 0u64;
+        while let Ok(ev) = rx.try_recv() {
+            if ev.is_closure() {
+                closures += 1;
+            }
+        }
+        closures
+    }
+
     /// Reports whether traffic arrived since the last `step` — and, on
     /// the second-plus *consecutive* idle step while live sender threads
     /// exist, **parks on a condvar** instead of returning immediately:
     /// a `loop {{ step() }}` waiter driving a stack concurrently with
     /// sender threads blocks until traffic arrives rather than
     /// spin-yielding through empty drains. The park length backs off
-    /// exponentially with consecutive empty drains — [`PARK_TIMEOUT`]
-    /// at first, doubling per idle step up to [`PARK_CEILING`] (see
-    /// [`park_wait`]) — and any arrival resets it, so a briefly idle
+    /// exponentially with consecutive empty drains — [`ParkBackoff::base`]
+    /// at first, doubling per idle step up to [`ParkBackoff::ceiling`]
+    /// (see [`ParkBackoff::wait`]) — and any arrival resets it, so a
+    /// briefly idle
     /// loop stays responsive while a long-idle one stops waking
     /// 1000×/s. The first idle step never parks, so a pump loop's
     /// single exit-probe call — and with it every deployment with no
@@ -342,7 +395,7 @@ impl Transport for ThreadNet {
             // Missed-wakeup-safe: arrivals and live_handles are both
             // re-checked under the lock their writers bump them under.
             let (guard, _) = cvar
-                .wait_timeout(signal, park_wait(self.idle_steps))
+                .wait_timeout(signal, self.backoff.wait(self.idle_steps))
                 .unwrap_or_else(|e| e.into_inner());
             signal = guard;
         }
@@ -670,15 +723,36 @@ mod tests {
     /// to shift overflow at absurd idle counts.
     #[test]
     fn park_backoff_doubles_and_is_bounded() {
-        assert_eq!(park_wait(1), PARK_TIMEOUT);
-        assert_eq!(park_wait(2), 2 * PARK_TIMEOUT);
-        assert_eq!(park_wait(3), 4 * PARK_TIMEOUT);
-        assert_eq!(park_wait(5), PARK_CEILING);
-        assert_eq!(park_wait(100), PARK_CEILING);
-        assert_eq!(park_wait(u32::MAX), PARK_CEILING);
+        let b = ParkBackoff::default();
+        assert_eq!(b.base, PARK_TIMEOUT);
+        assert_eq!(b.ceiling, PARK_CEILING);
+        assert_eq!(b.wait(1), PARK_TIMEOUT);
+        assert_eq!(b.wait(2), 2 * PARK_TIMEOUT);
+        assert_eq!(b.wait(3), 4 * PARK_TIMEOUT);
+        assert_eq!(b.wait(5), PARK_CEILING);
+        assert_eq!(b.wait(100), PARK_CEILING);
+        assert_eq!(b.wait(u32::MAX), PARK_CEILING);
         // 0 never reaches the park (the first idle step returns
         // immediately), but the function stays total.
-        assert_eq!(park_wait(0), PARK_TIMEOUT);
+        assert_eq!(b.wait(0), PARK_TIMEOUT);
+    }
+
+    /// A custom schedule is honored verbatim: a wider base and ceiling
+    /// shift the whole curve without changing its shape.
+    #[test]
+    fn park_backoff_is_configurable() {
+        let wide = ParkBackoff {
+            base: Duration::from_millis(4),
+            ceiling: Duration::from_millis(40),
+        };
+        assert_eq!(wide.wait(1), Duration::from_millis(4));
+        assert_eq!(wide.wait(3), Duration::from_millis(16));
+        assert_eq!(wide.wait(100), Duration::from_millis(40));
+        // The constructor threads the schedule through to the instance
+        // (and its clones — each drive loop keeps its own copy).
+        let net = ThreadNet::with_backoff(wide);
+        assert_eq!(net.backoff, wide);
+        assert_eq!(net.clone().backoff, wide);
     }
 
     /// Backed-off parks are still wakeable: after enough idle steps to

@@ -124,41 +124,20 @@ pub trait TrialReset {
 mod tests {
     use super::*;
     use crate::sim::{SimConfig, SimNet};
+    use crate::sock::SockNet;
     use crate::threaded::ThreadNet;
 
-    /// The point of the trait: one drive loop, both backends.
-    fn round_trip<T: Transport>(net: &mut T) -> Vec<NetEvent> {
-        let a = net.register("a");
-        let b = net.register("b");
-        let c = net.register("c");
-        net.broadcast(a, &[a, b, c], Bytes::from_static(b"ping"));
-        while net.step() {}
-        let mut out = Vec::new();
-        net.drain_into(b, &mut out);
-        net.drain_into(c, &mut out);
-        // Broadcast skipped the sender itself.
-        net.drain_into(a, &mut out);
-        out
-    }
-
-    #[test]
-    fn generic_round_trip_on_both_backends() {
-        let mut sim = SimNet::new(SimConfig::default());
-        let got = round_trip(&mut sim);
-        assert_eq!(got.len(), 2);
-        assert!(got.iter().all(|e| e.payload().unwrap().as_ref() == b"ping"));
-
-        let mut threaded = ThreadNet::new();
-        let got = round_trip(&mut threaded);
-        assert_eq!(got.len(), 2);
-        assert!(got.iter().all(|e| e.payload().unwrap().as_ref() == b"ping"));
-    }
+    // The behavioural contract itself (round-trip, crash/restart,
+    // malformed counting, conservation, closure-count identity) lives in
+    // `crate::conformance` and runs against every backend from
+    // `tests/conformance.rs`. This module only pins object safety.
 
     #[test]
     fn trait_is_object_safe() {
         let mut nets: Vec<Box<dyn Transport>> = vec![
             Box::new(SimNet::new(SimConfig::default())),
             Box::new(ThreadNet::new()),
+            Box::new(SockNet::tcp()),
         ];
         for net in &mut nets {
             let a = net.register("a");
@@ -170,13 +149,5 @@ mod tests {
             assert_eq!(out.len(), 1);
             assert_eq!(net.stats().delivered, 1);
         }
-    }
-
-    #[test]
-    fn malformed_counter_is_caller_reported() {
-        let mut net = SimNet::new(SimConfig::default());
-        assert_eq!(net.stats().malformed, 0);
-        Transport::note_malformed(&mut net);
-        assert_eq!(net.stats().malformed, 1);
     }
 }

@@ -84,7 +84,14 @@ impl SignedReply {
     /// Encodes for transport (and for the proxy's over-signature, which
     /// covers exactly these bytes).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::tagged(WireKind::SignedReply.tag());
+        self.encode_reusing(Vec::new())
+    }
+
+    /// [`SignedReply::encode`] into a reused buffer (cleared first and
+    /// returned by value) — replies ride the same per-step scratch as
+    /// the rest of the drive loop's frames.
+    pub fn encode_reusing(&self, buf: Vec<u8>) -> Vec<u8> {
+        let mut w = Writer::tagged_reusing(WireKind::SignedReply.tag(), buf);
         w.put_u64(self.reply.request_seq)
             .put_str(&self.reply.client)
             .put_bytes(&self.reply.body)
@@ -250,10 +257,12 @@ pub enum PbMsg {
     },
 }
 
-/// Starts a sub-tagged frame: the family's [`WireKind`] tag byte, then
-/// the variant's sub-tag.
-fn family_writer(kind: WireKind, sub: u8) -> Writer {
-    let mut w = Writer::tagged(kind.tag());
+/// Starts a sub-tagged frame over a reused buffer (cleared first): the
+/// family's [`WireKind`] tag byte, then the variant's sub-tag. The
+/// heartbeat/probe hot path cycles one scratch allocation per stack
+/// instead of allocating per encode.
+fn family_writer_reusing(kind: WireKind, sub: u8, buf: Vec<u8>) -> Writer {
+    let mut w = Writer::tagged_reusing(kind.tag(), buf);
     w.put_u8(sub);
     w
 }
@@ -261,9 +270,17 @@ fn family_writer(kind: WireKind, sub: u8) -> Writer {
 impl PbMsg {
     /// Encodes for transport: [`WireKind::Pb`] tag, variant sub-tag, body.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_reusing(Vec::new())
+    }
+
+    /// [`PbMsg::encode`] into a reused buffer (cleared first and
+    /// returned by value). Heartbeats are the per-step steady-state
+    /// traffic of a PB group, so this is the encode the drive loop's
+    /// allocation budget is measured against.
+    pub fn encode_reusing(&self, buf: Vec<u8>) -> Vec<u8> {
         match self {
             PbMsg::Request { seq, client, op } => {
-                let mut w = family_writer(WireKind::Pb, 0);
+                let mut w = family_writer_reusing(WireKind::Pb, 0, buf);
                 w.put_u64(*seq).put_str(client).put_bytes(op);
                 w.finish()
             }
@@ -275,7 +292,7 @@ impl PbMsg {
                 response,
                 delta,
             } => {
-                let mut w = family_writer(WireKind::Pb, 1);
+                let mut w = family_writer_reusing(WireKind::Pb, 1, buf);
                 w.put_u64(*view)
                     .put_u64(*seq)
                     .put_u64(*request_seq)
@@ -285,12 +302,12 @@ impl PbMsg {
                 w.finish()
             }
             PbMsg::Heartbeat { view, seq } => {
-                let mut w = family_writer(WireKind::Pb, 2);
+                let mut w = family_writer_reusing(WireKind::Pb, 2, buf);
                 w.put_u64(*view).put_u64(*seq);
                 w.finish()
             }
             PbMsg::NewView { view, seq } => {
-                let mut w = family_writer(WireKind::Pb, 3);
+                let mut w = family_writer_reusing(WireKind::Pb, 3, buf);
                 w.put_u64(*view).put_u64(*seq);
                 w.finish()
             }
@@ -417,9 +434,15 @@ pub enum SmrMsg {
 impl SmrMsg {
     /// Encodes for transport: [`WireKind::Smr`] tag, variant sub-tag, body.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_reusing(Vec::new())
+    }
+
+    /// [`SmrMsg::encode`] into a reused buffer (cleared first and
+    /// returned by value).
+    pub fn encode_reusing(&self, buf: Vec<u8>) -> Vec<u8> {
         match self {
             SmrMsg::Request { seq, client, op } => {
-                let mut w = family_writer(WireKind::Smr, 0);
+                let mut w = family_writer_reusing(WireKind::Smr, 0, buf);
                 w.put_u64(*seq).put_str(client).put_bytes(op);
                 w.finish()
             }
@@ -430,7 +453,7 @@ impl SmrMsg {
                 client,
                 op,
             } => {
-                let mut w = family_writer(WireKind::Smr, 1);
+                let mut w = family_writer_reusing(WireKind::Smr, 1, buf);
                 w.put_u64(*view)
                     .put_u64(*seq)
                     .put_u64(*request_seq)
@@ -439,12 +462,12 @@ impl SmrMsg {
                 w.finish()
             }
             SmrMsg::Prepare { view, seq, digest } => {
-                let mut w = family_writer(WireKind::Smr, 2);
+                let mut w = family_writer_reusing(WireKind::Smr, 2, buf);
                 w.put_u64(*view).put_u64(*seq).put_bytes(&digest.0);
                 w.finish()
             }
             SmrMsg::Commit { view, seq, digest } => {
-                let mut w = family_writer(WireKind::Smr, 3);
+                let mut w = family_writer_reusing(WireKind::Smr, 3, buf);
                 w.put_u64(*view).put_u64(*seq).put_bytes(&digest.0);
                 w.finish()
             }
@@ -452,17 +475,17 @@ impl SmrMsg {
                 new_view,
                 last_exec,
             } => {
-                let mut w = family_writer(WireKind::Smr, 4);
+                let mut w = family_writer_reusing(WireKind::Smr, 4, buf);
                 w.put_u64(*new_view).put_u64(*last_exec);
                 w.finish()
             }
             SmrMsg::NewView { view, next_seq } => {
-                let mut w = family_writer(WireKind::Smr, 5);
+                let mut w = family_writer_reusing(WireKind::Smr, 5, buf);
                 w.put_u64(*view).put_u64(*next_seq);
                 w.finish()
             }
             SmrMsg::SnapshotRequest { last_exec } => {
-                let mut w = family_writer(WireKind::Smr, 6);
+                let mut w = family_writer_reusing(WireKind::Smr, 6, buf);
                 w.put_u64(*last_exec);
                 w.finish()
             }
@@ -471,7 +494,7 @@ impl SmrMsg {
                 digest,
                 snapshot,
             } => {
-                let mut w = family_writer(WireKind::Smr, 7);
+                let mut w = family_writer_reusing(WireKind::Smr, 7, buf);
                 w.put_u64(*seq).put_bytes(&digest.0).put_bytes(snapshot);
                 w.finish()
             }
