@@ -38,6 +38,14 @@
 //! `hot_shard_lifetime_ratio` (concentrate/spread mean hottest-shard
 //! lifetime — below 1 when concentrating the probe budget pays).
 //!
+//! The **repair slice** (`scenario::repair_sweep`: a vacuous coordinate
+//! plus one-crash, two-crash-staggered and two-crash-storm recovery
+//! schedules on the VSR-backed S0 tier) runs the same three-way
+//! bit-identity check and contributes `repair_cells_per_sec` and
+//! `mean_view_change_latency` — the measured view-change detection
+//! window, which must sit at the SMR view timer, not the PB failover
+//! timeout.
+//!
 //! The **campaign slice** runs the protocol campaign grid
 //! ([`CampaignGrid::paper_default`]) through its arena-reusing trial
 //! path, contributing `campaign_cells_per_sec`, plus a warm-vs-cold
@@ -52,8 +60,8 @@ use fortress_attack::campaign::StrategyKind;
 use fortress_sim::campaign_mc::{run_cell_measured, CampaignGrid};
 use fortress_sim::runner::{trial_seed, Runner, TrialBudget};
 use fortress_sim::scenario::{
-    availability_sweep, fault_sweep, paper_default_sweep, run_scenario_measured, shard_sweep,
-    CrossCheck, SweepCell, SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
+    availability_sweep, fault_sweep, paper_default_sweep, repair_sweep, run_scenario_measured,
+    shard_sweep, CrossCheck, SweepCell, SweepOutcome, SweepReport, SweepScheduler, CELL_CHUNK,
 };
 use fortress_sim::clear_arena;
 use std::time::Instant;
@@ -290,6 +298,32 @@ fn main() {
     println!("== shard slice (multi-tenant fleet axis) ==");
     println!("{}", shard_parallel.to_table().to_aligned());
 
+    // The repair slice: VSR view-change + divergence-priced recovery
+    // cells through the same three paths, three-way bit-identity
+    // required.
+    let repair_cells = repair_sweep(base_seed);
+    let repair_reference = run_cells_serially(&repair_cells, &Runner::with_threads(1));
+    let repair_serial =
+        SweepScheduler::new(&Runner::with_threads(1), BUDGET).run(&repair_cells);
+    let start = Instant::now();
+    let repair_parallel = SweepScheduler::new(&runner8, BUDGET).run(&repair_cells);
+    let repair_wall = start.elapsed().as_secs_f64();
+    let repair_deterministic = repair_serial.to_json() == repair_parallel.to_json()
+        && repair_reference.to_json() == repair_serial.to_json();
+    assert!(
+        repair_deterministic,
+        "repair sweep reports diverged between the cell-at-a-time reference, \
+         the serial scheduler and the cell-parallel scheduler — determinism \
+         contract broken"
+    );
+    let n_repair_cells = repair_cells.len();
+    let repair_cells_per_sec = n_repair_cells as f64 / repair_wall;
+    let mean_view_change_latency = repair_parallel
+        .mean_view_change_latency()
+        .expect("repair-bearing cells complete view changes");
+    println!("== repair slice (VSR view-change + recovery axis) ==");
+    println!("{}", repair_parallel.to_table().to_aligned());
+
     // The protocol campaign grid through the arena-reusing trial path:
     // `CampaignGrid::run` schedules cells on the shared pool and every
     // trial re-keys a pooled stack shell instead of assembling a fresh
@@ -378,6 +412,13 @@ fn main() {
            \"shard_cells_per_sec\": {shard_cells_per_sec:.2},\n    \
            \"hot_shard_lifetime_ratio\": {hot_shard_lifetime_ratio:.4},\n    \
            \"deterministic_serial_vs_parallel\": {shard_deterministic}\n  }},\n  \
+         \"repairs\": {{\n    \
+           \"workload\": \"repair slice: vacuous + 1-crash + 2-crash staggered/storm VSR recovery on S0\",\n    \
+           \"cells\": {n_repair_cells},\n    \
+           \"wall_s\": {repair_wall:.4},\n    \
+           \"repair_cells_per_sec\": {repair_cells_per_sec:.2},\n    \
+           \"mean_view_change_latency\": {mean_view_change_latency:.4},\n    \
+           \"deterministic_serial_vs_parallel\": {repair_deterministic}\n  }},\n  \
          \"campaign\": {{\n    \
            \"workload\": \"paper_default grid: 3 suspicion x 3 fleet x 5 strategies, arena-reused trials\",\n    \
            \"cells\": {n_campaign_cells},\n    \

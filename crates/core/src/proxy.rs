@@ -99,11 +99,13 @@ pub struct Proxy {
     /// Requests already answered toward the client: `(client, seq)`.
     responded: HashSet<(String, u64)>,
     /// Per-server FIFO of forwarded-but-unanswered requests, used to
-    /// attribute an observed crash to the request that caused it.
-    outstanding: Vec<VecDeque<(String, u64)>>,
+    /// attribute an observed crash to the request that caused it. The
+    /// client name is shared across the per-server queues (one
+    /// allocation per forwarded request, not one per server).
+    outstanding: Vec<VecDeque<(Arc<str>, u64)>>,
     /// Requests already logged as invalid — one broadcast probe crashes
     /// every server, but it is still a single invalid request.
-    logged: HashSet<(String, u64)>,
+    logged: HashSet<(Arc<str>, u64)>,
     forwarded: u64,
 }
 
@@ -186,16 +188,34 @@ impl Proxy {
         }
     }
 
-    fn on_client_request(&mut self, req: ClientRequest) -> Vec<ProxyOutput> {
-        if self.log.is_suspicious(&req.client) {
+    /// The borrow-through fast path for transport harnesses that hold a
+    /// client request in its wire form: runs the suspicion gate and the
+    /// forwarding bookkeeping from the request's *borrowed* identity
+    /// fields, and returns whether the verbatim wire bytes should be
+    /// re-broadcast to the server tier. The canonical codec makes the
+    /// re-broadcast byte-identical to decode-then-re-encode, so callers
+    /// skip materializing the request and the output vector entirely.
+    /// [`Proxy::on_input`] with [`ProxyInput::ClientRequest`] is this
+    /// plus the materialized output, for engine-level callers.
+    pub fn should_forward(&mut self, client: &str, seq: u64) -> bool {
+        if self.log.is_suspicious(client) {
             // Identified probing sources are cut off.
-            return Vec::new();
+            return false;
         }
         self.forwarded += 1;
+        let client: Arc<str> = Arc::from(client);
         for q in &mut self.outstanding {
-            q.push_back((req.client.clone(), req.seq));
+            q.push_back((Arc::clone(&client), seq));
         }
-        vec![ProxyOutput::ForwardToServers(req)]
+        true
+    }
+
+    fn on_client_request(&mut self, req: ClientRequest) -> Vec<ProxyOutput> {
+        if self.should_forward(&req.client, req.seq) {
+            vec![ProxyOutput::ForwardToServers(req)]
+        } else {
+            Vec::new()
+        }
     }
 
     fn on_server_reply(&mut self, server_index: usize, reply: SignedReply) -> Vec<ProxyOutput> {
@@ -212,7 +232,7 @@ impl Proxy {
         }
         let key = (reply.reply.client.clone(), reply.reply.request_seq);
         // The server answered: its outstanding entry is settled.
-        self.outstanding[server_index].retain(|k| *k != key);
+        self.outstanding[server_index].retain(|(c, s)| (&**c, *s) != (key.0.as_str(), key.1));
         if self.responded.contains(&key) {
             // Over-sign any ONE authentic response (§3); the rest are noise.
             return Vec::new();
@@ -234,7 +254,7 @@ impl Proxy {
         let Some((client, seq)) = self.outstanding[server_index].pop_front() else {
             return Vec::new();
         };
-        if !self.logged.insert((client.clone(), seq)) {
+        if !self.logged.insert((Arc::clone(&client), seq)) {
             // The same broadcast probe already killed another server; one
             // request counts once.
             return Vec::new();
@@ -242,7 +262,9 @@ impl Proxy {
         let was_suspicious = self.log.is_suspicious(&client);
         self.log.record_invalid(&client, self.now);
         if !was_suspicious && self.log.is_suspicious(&client) {
-            return vec![ProxyOutput::Suspect { source: client }];
+            return vec![ProxyOutput::Suspect {
+                source: client.to_string(),
+            }];
         }
         Vec::new()
     }
@@ -320,6 +342,34 @@ mod tests {
         let outs = f.proxy.on_input(ProxyInput::ClientRequest(req.clone()));
         assert_eq!(outs, vec![ProxyOutput::ForwardToServers(req)]);
         assert_eq!(f.proxy.forwarded(), 1);
+    }
+
+    /// The borrow-through path makes the same decisions and the same
+    /// bookkeeping as the materializing one: forwards count up, crash
+    /// attribution still works (the outstanding queues are fed), and a
+    /// flagged source is cut off without an allocation.
+    #[test]
+    fn should_forward_mirrors_on_client_request() {
+        let mut f = fixture();
+        assert!(f.proxy.should_forward("alice", 1));
+        assert_eq!(f.proxy.forwarded(), 1);
+        // The outstanding entry was recorded: a crash right after the
+        // borrowed-path forward is attributed to alice's request.
+        let outs = f.proxy.on_input(ProxyInput::ServerClosed { server_index: 0 });
+        assert!(outs.is_empty(), "one strike is below the threshold");
+        assert_eq!(f.proxy.log().window_count("alice"), 1);
+        // Cross the threshold through the borrowed path; the source is
+        // then refused without materializing anything.
+        for seq in 2..=3 {
+            assert!(f.proxy.should_forward("alice", seq));
+            f.proxy.on_input(ProxyInput::ServerClosed { server_index: 0 });
+        }
+        assert!(!f.proxy.should_forward("alice", 4), "flagged sources are cut off");
+        assert_eq!(f.proxy.forwarded(), 3);
+        let outs = f
+            .proxy
+            .on_input(ProxyInput::ClientRequest(request(5, "alice")));
+        assert!(outs.is_empty(), "both paths share the suspicion gate");
     }
 
     #[test]

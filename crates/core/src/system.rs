@@ -63,6 +63,7 @@ use fortress_obf::scheme::Scheme;
 use fortress_replication::pb::{PbConfig, PbInput, PbOutput, PbReplica};
 use fortress_replication::service::KvStore;
 use fortress_replication::smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica};
+use fortress_replication::state_transfer::TransferScheduler;
 
 use crate::error::FortressError;
 use crate::messages::ClientRequest;
@@ -161,8 +162,13 @@ pub fn pb_failover_timeout() -> u64 {
 /// A step counts as *down* when no PB server is simultaneously up
 /// (machine not taken down), uncompromised, and the primary of its view
 /// — exactly the window the PB failover protocol exists to close. S0
-/// deployments (no PB tier) never accumulate downtime here; their
-/// availability story is the SMR quorum's.
+/// deployments accumulate the same counters over the SMR quorum instead
+/// — but only once SMR repair accounting is armed (the first
+/// [`Stack::take_down_server`] against the tier, or
+/// [`Stack::enable_smr_repair`]), so legacy S0 trials keep their
+/// pre-repair bits. For S0 the failover fields measure *view-change*
+/// windows: from losing the serving leader to a live quorum executing
+/// under a new leader.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Availability {
     /// Unit time-steps observed (one per [`Stack::end_step`]).
@@ -183,6 +189,15 @@ pub struct Availability {
     /// Deliveries dead-lettered while at least one server machine was
     /// down — client/proxy requests lost to the outage windows.
     pub lost_requests: u64,
+    /// SMR view changes completed across the live tier (max installed
+    /// view increments; S0 repair accounting only).
+    pub view_changes: u64,
+    /// State-transfer units paid by rejoining SMR replicas (S0 repair
+    /// accounting only; see `TransferScheduler`).
+    pub transfer_units: u64,
+    /// Deepest state-transfer queue observed — the recovery-storm
+    /// signature (S0 repair accounting only).
+    pub peak_transfer_queue: u64,
 }
 
 impl Availability {
@@ -229,6 +244,14 @@ struct SmrNode {
     addr: Addr,
     daemon: ForkingDaemon,
     engine: SmrReplica<KvStore>,
+    /// Machine-level outage injected via [`Stack::take_down_server`]: the
+    /// node neither ticks nor serves until brought back up (distinct from
+    /// a child-process crash, which the forking daemon heals instantly).
+    down: bool,
+    /// Brought back up but still paying divergence-priced state transfer
+    /// through the [`TransferScheduler`]; excluded from the quorum until
+    /// the transfer completes.
+    catching_up: bool,
 }
 
 /// A fully wired S0/S1/S2 deployment over a [`Transport`] (the
@@ -264,11 +287,22 @@ pub struct Stack<T: Transport = SimNet> {
     /// Step at which the serving primary was lost, while the outage is
     /// still open (drives `failover_latency_total`).
     primary_lost_at: Option<u64>,
-    /// Highest PB view ever observed (drives the failover count).
+    /// Highest PB view ever observed (drives the failover count). For S0
+    /// under repair accounting: highest *installed* SMR view across the
+    /// live tier (drives `view_changes`).
     views_seen: u64,
     /// Transport dead-letter count already attributed (drives
     /// `lost_requests` deltas).
     dead_lettered_seen: u64,
+    /// Whether S0 repair accounting is armed (see [`Availability`]).
+    /// Armed by the first SMR-tier [`Stack::take_down_server`] or by
+    /// [`Stack::enable_smr_repair`]; never armed on legacy paths, so
+    /// their availability bits are untouched.
+    smr_repair: bool,
+    /// Divergence-priced rejoin scheduler for the SMR tier: a replica
+    /// brought back up owes transfer units proportional to its log
+    /// divergence and stays out of the quorum until they are paid.
+    transfer: TransferScheduler,
 }
 
 impl Stack<SimNet> {
@@ -406,6 +440,8 @@ impl<T: Transport> Stack<T> {
                         addr,
                         daemon: ForkingDaemon::boot(name, cfg.scheme, server_keys[i]),
                         engine,
+                        down: false,
+                        catching_up: false,
                     });
                 }
             }
@@ -461,6 +497,8 @@ impl<T: Transport> Stack<T> {
             primary_lost_at: None,
             views_seen: 0,
             dead_lettered_seen: 0,
+            smr_repair: false,
+            transfer: TransferScheduler::new(1),
         })
     }
 
@@ -540,6 +578,8 @@ impl<T: Transport> Stack<T> {
             let signer = Signer::register(s.daemon.name(), &authority);
             s.engine.reset(KvStore::new(), signer);
             s.daemon.reset(server_keys[i]);
+            s.down = false;
+            s.catching_up = false;
         }
 
         self.clients.clear();
@@ -551,6 +591,8 @@ impl<T: Transport> Stack<T> {
         self.primary_lost_at = None;
         self.views_seen = 0;
         self.dead_lettered_seen = 0;
+        self.smr_repair = false;
+        self.transfer.reset();
     }
 
     /// The assembled class.
@@ -592,48 +634,140 @@ impl<T: Transport> Stack<T> {
         self.net.now()
     }
 
-    /// Takes PB server `i` off the network entirely (machine outage, not
-    /// a child-process crash): connected peers observe the closure, and
+    /// Takes server `i` off the network entirely (machine outage, not a
+    /// child-process crash): connected peers observe the closure, and
     /// the node neither ticks nor serves until
-    /// [`Stack::bring_up_server`]. This is the availability fault the
-    /// PB failover protocol exists for — see `examples/failover.rs`.
+    /// [`Stack::bring_up_server`]. For the PB tier this is the
+    /// availability fault the failover protocol exists for — see
+    /// `examples/failover.rs`. For S0 it arms SMR repair accounting and
+    /// the crash becomes a *protocol event*: the surviving replicas'
+    /// view timers expire and a VSR view change elects a new leader.
     ///
     /// # Panics
     ///
-    /// Panics for S0 (use the SMR view-change machinery) or an
-    /// out-of-range index.
+    /// Panics on an out-of-range index.
     pub fn take_down_server(&mut self, i: usize) {
-        assert!(
-            self.cfg.class != SystemClass::S0Smr,
-            "take_down_server models PB-tier outages (S1/S2)"
-        );
-        let addr = self.pb_servers[i].addr;
-        if !self.pb_servers[i].down {
-            self.avail.outages += 1;
+        match self.cfg.class {
+            SystemClass::S0Smr => {
+                let addr = self.smr_servers[i].addr;
+                if !self.smr_servers[i].down {
+                    self.avail.outages += 1;
+                }
+                self.smr_servers[i].down = true;
+                self.smr_repair = true;
+                self.net.crash(addr);
+            }
+            _ => {
+                let addr = self.pb_servers[i].addr;
+                if !self.pb_servers[i].down {
+                    self.avail.outages += 1;
+                }
+                self.pb_servers[i].down = true;
+                self.net.crash(addr);
+            }
         }
-        self.pb_servers[i].down = true;
-        self.net.crash(addr);
     }
 
-    /// Brings a downed PB server back online with a clean connection
-    /// table (state catch-up is the protocol's job, not the network's).
+    /// Brings a downed server back online with a clean connection table
+    /// (state catch-up is the protocol's job, not the network's). A PB
+    /// replica rejoins immediately. An SMR replica rejoins *catching
+    /// up*: it owes the [`TransferScheduler`] transfer units
+    /// proportional to its log divergence from the live tier's furthest
+    /// execution point, and stays out of the quorum until they are paid
+    /// — the repair-economics half of the view-change refactor.
     pub fn bring_up_server(&mut self, i: usize) {
-        let addr = self.pb_servers[i].addr;
-        self.net.restart(addr);
-        self.pb_servers[i].down = false;
+        match self.cfg.class {
+            SystemClass::S0Smr => {
+                let addr = self.smr_servers[i].addr;
+                self.net.restart(addr);
+                self.smr_servers[i].down = false;
+                let group_max = self
+                    .smr_servers
+                    .iter()
+                    .filter(|s| !s.down && !s.catching_up)
+                    .map(|s| s.engine.last_exec())
+                    .max()
+                    .unwrap_or(0);
+                let divergence =
+                    group_max.saturating_sub(self.smr_servers[i].engine.last_exec());
+                self.transfer.enqueue(i, divergence);
+                self.smr_servers[i].catching_up = true;
+            }
+            _ => {
+                let addr = self.pb_servers[i].addr;
+                self.net.restart(addr);
+                self.pb_servers[i].down = false;
+            }
+        }
     }
 
-    /// Whether PB server `i` is currently taken down.
+    /// Whether server `i` is currently taken down (a catching-up SMR
+    /// rejoiner is *up* — see [`Stack::server_is_catching_up`]).
     pub fn server_is_down(&self, i: usize) -> bool {
-        self.pb_servers[i].down
+        match self.cfg.class {
+            SystemClass::S0Smr => self.smr_servers[i].down,
+            _ => self.pb_servers[i].down,
+        }
     }
 
-    /// Whether any PB server machine is currently taken down — the
-    /// outage signal an availability-aware adversary (or operator
-    /// dashboard) can read without any key oracle: real outages are
-    /// externally observable through error rates and health pages.
+    /// Whether SMR server `i` is paying its rejoin state transfer (always
+    /// false outside S0).
+    pub fn server_is_catching_up(&self, i: usize) -> bool {
+        self.smr_servers.get(i).is_some_and(|s| s.catching_up)
+    }
+
+    /// Whether any server machine is currently taken down or still
+    /// paying its rejoin transfer — the outage signal an
+    /// availability-aware adversary (or operator dashboard) can read
+    /// without any key oracle: real outages are externally observable
+    /// through error rates and health pages.
     pub fn any_server_down(&self) -> bool {
         self.pb_servers.iter().any(|s| s.down)
+            || self.smr_servers.iter().any(|s| s.down || s.catching_up)
+    }
+
+    /// Number of server machines in the deployed tier — the SMR quorum
+    /// arithmetic fixes S0 at 4 regardless of [`StackConfig::ns`], so
+    /// outage schedules must size against this, not the config knob.
+    pub fn server_count(&self) -> usize {
+        match self.cfg.class {
+            SystemClass::S0Smr => self.smr_servers.len(),
+            _ => self.pb_servers.len(),
+        }
+    }
+
+    /// Arms S0 repair accounting with an explicit state-transfer
+    /// bandwidth budget (units per step shared by all concurrent
+    /// rejoiners). Idempotent per trial; legacy paths never call it, so
+    /// their availability bits are untouched.
+    pub fn enable_smr_repair(&mut self, bandwidth: u64) {
+        self.smr_repair = true;
+        self.transfer = TransferScheduler::new(bandwidth);
+    }
+
+    /// Whether S0 repair accounting is armed (the gate on the SMR fields
+    /// of [`Availability`]).
+    pub fn smr_repair_tracked(&self) -> bool {
+        self.smr_repair
+    }
+
+    /// The index of the replica the live SMR tier currently expects to
+    /// lead: the highest installed view among live (up, not catching up,
+    /// uncompromised) replicas, mapped through the round-robin leader
+    /// rule. 0 when the tier is absent or fully dead — callers use this
+    /// as a crash-targeting hint, not an oracle.
+    pub fn smr_leader_hint(&self) -> usize {
+        let n = self.smr_servers.len();
+        if n == 0 {
+            return 0;
+        }
+        self.smr_servers
+            .iter()
+            .filter(|s| !s.down && !s.catching_up && !s.daemon.is_compromised())
+            .map(|s| s.engine.view())
+            .max()
+            .map(|v| (v % n as u64) as usize)
+            .unwrap_or(0)
     }
 
     /// The index of the PB server currently *serving*: up,
@@ -954,6 +1088,14 @@ impl<T: Transport> Stack<T> {
             }
             scratch.clear();
             self.net.drain_into(self.smr_servers[i].addr, &mut scratch);
+            if self.smr_servers[i].down || self.smr_servers[i].catching_up {
+                // A downed machine consumes nothing, and a rejoiner
+                // replaying its state transfer is not yet listening;
+                // events already dead-letter at the transport, this only
+                // covers a race with take_down / bring_up.
+                scratch.clear();
+                continue;
+            }
             for ev in scratch.drain(..) {
                 worked = true;
                 self.handle_smr_event(i, ev);
@@ -1012,10 +1154,17 @@ impl<T: Transport> Stack<T> {
                     }
                     WireMsg::ClientRequest(req) => {
                         self.proxies[i].daemon.deliver_benign();
-                        let outs = self.proxies[i]
-                            .engine
-                            .on_input(ProxyInput::ClientRequest(req.to_owned()));
-                        self.dispatch_proxy_outputs(i, outs);
+                        // Borrow-through: the suspicion gate and the
+                        // forwarding bookkeeping run on the borrowed view,
+                        // and the verbatim wire bytes are re-broadcast
+                        // (the canonical codec makes that byte-identical
+                        // to decode-then-re-encode). No owned request, no
+                        // output vector, no second encode.
+                        if self.proxies[i].engine.should_forward(req.client, req.seq) {
+                            let from = self.proxies[i].addr;
+                            self.net
+                                .broadcast(from, &self.server_targets, payload.clone());
+                        }
                     }
                     WireMsg::SignedReply(reply) => {
                         self.proxies[i].daemon.deliver_benign();
@@ -1298,6 +1447,9 @@ impl<T: Transport> Stack<T> {
     fn track_availability(&mut self) {
         self.avail.steps += 1;
         if self.pb_servers.is_empty() {
+            if self.smr_repair {
+                self.track_smr_availability();
+            }
             return;
         }
         if self.pb_primary_serving() {
@@ -1328,6 +1480,63 @@ impl<T: Transport> Stack<T> {
         self.dead_lettered_seen = dead_lettered;
     }
 
+    /// The S0 half of [`Stack::track_availability`], armed only under
+    /// repair accounting (see [`Availability`]): the tier *serves* when
+    /// a `2f+1` quorum of replicas is live (up, transfer paid,
+    /// uncompromised) and the leader of the highest live installed view
+    /// is itself live and in normal status. Down windows, view-change
+    /// latency and the repair counters all derive from that predicate
+    /// with zero RNG consumption.
+    fn track_smr_availability(&mut self) {
+        fn live(s: &SmrNode) -> bool {
+            !s.down && !s.catching_up && !s.daemon.is_compromised()
+        }
+        let n = self.smr_servers.len();
+        if n == 0 {
+            return;
+        }
+        let quorum = 2 * ((n - 1) / 3) + 1;
+        let live_count = self.smr_servers.iter().filter(|s| live(s)).count();
+        let max_view = self
+            .smr_servers
+            .iter()
+            .filter(|s| live(s))
+            .map(|s| s.engine.view())
+            .max();
+        let serving = live_count >= quorum
+            && max_view.is_some_and(|v| {
+                let leader = &self.smr_servers[(v % n as u64) as usize];
+                live(leader) && leader.engine.is_normal() && leader.engine.view() == v
+            });
+        if serving {
+            if let Some(lost) = self.primary_lost_at.take() {
+                self.avail.failover_latency_total += self.step - lost;
+                self.avail.recoveries += 1;
+            }
+        } else {
+            self.avail.down_steps += 1;
+            if self.primary_lost_at.is_none() {
+                self.primary_lost_at = Some(self.step);
+            }
+        }
+        if let Some(v) = max_view {
+            if v > self.views_seen {
+                self.avail.view_changes += v - self.views_seen;
+                self.views_seen = v;
+            }
+        }
+        self.avail.transfer_units = self.transfer.units_paid();
+        self.avail.peak_transfer_queue = self
+            .avail
+            .peak_transfer_queue
+            .max(self.transfer.peak_queue() as u64);
+        let dead_lettered = self.net.stats().dead_lettered;
+        if self.any_server_down() {
+            self.avail.lost_requests += dead_lettered - self.dead_lettered_seen;
+        }
+        self.dead_lettered_seen = dead_lettered;
+    }
+
     /// Advances every engine's logical clock to the next unit time-step
     /// and dispatches whatever the timers produce (heartbeats, failovers,
     /// view changes).
@@ -1345,7 +1554,10 @@ impl<T: Transport> Stack<T> {
             self.dispatch_pb_outputs(i, outs);
         }
         for i in 0..self.smr_servers.len() {
-            if self.smr_servers[i].daemon.is_compromised() {
+            if self.smr_servers[i].daemon.is_compromised()
+                || self.smr_servers[i].down
+                || self.smr_servers[i].catching_up
+            {
                 continue;
             }
             let outs = self.smr_servers[i].engine.on_input(SmrInput::Tick { now });
@@ -1359,6 +1571,14 @@ impl<T: Transport> Stack<T> {
     /// and advances the step counter. Returns the compromise state as it
     /// stood **before** maintenance — the quantity the paper's EL counts.
     pub fn end_step(&mut self) -> CompromiseState {
+        if self.smr_repair {
+            // Spend this step's state-transfer bandwidth; replicas whose
+            // divergence is fully paid rejoin the quorum before the tick
+            // so their first live step is this one.
+            for id in self.transfer.step() {
+                self.smr_servers[id].catching_up = false;
+            }
+        }
         self.tick_engines();
         let state = self.compromise_state();
         self.track_availability();
@@ -1990,6 +2210,125 @@ mod tests {
             stack.end_step();
         }
         assert_eq!(stack.availability().down_steps, before);
+    }
+
+    /// Crashing the S0 leader is a *protocol event*: the backups' view-change
+    /// timers (leader_timeout = 30 steps) expire, the VSR-style
+    /// StartViewChange / DoViewChange / StartView exchange elects a successor,
+    /// and the availability counters record one view change whose latency is
+    /// the view timer — measurably longer than the PB failover timeout (20).
+    #[test]
+    fn smr_outage_routes_through_a_view_change() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S0Smr,
+            policy: ObfuscationPolicy::StartupOnly,
+            seed: 47,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("alice");
+        let servers = stack.ns().servers().to_vec();
+        let mut client = DirectClient::new(
+            "alice",
+            stack.authority(),
+            servers,
+            AcceptMode::MatchingVotes { f: 1 },
+        );
+        // The VSR timers are request-driven: a benign probe per step keeps
+        // every replica holding a pending request so silence is observable.
+        let drive = |stack: &mut Stack, client: &mut DirectClient, steps: usize| {
+            for _ in 0..steps {
+                stack.drain_client("alice");
+                let req = client.request(b"GET probe");
+                stack.submit("alice", &req);
+                stack.pump();
+                stack.end_step();
+            }
+        };
+        drive(&mut stack, &mut client, 5);
+        let avail = stack.availability();
+        assert_eq!((avail.down_steps, avail.view_changes), (0, 0));
+
+        let leader = stack.smr_leader_hint();
+        stack.take_down_server(leader);
+        assert!(stack.smr_repair_tracked(), "an S0 crash arms repair tracking");
+        drive(&mut stack, &mut client, 60);
+
+        let avail = stack.availability();
+        assert!(avail.view_changes >= 1, "the crash must force a view change");
+        assert_eq!(avail.outages, 1);
+        assert!(avail.recoveries >= 1, "a successor must resume service");
+        let lat = avail.mean_failover_latency().expect("one completed window");
+        assert!(
+            lat > pb_failover_timeout() as f64,
+            "view-change latency tracks the 30-step view timer, not the \
+             20-step PB failover timeout; got {lat}"
+        );
+        assert!(
+            (25.0..=45.0).contains(&lat),
+            "latency should sit near leader_timeout = 30, got {lat}"
+        );
+        assert!(!stack.is_compromised(), "an outage is not an intrusion");
+    }
+
+    /// A rejoining S0 replica pays state transfer proportional to its log
+    /// divergence: commits made while it was down become queued transfer
+    /// units drained at the bounded bandwidth, and the replica only rejoins
+    /// the quorum once the debt is paid.
+    #[test]
+    fn smr_rejoiner_pays_divergence_priced_transfer() {
+        let mut stack = Stack::new(StackConfig {
+            class: SystemClass::S0Smr,
+            policy: ObfuscationPolicy::StartupOnly,
+            seed: 48,
+            ..StackConfig::default()
+        })
+        .unwrap();
+        stack.add_client("alice");
+        let servers = stack.ns().servers().to_vec();
+        let mut client = DirectClient::new(
+            "alice",
+            stack.authority(),
+            servers,
+            AcceptMode::MatchingVotes { f: 1 },
+        );
+        let drive = |stack: &mut Stack, client: &mut DirectClient, steps: usize| {
+            for _ in 0..steps {
+                stack.drain_client("alice");
+                let req = client.request(b"PUT k v");
+                stack.submit("alice", &req);
+                stack.pump();
+                stack.end_step();
+            }
+        };
+        drive(&mut stack, &mut client, 3);
+        // Crash a follower: the remaining three replicas are exactly a
+        // 2f+1 quorum, so commits continue and divergence accumulates.
+        stack.take_down_server(3);
+        drive(&mut stack, &mut client, 20);
+        assert_eq!(
+            stack.availability().down_steps,
+            0,
+            "three live replicas are still a serving quorum"
+        );
+
+        stack.bring_up_server(3);
+        assert!(
+            stack.server_is_catching_up(3),
+            "a divergent rejoiner must queue for state transfer"
+        );
+        drive(&mut stack, &mut client, 40);
+        assert!(
+            !stack.server_is_catching_up(3),
+            "the transfer debt is finite and must eventually be paid"
+        );
+        let avail = stack.availability();
+        assert!(
+            avail.transfer_units >= 10,
+            "20 serving steps of commits price a real transfer, got {}",
+            avail.transfer_units
+        );
+        assert_eq!(avail.down_steps, 0, "repair never cost availability here");
     }
 
     #[test]

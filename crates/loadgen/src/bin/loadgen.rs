@@ -9,14 +9,23 @@
 //! loadgen [--transport tcp|uds] [--clients N] [--rate RPS]
 //!         [--duration-secs S] [--tick-ms MS] [--timeout-ms MS]
 //!         [--outage-period STEPS] [--outage-down STEPS] [--seed N]
-//!         [--poll-us US] [--settle-ms MS] [--out PATH]
+//!         [--poll-us US] [--settle-ms MS] [--closed-loop] [--out PATH]
 //!         [--assert-min-rps X] [--assert-max-p999-ms X]
 //!         [--assert-min-failovers N]
 //! ```
 //!
+//! `--closed-loop` runs the soak *twice* — the open-loop discipline
+//! first, then the identical config closed-loop (one request in flight
+//! per client, think time after each completion) — and emits a single
+//! JSON object: the open columns unchanged plus the closed run's
+//! headline columns under a `closed_` prefix. The pair makes the
+//! coordinated-omission gap between the two disciplines directly
+//! readable off one report.
+//!
 //! The `--assert-*` flags make the binary self-checking for CI: when any
 //! bound is violated the report still prints, but the process exits
-//! nonzero with the violated bound named on stderr.
+//! nonzero with the violated bound named on stderr. Asserts always apply
+//! to the open-loop run.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -36,7 +45,7 @@ fn usage() -> ! {
         "usage: loadgen [--transport tcp|uds] [--clients N] [--rate RPS] \
          [--duration-secs S] [--tick-ms MS] [--timeout-ms MS] \
          [--outage-period STEPS] [--outage-down STEPS] [--seed N] \
-         [--poll-us US] [--settle-ms MS] [--out PATH] \
+         [--poll-us US] [--settle-ms MS] [--closed-loop] [--out PATH] \
          [--assert-min-rps X] [--assert-max-p999-ms X] [--assert-min-failovers N]"
     );
     std::process::exit(2);
@@ -61,6 +70,7 @@ fn main() -> ExitCode {
     let mut outage_period: u64 = 0;
     let mut outage_down: u64 = 40;
     let mut out_path: Option<String> = None;
+    let mut paired_closed = false;
     let mut asserts = Asserts {
         min_rps: None,
         max_p999_ms: None,
@@ -98,6 +108,7 @@ fn main() -> ExitCode {
             "--settle-ms" => {
                 cfg.timing.settle_timeout = Duration::from_millis(parse(&flag, argv.next()));
             }
+            "--closed-loop" => paired_closed = true,
             "--out" => out_path = Some(parse(&flag, argv.next())),
             "--assert-min-rps" => asserts.min_rps = Some(parse(&flag, argv.next())),
             "--assert-max-p999-ms" => asserts.max_p999_ms = Some(parse(&flag, argv.next())),
@@ -126,7 +137,13 @@ fn main() -> ExitCode {
         cfg.outage.label(),
     );
     let report = run_soak(&cfg);
-    let json = report.to_json();
+    let json = if paired_closed {
+        eprintln!("loadgen: open-loop pass done; re-running closed-loop");
+        let closed = run_soak(&SoakConfig { closed_loop: true, ..cfg });
+        report.to_paired_json(&closed)
+    } else {
+        report.to_json()
+    };
     print!("{json}");
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &json) {

@@ -12,6 +12,13 @@
 //!   is measured from the *scheduled* arrival, so queueing delay is
 //!   charged to the system — the open-loop discipline that avoids
 //!   coordinated omission.
+//! * **Closed-loop arrivals** ([`SoakConfig::closed_loop`]): each client
+//!   keeps at most one request in flight and draws an exponential think
+//!   time after every completion, the discipline most benchmarks
+//!   accidentally run. Latency is measured from the issue instant. The
+//!   CLI's `--closed-loop` flag runs *both* disciplines back to back and
+//!   emits the paired columns, so the coordinated-omission gap between
+//!   them is a first-class number.
 //! * **HDR-style histograms** ([`hist::Histogram`]): p50/p99/p999 with
 //!   bounded relative error and O(1) allocation-free recording.
 //! * **Soak mode**: an [`OutageSpec`] replays machine outages against the
@@ -73,6 +80,12 @@ pub struct SoakConfig {
     pub seed: u64,
     /// Readiness-loop knobs for the socket transport.
     pub timing: SockTiming,
+    /// Arrival discipline: `false` (default) is open-loop — requests
+    /// fire on schedule regardless of completions; `true` is closed-loop
+    /// — each client holds at most one request in flight and thinks for
+    /// an exponential gap (same mean) after each completion or timeout,
+    /// with latency charged from the issue instant.
+    pub closed_loop: bool,
 }
 
 impl Default for SoakConfig {
@@ -87,6 +100,7 @@ impl Default for SoakConfig {
             outage: OutageSpec::None,
             seed: 1,
             timing: SockTiming::default(),
+            closed_loop: false,
         }
     }
 }
@@ -200,6 +214,37 @@ impl SoakReport {
         out.push_str("\n}\n");
         out
     }
+
+    /// Renders a paired open/closed report: `self` (the open-loop run)
+    /// contributes every column of [`SoakReport::to_json`] unchanged,
+    /// and the closed-loop run's headline columns ride along under a
+    /// `closed_` prefix — same flat shape, so the CI column diff and a
+    /// side-by-side read of the coordinated-omission gap both stay a
+    /// plain grep.
+    pub fn to_paired_json(&self, closed: &SoakReport) -> String {
+        let mut out = self.to_json();
+        out.truncate(out.len() - "\n}\n".len());
+        let pairs = [
+            ("closed_requests_sent", closed.requests_sent.to_string()),
+            ("closed_responses_ok", closed.responses_ok.to_string()),
+            ("closed_timeouts", closed.timeouts.to_string()),
+            ("closed_rps", format!("{:.1}", closed.rps)),
+            ("closed_goodput", format!("{:.4}", closed.goodput)),
+            ("closed_p50_us", closed.p50_us.to_string()),
+            ("closed_p99_us", closed.p99_us.to_string()),
+            ("closed_p999_us", closed.p999_us.to_string()),
+            ("closed_max_us", closed.max_us.to_string()),
+            ("closed_steady_p999_us", closed.steady_p999_us.to_string()),
+            ("closed_outage_p999_us", closed.outage_p999_us.to_string()),
+            ("closed_p999_spike", format!("{:.2}", closed.p999_spike)),
+            ("closed_failovers", closed.failovers.to_string()),
+        ];
+        for (key, value) in pairs {
+            out.push_str(&format!(",\n  \"{key}\": {value}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
 }
 
 /// One load-generating client: its protocol state, arrival stream and
@@ -208,9 +253,11 @@ struct ClientSlot {
     name: String,
     client: FortressClient,
     arrivals: SmallRng,
-    /// When the next request is scheduled to fire.
+    /// When the next request is scheduled to fire (open loop: the next
+    /// arrival; closed loop: think-time expiry).
     next_due: Instant,
-    /// seq → scheduled arrival instant, for open-loop latency.
+    /// seq → latency origin: the scheduled arrival in open-loop mode,
+    /// the issue instant in closed-loop mode.
     pending: HashMap<u64, Instant>,
 }
 
@@ -287,16 +334,27 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             break;
         }
 
-        // 1. Fire every arrival that has come due (open loop: the
-        //    schedule does not wait for responses).
+        // 1. Fire arrivals. Open loop: every due arrival fires, the
+        //    schedule does not wait for responses. Closed loop: a client
+        //    with a request still in flight holds its fire — the next
+        //    think timer is armed when the response (or timeout) lands.
         for slot in &mut slots {
-            while slot.next_due <= now {
-                let req = slot.client.request(OP);
-                stack.submit(&slot.name, &req);
-                slot.pending.insert(req.seq, slot.next_due);
-                requests_sent += 1;
-                let gap = exp_gap(&mut slot.arrivals, per_client_mean);
-                slot.next_due += gap;
+            if cfg.closed_loop {
+                if slot.pending.is_empty() && slot.next_due <= now {
+                    let req = slot.client.request(OP);
+                    stack.submit(&slot.name, &req);
+                    slot.pending.insert(req.seq, now);
+                    requests_sent += 1;
+                }
+            } else {
+                while slot.next_due <= now {
+                    let req = slot.client.request(OP);
+                    stack.submit(&slot.name, &req);
+                    slot.pending.insert(req.seq, slot.next_due);
+                    requests_sent += 1;
+                    let gap = exp_gap(&mut slot.arrivals, per_client_mean);
+                    slot.next_due += gap;
+                }
             }
         }
 
@@ -307,6 +365,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         // 3. Collect responses.
         let completed = Instant::now();
         for slot in &mut slots {
+            let in_flight = slot.pending.len();
             events.clear();
             stack.drain_client_into(&slot.name, &mut events);
             for ev in &events {
@@ -335,6 +394,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                     None => late_responses += 1,
                 }
             }
+            if cfg.closed_loop && in_flight > 0 && slot.pending.is_empty() {
+                slot.next_due = completed + exp_gap(&mut slot.arrivals, per_client_mean);
+            }
         }
 
         // 4. Expire requests past the timeout, recording each as a
@@ -346,6 +408,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         if let Some(cutoff) = now.checked_sub(cfg.timeout) {
             let timeout_us = cfg.timeout.as_micros() as u64;
             for slot in &mut slots {
+                let in_flight = slot.pending.len();
                 slot.pending.retain(|_, scheduled| {
                     if *scheduled <= cutoff {
                         let expiry = *scheduled + cfg.timeout;
@@ -365,6 +428,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                         true
                     }
                 });
+                if cfg.closed_loop && in_flight > 0 && slot.pending.is_empty() {
+                    slot.next_due = now + exp_gap(&mut slot.arrivals, per_client_mean);
+                }
             }
         }
 
@@ -468,6 +534,37 @@ mod tests {
         // Open-loop accounting closes: every request is answered, timed
         // out, late, or still pending at the deadline.
         assert!(report.responses_ok + report.timeouts <= report.requests_sent);
+    }
+
+    /// Closed-loop discipline: at most one request in flight per client
+    /// at any instant, so the number submitted can never exceed the
+    /// number resolved plus one straggler per client; and the paired
+    /// emitter carries both disciplines in one flat object.
+    #[test]
+    #[cfg(unix)]
+    fn closed_loop_holds_one_request_in_flight_per_client() {
+        let cfg = SoakConfig {
+            kind: SockKind::Uds,
+            clients: 4,
+            rate: 200.0,
+            duration: Duration::from_millis(600),
+            tick: Duration::from_millis(5),
+            timeout: Duration::from_millis(400),
+            closed_loop: true,
+            ..SoakConfig::default()
+        };
+        let closed = run_soak(&cfg);
+        assert!(closed.responses_ok > 0, "no responses: {closed:?}");
+        assert!(
+            closed.requests_sent <= closed.responses_ok + closed.timeouts + cfg.clients as u64,
+            "closed loop overlapped requests: {closed:?}"
+        );
+        let open = run_soak(&SoakConfig { closed_loop: false, ..cfg });
+        let paired = open.to_paired_json(&closed);
+        for key in ["\"rps\":", "\"closed_rps\":", "\"closed_p999_us\":"] {
+            assert!(paired.contains(key), "missing {key} in {paired}");
+        }
+        assert!(paired.starts_with("{\n") && paired.ends_with("}\n"));
     }
 
     #[test]

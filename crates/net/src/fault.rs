@@ -126,6 +126,32 @@ impl PartitionWindow {
     }
 }
 
+/// A deterministically slow endpoint: every message into or out of the
+/// endpoint with raw address `addr` is held `extra` additional steps on
+/// top of whatever jitter the plan draws. The penalty is fixed and keyed
+/// purely by address, so it consumes **no RNG draws** — the four-draw
+/// stream contract of a degraded `send` is untouched. This is the
+/// slow-replica (partial-degradation) failure shape: the node is up and
+/// correct, just late to every quorum.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SlowLink {
+    /// Raw address of the slow endpoint.
+    pub addr: u32,
+    /// Extra hold steps applied to every message touching it.
+    pub extra: u64,
+}
+
+impl SlowLink {
+    /// Extra delay this link imposes on a `from → to` message.
+    fn penalty(&self, from: Addr, to: Addr) -> u64 {
+        if from.raw() == self.addr || to.raw() == self.addr {
+            self.extra
+        } else {
+            0
+        }
+    }
+}
+
 /// The link-fault model a [`FaultyTransport`] applies: the network-tier
 /// half of the sweepable fault axis (`fortress_sim` pairs it with a
 /// client retry policy to form the full sweep coordinate).
@@ -149,6 +175,8 @@ pub enum FaultPlan {
         dup: f64,
         /// Scheduled symmetric/asymmetric partition, if any.
         partition: Option<PartitionWindow>,
+        /// One deterministically slow endpoint, if any (RNG-free).
+        slow: Option<SlowLink>,
     },
 }
 
@@ -162,6 +190,7 @@ impl FaultPlan {
             delay_max: 0,
             dup: 0.0,
             partition: None,
+            slow: None,
         }
     }
 
@@ -180,6 +209,7 @@ impl FaultPlan {
                 delay_max,
                 dup,
                 partition,
+                slow,
             } => {
                 let mut parts = vec![format!("loss:{loss}")];
                 if delay_max > 0 {
@@ -191,6 +221,9 @@ impl FaultPlan {
                 if let Some(w) = partition {
                     let arrow = if w.oneway { ">" } else { "|" };
                     parts.push(format!("part:{}/{}{}{}", w.period, w.duration, arrow, w.split));
+                }
+                if let Some(s) = slow {
+                    parts.push(format!("slow:{}x{}", s.addr, s.extra));
                 }
                 parts.join("+")
             }
@@ -354,16 +387,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             delay_max,
             dup,
             partition,
+            slow,
         } = self.plan
         else {
             return self.inner.send(from, to, payload);
         };
         // Exactly four draws per send, in fixed order, whatever fires:
-        // the stream position depends only on the send count.
+        // the stream position depends only on the send count. The slow
+        // link's penalty is fixed and keyed by address, never drawn.
         let u_loss = SplitMix64::unit(self.rng.next_u64());
         let delay = SplitMix64::in_range(self.rng.next_u64(), delay_min, delay_max);
         let u_dup = SplitMix64::unit(self.rng.next_u64());
         let dup_delay = SplitMix64::in_range(self.rng.next_u64(), delay_min, delay_max);
+        let penalty = slow.map_or(0, |s| s.penalty(from, to));
 
         if partition.is_some_and(|w| w.active(self.clock) && w.cuts(from, to)) {
             self.injected_drops += 1;
@@ -375,9 +411,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         }
         if u_dup < dup {
             self.injected_dups += 1;
-            self.hold_or_send(from, to, payload.clone(), dup_delay);
+            self.hold_or_send(from, to, payload.clone(), dup_delay + penalty);
         }
-        self.hold_or_send(from, to, payload, delay);
+        self.hold_or_send(from, to, payload, delay + penalty);
     }
 
     fn broadcast(&mut self, from: Addr, targets: &[Addr], payload: Bytes) {
@@ -531,6 +567,7 @@ mod tests {
                 delay_max: 9,
                 dup: 0.0,
                 partition: None,
+                slow: None,
             },
             0x5EED,
         );
@@ -585,6 +622,7 @@ mod tests {
                 delay_max: 0,
                 dup: 1.0,
                 partition: None,
+                slow: None,
             },
             11,
         );
@@ -611,6 +649,7 @@ mod tests {
                 delay_max: 3,
                 dup: 0.0,
                 partition: None,
+                slow: None,
             },
             13,
         );
@@ -645,6 +684,7 @@ mod tests {
                 delay_max: 0,
                 dup: 0.0,
                 partition: Some(window),
+                slow: None,
             },
             17,
         );
@@ -713,6 +753,7 @@ mod tests {
             delay_max: 4,
             dup: 0.1,
             partition: None,
+            slow: None,
         };
         let drive = |net: &mut FaultyTransport<SimNet>,
                      a: Addr,
@@ -761,8 +802,90 @@ mod tests {
                 split: 3,
                 oneway: false,
             }),
+            slow: None,
         };
         assert_eq!(full.label(), "loss:0.05+delay:1-4+dup:0.02+part:40/10|3");
         assert!(!full.label().contains(','), "labels live inside CSV cells");
+        let slowed = FaultPlan::Degraded {
+            loss: 0.0,
+            delay_min: 0,
+            delay_max: 0,
+            dup: 0.0,
+            partition: None,
+            slow: Some(SlowLink { addr: 2, extra: 6 }),
+        };
+        assert_eq!(slowed.label(), "loss:0+slow:2x6");
+    }
+
+    /// The slow link holds every message touching the slow endpoint for
+    /// its fixed penalty — in both directions — while traffic between
+    /// fast endpoints flows immediately, and no extra RNG is drawn (the
+    /// delivery *schedule* of other links is unchanged vs. no slow link).
+    #[test]
+    fn slow_link_penalizes_only_its_endpoint_and_draws_no_rng() {
+        let plan_with = |slow: Option<SlowLink>| FaultPlan::Degraded {
+            loss: 0.0,
+            delay_min: 0,
+            delay_max: 0,
+            dup: 0.0,
+            partition: None,
+            slow,
+        };
+        let mut net = FaultyTransport::new(
+            SimNet::new(SimConfig::default()),
+            plan_with(Some(SlowLink { addr: 2, extra: 5 })),
+            31,
+        );
+        let a = net.register("a"); // raw 0
+        let b = net.register("b"); // raw 1
+        let c = net.register("c"); // raw 2: the slow replica
+        net.send(a, b, Bytes::from_static(b"fast"));
+        net.send(a, c, Bytes::from_static(b"to-slow"));
+        net.send(c, b, Bytes::from_static(b"from-slow"));
+        assert_eq!(net.held_count(), 2, "both slow-touching messages held");
+        assert!(net.step());
+        let mut out = Vec::new();
+        net.drain_into(b, &mut out);
+        assert_eq!(out.len(), 1, "fast link delivered in one step");
+        run_quiet(&mut net);
+        out.clear();
+        net.drain_into(c, &mut out);
+        assert_eq!(out.len(), 1, "slow inbound arrives after the penalty");
+        out.clear();
+        net.drain_into(b, &mut out);
+        assert_eq!(out.len(), 1, "slow outbound arrives after the penalty");
+
+        // RNG-neutrality: with loss active, the drop schedule on the
+        // fast link is bit-identical with and without a slow endpoint.
+        let run = |slow: Option<SlowLink>| -> u64 {
+            let mut net = FaultyTransport::new(
+                SimNet::new(SimConfig::default()),
+                match plan_with(slow) {
+                    FaultPlan::Degraded { partition, slow, .. } => FaultPlan::Degraded {
+                        loss: 0.3,
+                        delay_min: 0,
+                        delay_max: 0,
+                        dup: 0.0,
+                        partition,
+                        slow,
+                    },
+                    none => none,
+                },
+                41,
+            );
+            let a = net.register("a");
+            let b = net.register("b");
+            let _c = net.register("c");
+            for p in payloads(60) {
+                net.send(a, b, p);
+            }
+            run_quiet(&mut net);
+            net.stats().dropped
+        };
+        assert_eq!(
+            run(None),
+            run(Some(SlowLink { addr: 2, extra: 9 })),
+            "slow link must not consume fault-stream draws"
+        );
     }
 }

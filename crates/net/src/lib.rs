@@ -109,7 +109,7 @@ pub mod wire;
 
 pub use addr::Addr;
 pub use event::{NetEvent, NetStats};
-pub use fault::{FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
+pub use fault::{FaultPlan, FaultyTransport, PartitionWindow, SlowLink, FAULT_STREAM};
 pub use shared::SharedNet;
 pub use sim::{Latency, SimConfig, SimNet};
 pub use sock::{SockKind, SockNet, SockTiming};

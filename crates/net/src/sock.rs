@@ -106,6 +106,15 @@ const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// a burst of dials from one drive loop cannot overflow a listener
 /// backlog before the reactor runs again.
 const ACCEPTS_EVERY: u32 = 64;
+/// Consecutive empty readiness passes after which the settle wait in
+/// [`Transport::step`] concludes the kernel is quiescent and exits
+/// early — in-flight counters can stay nonzero forever when a frame
+/// dies unparseable (its connection is killed without crediting
+/// delivery), and burning the full [`SockTiming::settle_timeout`] on
+/// every such step turns a fixed safety valve into a per-step tax. At
+/// the default 200µs poll interval this is ~10ms of observed silence,
+/// three orders of magnitude above loopback delivery latency.
+const SETTLE_IDLE_POLLS: u32 = 50;
 
 /// Distinguishes concurrently-living [`SockNet`] instances in one
 /// process (Unix socket directory names).
@@ -732,9 +741,12 @@ impl Transport for SockNet {
     /// One reactor pass, plus a bounded settle wait: when frames are
     /// known to be in flight through the kernel but this pass moved
     /// nothing, the reactor re-polls on [`SockTiming::poll_interval`]
-    /// until something lands or [`SockTiming::settle_timeout`] expires —
-    /// so `while net.step() {}` reaches real quiescence instead of
-    /// racing the kernel's delivery latency.
+    /// until something lands, the kernel stays observably idle for
+    /// [`SETTLE_IDLE_POLLS`] consecutive passes, or
+    /// [`SockTiming::settle_timeout`] expires — so `while net.step() {}`
+    /// reaches real quiescence instead of racing the kernel's delivery
+    /// latency, and a *stuck* frame (e.g. one whose connection died
+    /// mid-parse) costs a few idle polls, not the whole timeout.
     fn step(&mut self) -> bool {
         let mut progressed = std::mem::take(&mut self.dirty);
         progressed |= self.poll_once();
@@ -745,12 +757,17 @@ impl Transport for SockNet {
             return false;
         }
         let deadline = Instant::now() + self.timing.settle_timeout;
+        let mut idle_polls = 0u32;
         loop {
             std::thread::sleep(self.timing.poll_interval);
             if self.poll_once() {
                 return true;
             }
-            if self.outstanding() == 0 || Instant::now() >= deadline {
+            idle_polls += 1;
+            if self.outstanding() == 0
+                || idle_polls >= SETTLE_IDLE_POLLS
+                || Instant::now() >= deadline
+            {
                 return false;
             }
         }
@@ -948,6 +965,40 @@ mod tests {
             assert_eq!(st.delivered, 1);
             assert_eq!(st.dead_lettered, 2, "{:?}", net.kind());
             assert_eq!(net.outstanding(), 0);
+        }
+    }
+
+    #[test]
+    fn a_stuck_frame_costs_idle_polls_not_the_settle_timeout() {
+        for mut net in backends() {
+            let a = net.register("a");
+            let b = net.register("b");
+            net.send(a, b, Bytes::from_static(b"well-formed"));
+            settle(&mut net);
+            let mut out = Vec::new();
+            net.drain_into(b, &mut out);
+            assert_eq!(out.len(), 1);
+            // A frame longer than MAX_FRAME kills the receiving
+            // connection mid-parse without crediting a delivery, so the
+            // in-flight counter is stuck nonzero for good.
+            net.send(a, b, Bytes::from(vec![0u8; MAX_FRAME + 1]));
+            settle(&mut net);
+            assert!(
+                net.outstanding() > 0,
+                "{:?}: the oversized frame must stay in flight",
+                net.kind()
+            );
+            // The next step must conclude the kernel is quiescent after
+            // SETTLE_IDLE_POLLS empty passes (~10ms), not burn the full
+            // 5s settle_timeout on a counter that can never drain.
+            let start = Instant::now();
+            assert!(!Transport::step(&mut net));
+            assert!(
+                start.elapsed() < Duration::from_secs(1),
+                "{:?}: a stuck frame must exit on idle polls, took {:?}",
+                net.kind(),
+                start.elapsed()
+            );
         }
     }
 

@@ -46,7 +46,8 @@ pub mod smr;
 pub mod state_transfer;
 
 pub use error::ReplicationError;
-pub use message::{PbMsg, ReplyBody, SignedReply, SignedReplyRef, SmrMsg};
+pub use message::{PbMsg, ReplyBody, SignedReply, SignedReplyRef, SmrLogEntry, SmrMsg};
 pub use pb::{PbConfig, PbInput, PbOutput, PbReplica};
 pub use service::{KvStore, Service, TicketedKv};
-pub use smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica};
+pub use smr::{SmrConfig, SmrInput, SmrOutput, SmrReplica, SmrStatus};
+pub use state_transfer::{RejoinCollector, SnapshotOffer, TransferScheduler};

@@ -358,7 +358,52 @@ impl PbMsg {
     }
 }
 
-/// Messages of the SMR ordering protocol (PBFT-style three-phase commit).
+/// One uncommitted log slot carried by the VSR view-change messages:
+/// enough to re-propose the request under the new view (the digest is
+/// recomputed from `request_seq`/`client`/`op` on arrival, never
+/// trusted from the wire).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SmrLogEntry {
+    /// Execution slot.
+    pub seq: u64,
+    /// View the slot was last prepared in (merge rule: highest wins).
+    pub view: u64,
+    /// Client-chosen request sequence number.
+    pub request_seq: u64,
+    /// Requesting client.
+    pub client: String,
+    /// Service operation.
+    pub op: Vec<u8>,
+}
+
+fn encode_log(w: &mut Writer, log: &[SmrLogEntry]) {
+    w.put_u32(log.len() as u32);
+    for e in log {
+        w.put_u64(e.seq)
+            .put_u64(e.view)
+            .put_u64(e.request_seq)
+            .put_str(&e.client)
+            .put_bytes(&e.op);
+    }
+}
+
+fn decode_log(r: &mut Reader<'_>) -> Result<Vec<SmrLogEntry>, CodecError> {
+    let len = r.u32("smr.log_len")?;
+    let mut log = Vec::with_capacity((len as usize).min(64));
+    for _ in 0..len {
+        log.push(SmrLogEntry {
+            seq: r.u64("smr.log.seq")?,
+            view: r.u64("smr.log.view")?,
+            request_seq: r.u64("smr.log.request_seq")?,
+            client: r.str("smr.log.client")?,
+            op: r.bytes("smr.log.op")?,
+        });
+    }
+    Ok(log)
+}
+
+/// Messages of the SMR ordering protocol (PBFT-style three-phase commit
+/// in normal operation, VSR-style view changes on leader failure).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SmrMsg {
     /// A client request, broadcast to every replica.
@@ -401,14 +446,16 @@ pub enum SmrMsg {
         /// Digest of the ordered request.
         digest: Digest,
     },
-    /// A replica votes to depose the current leader.
+    /// A replica votes to depose the current leader (legacy vote-based
+    /// protocol; kept decodable for wire compatibility).
     ViewChange {
         /// Proposed new view.
         new_view: u64,
         /// Voter's last executed slot.
         last_exec: u64,
     },
-    /// The new leader announces its view.
+    /// The new leader announces its view (legacy counterpart of
+    /// [`SmrMsg::StartView`]; kept decodable for wire compatibility).
     NewView {
         /// The new view.
         view: u64,
@@ -428,6 +475,36 @@ pub enum SmrMsg {
         digest: Digest,
         /// Serialized service state.
         snapshot: Vec<u8>,
+    },
+    /// VSR phase 1: a replica whose view timer fired asks the group to
+    /// move to `new_view`. Replicas that agree echo it; `f + 1`
+    /// agreeing replicas advance the protocol to phase 2.
+    StartViewChange {
+        /// Proposed new view.
+        new_view: u64,
+    },
+    /// VSR phase 2: a replica that saw `f + 1` StartViewChange votes
+    /// sends its uncommitted log suffix to the new view's leader, who
+    /// merges `2f + 1` of these per-slot (highest `view` wins).
+    DoViewChange {
+        /// The view being started.
+        new_view: u64,
+        /// Last view in which the sender was in normal operation.
+        last_normal_view: u64,
+        /// Sender's last executed slot.
+        last_exec: u64,
+        /// Sender's uncommitted log suffix (slots above `last_exec`).
+        log: Vec<SmrLogEntry>,
+    },
+    /// VSR phase 3: the new leader installs the merged log and
+    /// announces normal operation in `view`.
+    StartView {
+        /// The new view.
+        view: u64,
+        /// The leader's last executed slot.
+        last_exec: u64,
+        /// Merged uncommitted log suffix replicas must adopt.
+        log: Vec<SmrLogEntry>,
     },
 }
 
@@ -498,6 +575,34 @@ impl SmrMsg {
                 w.put_u64(*seq).put_bytes(&digest.0).put_bytes(snapshot);
                 w.finish()
             }
+            SmrMsg::StartViewChange { new_view } => {
+                let mut w = family_writer_reusing(WireKind::Smr, 8, buf);
+                w.put_u64(*new_view);
+                w.finish()
+            }
+            SmrMsg::DoViewChange {
+                new_view,
+                last_normal_view,
+                last_exec,
+                log,
+            } => {
+                let mut w = family_writer_reusing(WireKind::Smr, 9, buf);
+                w.put_u64(*new_view)
+                    .put_u64(*last_normal_view)
+                    .put_u64(*last_exec);
+                encode_log(&mut w, log);
+                w.finish()
+            }
+            SmrMsg::StartView {
+                view,
+                last_exec,
+                log,
+            } => {
+                let mut w = family_writer_reusing(WireKind::Smr, 10, buf);
+                w.put_u64(*view).put_u64(*last_exec);
+                encode_log(&mut w, log);
+                w.finish()
+            }
         }
     }
 
@@ -548,6 +653,20 @@ impl SmrMsg {
                 seq: r.u64("smr.seq")?,
                 digest: read_digest(&mut r)?,
                 snapshot: r.bytes("smr.snapshot")?,
+            },
+            8 => SmrMsg::StartViewChange {
+                new_view: r.u64("smr.new_view")?,
+            },
+            9 => SmrMsg::DoViewChange {
+                new_view: r.u64("smr.new_view")?,
+                last_normal_view: r.u64("smr.last_normal_view")?,
+                last_exec: r.u64("smr.last_exec")?,
+                log: decode_log(&mut r)?,
+            },
+            10 => SmrMsg::StartView {
+                view: r.u64("smr.view")?,
+                last_exec: r.u64("smr.last_exec")?,
+                log: decode_log(&mut r)?,
             },
             tag => {
                 return Err(CodecError::BadTag {
@@ -629,6 +748,45 @@ mod tests {
             digest: d,
             snapshot: b"snap".to_vec(),
         });
+        roundtrip_smr(SmrMsg::StartViewChange { new_view: 3 });
+        roundtrip_smr(SmrMsg::DoViewChange {
+            new_view: 3,
+            last_normal_view: 1,
+            last_exec: 6,
+            log: vec![],
+        });
+        roundtrip_smr(SmrMsg::DoViewChange {
+            new_view: 3,
+            last_normal_view: 2,
+            last_exec: 6,
+            log: vec![
+                SmrLogEntry {
+                    seq: 7,
+                    view: 2,
+                    request_seq: 40,
+                    client: "c1".into(),
+                    op: b"PUT k v".to_vec(),
+                },
+                SmrLogEntry {
+                    seq: 8,
+                    view: 1,
+                    request_seq: 41,
+                    client: "c2".into(),
+                    op: b"GET k".to_vec(),
+                },
+            ],
+        });
+        roundtrip_smr(SmrMsg::StartView {
+            view: 3,
+            last_exec: 6,
+            log: vec![SmrLogEntry {
+                seq: 7,
+                view: 2,
+                request_seq: 40,
+                client: "c1".into(),
+                op: b"PUT k v".to_vec(),
+            }],
+        });
     }
 
     #[test]
@@ -680,6 +838,23 @@ mod tests {
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
             assert!(PbMsg::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // The log-bearing view-change frames too: no truncation parses.
+        let msg = SmrMsg::DoViewChange {
+            new_view: 3,
+            last_normal_view: 2,
+            last_exec: 6,
+            log: vec![SmrLogEntry {
+                seq: 7,
+                view: 2,
+                request_seq: 40,
+                client: "c1".into(),
+                op: b"PUT k v".to_vec(),
+            }],
+        };
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(SmrMsg::decode(&bytes[..cut]).is_err(), "cut={cut}");
         }
     }
 

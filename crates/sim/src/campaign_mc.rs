@@ -41,7 +41,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::faults::{FaultSpec, GoodputProbe};
-use crate::outage::OutageDriver;
+use crate::outage::{OutageDriver, RepairDriver};
 use crate::protocol_mc::ProtocolExperiment;
 use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
 use crate::runner::{fold, trial_seed, Runner, TrialBudget};
@@ -298,6 +298,7 @@ fn run_cell_on<T: Transport>(
 ) -> TrialMeasure {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
     let mut outage = OutageDriver::new(exp.outage, seed);
+    let mut repair = RepairDriver::new(exp.repair, "repair");
     let mut adversary = strategy.build(
         stack,
         "attacker",
@@ -309,6 +310,7 @@ fn run_cell_on<T: Transport>(
     let mut probe = retry.map(|policy| GoodputProbe::new(stack, "probe", policy));
     for step in 1..=exp.max_steps {
         outage.before_step(stack, step);
+        repair.before_step(stack, step);
         adversary.step(stack, &mut rng);
         if let Some(probe) = probe.as_mut() {
             probe.step(stack, step);

@@ -107,6 +107,7 @@ impl FaultSpec {
                         delay_max,
                         dup,
                         partition,
+                        slow,
                     } => {
                         let mut s = fold(s, loss.to_bits());
                         s = fold(s, delay_min);
@@ -118,6 +119,13 @@ impl FaultSpec {
                             s = fold(s, w.duration);
                             s = fold(s, u64::from(w.split));
                             s = fold(s, u64::from(w.oneway));
+                        }
+                        // `slow: None` folds nothing: every pre-slow-link
+                        // cell seed stays bit-for-bit stable.
+                        if let Some(sl) = slow {
+                            s = fold(s, 0x0FA7_0003);
+                            s = fold(s, u64::from(sl.addr));
+                            s = fold(s, sl.extra);
                         }
                         s
                     }
@@ -257,6 +265,7 @@ mod tests {
                 delay_max: 2,
                 dup: 0.0,
                 partition: None,
+                slow: None,
             },
             retry: RetryPolicy::retrying(8, retries, 2),
         }
@@ -281,6 +290,7 @@ mod tests {
                         split: 3,
                         oneway: false,
                     }),
+                    slow: None,
                 },
                 retry: RetryPolicy::retrying(8, 2, 2),
             },
@@ -340,6 +350,7 @@ mod tests {
                 delay_max: 0,
                 dup: 0.0,
                 partition: None,
+                slow: None,
             },
             0xFA,
         )

@@ -582,6 +582,7 @@ fn run_fleet_on<T: Transport>(
             lost_requests: lost,
             degrade: retry.is_some().then_some(degrade),
             shard: Some(shard),
+            repair: None,
         }),
     }
 }

@@ -73,10 +73,10 @@ pub use campaign_mc::{CampaignCell, CampaignGrid, CampaignReport, CellOutcome};
 pub use event_mc::{sample_lifetime, sample_lifetime_block, HazardTable};
 pub use faults::{FaultSpec, GoodputProbe};
 pub use fleet_mc::{run_fleet_measured, ShardProbe, ShardSpec, ZipfWorkload};
-pub use outage::{OutageDriver, OutageSpec};
+pub use outage::{OutageDriver, OutageSpec, RepairDriver, RepairSpec};
 pub use protocol_mc::ProtocolExperiment;
 pub use runner::{Runner, RunnerError, TrialBudget};
 pub use scenario::{
     CrossCheck, Scenario, ScenarioSpec, SweepCell, SweepReport, SweepScheduler, SweepSpec,
 };
-pub use stats::{AvailPoint, AvailStats, Estimate, RunningStats, ShardPoint};
+pub use stats::{AvailPoint, AvailStats, Estimate, RunningStats, RepairPoint, ShardPoint};

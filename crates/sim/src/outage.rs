@@ -174,9 +174,11 @@ impl OutageDriver {
 
     /// Applies the schedule at the start of 1-based `step`: first brings
     /// back machines whose repair is due, then injects whatever the
-    /// schedule prescribes. A no-op for S0 (no PB tier to take down).
+    /// schedule prescribes. On S0 the same crash/repair calls route
+    /// through the SMR tier's view-change path (see [`RepairDriver`] for
+    /// the repair-economics axis built on top of it).
     pub fn before_step<T: Transport>(&mut self, stack: &mut Stack<T>, step: u64) {
-        if self.spec.is_none() || stack.class() == SystemClass::S0Smr {
+        if self.spec.is_none() {
             return;
         }
         // Repairs first: a machine downed for `d` steps at step `t` is
@@ -190,7 +192,7 @@ impl OutageDriver {
                 i += 1;
             }
         }
-        let ns = stack.config().ns;
+        let ns = stack.server_count();
         match self.spec {
             OutageSpec::None => {}
             OutageSpec::Periodic { period, downtime } => {
@@ -243,6 +245,216 @@ impl OutageDriver {
     }
 }
 
+/// The repair-economics coordinate of a sweep cell: a deterministic
+/// schedule of SMR-tier (S0) crashes whose recoveries are *priced* —
+/// every crash is a protocol event (view-change timers, the VSR
+/// StartViewChange / DoViewChange / StartView exchange, a log merge at
+/// the new leader) and every rejoin pays state-transfer units
+/// proportional to the log divergence accumulated while down, drained
+/// through a bounded per-step bandwidth budget.
+///
+/// `Copy + PartialEq` so it can sit beside the other sweep axes;
+/// parameters fold into the cell's content-derived seed.
+/// [`RepairSpec::None`] folds **nothing** and adds no label suffix, so
+/// every legacy cell seed and golden file stays byte-stable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RepairSpec {
+    /// No repair schedule — the pre-axis behavior and seed-compatible
+    /// default.
+    None,
+    /// Staggered SMR replica crashes with divergence-priced recovery.
+    Smr {
+        /// How many replicas crash over the trial (each crash `k`
+        /// lands at `crash_at + k * stagger`, aimed at the replica
+        /// currently leading so every crash forces a view change).
+        crashes: u32,
+        /// 1-based step of the first crash.
+        crash_at: u64,
+        /// Steps between consecutive crashes (≥ 1 when `crashes` > 1).
+        stagger: u64,
+        /// Steps a crashed machine stays down before its bring-up is
+        /// *scheduled* (the actual rejoin then queues for transfer).
+        downtime: u64,
+        /// State-transfer bandwidth: divergence units the whole tier
+        /// can pay per step, shared FIFO across all rejoiners (≥ 1).
+        bandwidth: u64,
+        /// Recovery storm: when `true`, every bring-up is deferred to
+        /// the *last* crash's repair time so all rejoiners arrive
+        /// together and contend head-of-line for the bandwidth budget;
+        /// when `false`, each machine rejoins `downtime` steps after
+        /// its own crash.
+        storm: bool,
+    },
+}
+
+impl RepairSpec {
+    /// Whether this is the no-repair schedule.
+    pub fn is_none(&self) -> bool {
+        matches!(self, RepairSpec::None)
+    }
+
+    /// Short label for cell names and reports.
+    pub fn label(&self) -> String {
+        match *self {
+            RepairSpec::None => "none".to_string(),
+            RepairSpec::Smr {
+                crashes,
+                crash_at,
+                stagger,
+                downtime,
+                bandwidth,
+                storm,
+            } => {
+                let kind = if storm { "storm" } else { "stag" };
+                format!("smr-{kind}:{crashes}@{crash_at}+{stagger}/{downtime}bw{bandwidth}")
+            }
+        }
+    }
+
+    /// Folds the schedule into a content seed. [`RepairSpec::None`]
+    /// deliberately folds **nothing**, preserving every pre-axis cell
+    /// seed bit-for-bit.
+    pub(crate) fn fold_into(&self, seed: u64) -> u64 {
+        match *self {
+            RepairSpec::None => seed,
+            RepairSpec::Smr {
+                crashes,
+                crash_at,
+                stagger,
+                downtime,
+                bandwidth,
+                storm,
+            } => {
+                let seed = fold(fold(seed, 0x4E9A_1201), storm as u64);
+                let seed = fold(fold(seed, crashes as u64), crash_at);
+                fold(fold(fold(seed, stagger), downtime), bandwidth)
+            }
+        }
+    }
+}
+
+/// Applies a [`RepairSpec`] to an S0 [`Stack`] one step at a time.
+///
+/// The driver is deliberately **RNG-free**: crash targets come from
+/// [`Stack::smr_leader_hint`] (the view the live replicas agree on
+/// names the leader), crash and bring-up times are arithmetic on the
+/// spec, and the benign one-request-per-step workload the driver
+/// submits is fixed. A repair-bearing trial therefore stays a pure
+/// function of its seed, and `RepairSpec::None` drives nothing at all.
+///
+/// The per-step workload is not optional garnish: the SMR engines'
+/// view-change timers are *request-driven* (a replica only suspects a
+/// silent leader while it holds an unexecuted request), so without a
+/// trickle of traffic a crashed leader would never be detected. The
+/// workload also advances the committed log, which is exactly what
+/// prices the rejoiners' divergence.
+pub struct RepairDriver {
+    spec: RepairSpec,
+    /// The benign workload client; registered on first `before_step`.
+    probe: Option<fortress_core::client::DirectClient>,
+    name: String,
+    /// Crashes injected so far.
+    crashed: u32,
+    /// `(server index, step at which its bring-up is scheduled)`.
+    up_times: Vec<(usize, u64)>,
+}
+
+impl RepairDriver {
+    /// A driver for `spec`. `name` keys the driver's workload client on
+    /// the stack (must be unique among the trial's clients).
+    pub fn new(spec: RepairSpec, name: &str) -> RepairDriver {
+        RepairDriver {
+            spec,
+            probe: None,
+            name: name.to_owned(),
+            crashed: 0,
+            up_times: Vec::new(),
+        }
+    }
+
+    /// Applies the schedule at the start of 1-based `step`, then runs
+    /// the one-request workload. A no-op for `RepairSpec::None` and for
+    /// non-S0 stacks (the repair axis is an SMR-tier economics model).
+    pub fn before_step<T: Transport>(&mut self, stack: &mut Stack<T>, step: u64) {
+        let RepairSpec::Smr {
+            crashes,
+            crash_at,
+            stagger,
+            downtime,
+            bandwidth,
+            storm,
+        } = self.spec
+        else {
+            return;
+        };
+        if stack.class() != SystemClass::S0Smr {
+            return;
+        }
+        if self.probe.is_none() {
+            // First call: arm the repair economics (bounded transfer
+            // bandwidth) and register the workload client.
+            stack.enable_smr_repair(bandwidth);
+            stack.add_client(&self.name);
+            self.probe = Some(fortress_core::client::DirectClient::new(
+                &self.name,
+                stack.authority(),
+                stack.ns().servers().to_vec(),
+                fortress_core::client::AcceptMode::MatchingVotes { f: 1 },
+            ));
+        }
+        // Scheduled bring-ups first: the rejoiner enters the transfer
+        // queue this step and pays its divergence from there.
+        let mut i = 0;
+        while i < self.up_times.len() {
+            if step >= self.up_times[i].1 {
+                let (server, _) = self.up_times.swap_remove(i);
+                stack.bring_up_server(server);
+            } else {
+                i += 1;
+            }
+        }
+        // Crash injection k lands at crash_at + k * stagger, aimed at
+        // whoever currently leads so each crash forces a view change.
+        if self.crashed < crashes && step == crash_at + self.crashed as u64 * stagger.max(1) {
+            let hint = stack.smr_leader_hint();
+            let target = if stack.server_is_down(hint) || stack.server_is_catching_up(hint) {
+                (0..stack.server_count())
+                    .find(|&i| !stack.server_is_down(i) && !stack.server_is_catching_up(i))
+            } else {
+                Some(hint)
+            };
+            if let Some(target) = target {
+                stack.take_down_server(target);
+                let up_at = if storm {
+                    // Correlated bring-ups: everyone rejoins when the
+                    // *last* crash's repair lands, so the whole cohort
+                    // contends for the bandwidth budget at once.
+                    crash_at + (crashes.saturating_sub(1)) as u64 * stagger.max(1) + downtime
+                } else {
+                    step + downtime.max(1)
+                };
+                self.up_times.push((target, up_at));
+                self.crashed += 1;
+            }
+        }
+        // The benign workload: drain yesterday's replies, submit one
+        // request, pump. Keeps the view-change timers armed and the
+        // committed log moving.
+        let probe = self.probe.as_mut().expect("armed above");
+        for ev in stack.drain_client(&self.name) {
+            let Some(payload) = ev.payload() else { continue };
+            if let fortress_core::wire::WireMsg::SignedReply(reply) =
+                fortress_core::wire::WireMsg::decode(payload)
+            {
+                probe.on_reply(&reply.to_owned());
+            }
+        }
+        let req = probe.request(b"GET repair-probe");
+        stack.submit(&self.name, &req);
+        stack.pump();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +464,16 @@ mod tests {
     fn s1_stack(seed: u64) -> Stack {
         Stack::new(StackConfig {
             class: SystemClass::S1Pb,
+            policy: ObfuscationPolicy::StartupOnly,
+            seed,
+            ..StackConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn s0_stack(seed: u64) -> Stack {
+        Stack::new(StackConfig {
+            class: SystemClass::S0Smr,
             policy: ObfuscationPolicy::StartupOnly,
             seed,
             ..StackConfig::default()
@@ -369,5 +591,119 @@ mod tests {
         }
         // None folds nothing: legacy seeds are preserved.
         assert_eq!(OutageSpec::None.fold_into(0xFEED), 0xFEED);
+    }
+
+    #[test]
+    fn repair_labels_and_seeds_distinguish_schedules() {
+        let base = RepairSpec::Smr {
+            crashes: 2,
+            crash_at: 40,
+            stagger: 60,
+            downtime: 30,
+            bandwidth: 1,
+            storm: false,
+        };
+        let storm = RepairSpec::Smr {
+            crashes: 2,
+            crash_at: 40,
+            stagger: 60,
+            downtime: 30,
+            bandwidth: 1,
+            storm: true,
+        };
+        let specs = [
+            RepairSpec::None,
+            base,
+            storm,
+            RepairSpec::Smr {
+                crashes: 1,
+                crash_at: 40,
+                stagger: 60,
+                downtime: 30,
+                bandwidth: 1,
+                storm: false,
+            },
+            RepairSpec::Smr {
+                crashes: 2,
+                crash_at: 40,
+                stagger: 60,
+                downtime: 30,
+                bandwidth: 4,
+                storm: true,
+            },
+        ];
+        let mut labels = std::collections::HashSet::new();
+        let mut seeds = std::collections::HashSet::new();
+        for spec in specs {
+            assert!(labels.insert(spec.label()), "label collision at {spec:?}");
+            assert!(
+                seeds.insert(spec.fold_into(0xFEED)),
+                "seed collision at {spec:?}"
+            );
+        }
+        // None folds nothing: legacy seeds are preserved.
+        assert_eq!(RepairSpec::None.fold_into(0xFEED), 0xFEED);
+    }
+
+    #[test]
+    fn repair_driver_routes_a_crash_through_a_view_change() {
+        let mut stack = s0_stack(21);
+        let mut driver = RepairDriver::new(
+            RepairSpec::Smr {
+                crashes: 1,
+                crash_at: 5,
+                stagger: 1,
+                downtime: 80,
+                bandwidth: 1,
+                storm: false,
+            },
+            "repair",
+        );
+        for step in 1..=60 {
+            driver.before_step(&mut stack, step);
+            stack.end_step();
+        }
+        let avail = stack.availability();
+        assert_eq!(avail.outages, 1, "one scheduled crash");
+        assert!(
+            avail.view_changes >= 1,
+            "the leader crash must force a view change, got {avail:?}"
+        );
+        assert!(
+            avail.down_steps > 0,
+            "the view-change window is real downtime"
+        );
+        assert!(stack.smr_repair_tracked());
+    }
+
+    #[test]
+    fn repair_driver_is_deterministic_and_none_is_inert() {
+        let run = |spec: RepairSpec| {
+            let mut stack = s0_stack(33);
+            let mut driver = RepairDriver::new(spec, "repair");
+            for step in 1..=120 {
+                driver.before_step(&mut stack, step);
+                stack.end_step();
+            }
+            format!("{:?}", stack.availability())
+        };
+        let spec = RepairSpec::Smr {
+            crashes: 2,
+            crash_at: 10,
+            stagger: 40,
+            downtime: 20,
+            bandwidth: 1,
+            storm: false,
+        };
+        assert_eq!(run(spec), run(spec), "repair trials are seed-pure");
+        let quiet = run(RepairSpec::None);
+        let baseline = {
+            let mut stack = s0_stack(33);
+            for _ in 1..=120 {
+                stack.end_step();
+            }
+            format!("{:?}", stack.availability())
+        };
+        assert_eq!(quiet, baseline, "RepairSpec::None must drive nothing");
     }
 }

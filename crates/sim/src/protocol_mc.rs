@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::faults::{FaultSpec, GoodputProbe};
-use crate::outage::{OutageDriver, OutageSpec};
+use crate::outage::{OutageDriver, OutageSpec, RepairDriver, RepairSpec};
 use crate::runner::{fold, Runner, TrialBudget};
 use crate::scenario::TrialMeasure;
 use crate::stats::Estimate;
@@ -60,6 +60,12 @@ pub struct ProtocolExperiment {
     /// pre-axis behavior and seeds bit-for-bit — no fleet, no workload).
     /// S2 campaign cells only; the 1-tier paths ignore it.
     pub shard: crate::fleet_mc::ShardSpec,
+    /// Repair coordinate: SMR-tier crash schedule with view-change
+    /// recovery and divergence-priced state transfer (the repair axis;
+    /// [`RepairSpec::None`] preserves the pre-axis behavior and seeds
+    /// bit-for-bit — no driver, no workload client, no repair
+    /// accounting). S0 cells only; the other classes ignore it.
+    pub repair: RepairSpec,
 }
 
 impl ProtocolExperiment {
@@ -80,6 +86,7 @@ impl ProtocolExperiment {
             outage: OutageSpec::None,
             fault: FaultSpec::None,
             shard: crate::fleet_mc::ShardSpec::None,
+            repair: RepairSpec::None,
         }
     }
 
@@ -187,6 +194,7 @@ impl ProtocolExperiment {
     ) -> TrialMeasure {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15));
         let mut outage = OutageDriver::new(self.outage, seed);
+        let mut repair = RepairDriver::new(self.repair, "repair");
         let mut attacker = DirectAttacker::new(
             stack,
             "attacker",
@@ -197,6 +205,7 @@ impl ProtocolExperiment {
         let mut probe = retry.map(|policy| GoodputProbe::new(stack, "probe", policy));
         for step in 1..=self.max_steps {
             outage.before_step(stack, step);
+            repair.before_step(stack, step);
             attacker.step(stack, &mut rng);
             if let Some(probe) = probe.as_mut() {
                 probe.step(stack, step);

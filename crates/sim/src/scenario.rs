@@ -113,7 +113,7 @@ use crate::campaign_mc::run_cell_measured;
 use crate::event_mc::sample_lifetime;
 use crate::faults::FaultSpec;
 use crate::fleet_mc::ShardSpec;
-use crate::outage::OutageSpec;
+use crate::outage::{OutageSpec, RepairSpec};
 use crate::protocol_mc::ProtocolExperiment;
 use crate::report::{avail_json, fmt_avail, fmt_num, CsvTable};
 use crate::runner::{
@@ -170,6 +170,15 @@ impl TrialMeasure {
         let avail = stack.availability();
         let cap = cap.max(1);
         let post = if compromised { cap - fell } else { 0 };
+        // Repair economics only exist on trials that armed the S0
+        // accounting (a repair-axis crash or an explicit enable); legacy
+        // cells carry `None` and their accumulators stay empty.
+        let repair = stack.smr_repair_tracked().then(|| crate::stats::RepairPoint {
+            view_changes: avail.view_changes as f64,
+            view_change_latency: avail.mean_failover_latency(),
+            transfer_units: avail.transfer_units as f64,
+            storm_queue_depth: avail.peak_transfer_queue as f64,
+        });
         TrialMeasure {
             lifetime: fell,
             avail: Some(AvailPoint {
@@ -179,6 +188,7 @@ impl TrialMeasure {
                 lost_requests: avail.lost_requests as f64,
                 degrade: None,
                 shard: None,
+                repair,
             }),
         }
     }
@@ -253,13 +263,14 @@ impl Scenario for AbstractModel {
 impl Scenario for ProtocolExperiment {
     fn label(&self) -> String {
         format!(
-            "protocol {} {} chi=2^{}{}{}{}",
+            "protocol {} {} chi=2^{}{}{}{}{}",
             class_label(self.class),
             self.policy.suffix(),
             self.entropy_bits,
             outage_suffix(self.outage),
             fault_suffix(self.fault),
             shard_suffix(self.shard),
+            repair_suffix(self.repair),
         )
     }
 
@@ -317,7 +328,7 @@ impl Scenario for ScenarioSpec {
             ),
             ScenarioSpec::Protocol(e) => e.label(),
             ScenarioSpec::Campaign { experiment: e, strategy } => format!(
-                "{} {} chi=2^{} w={}/t={} np={} {}{}{}{}",
+                "{} {} chi=2^{} w={}/t={} np={} {}{}{}{}{}",
                 class_label(e.class),
                 e.policy.suffix(),
                 e.entropy_bits,
@@ -328,6 +339,7 @@ impl Scenario for ScenarioSpec {
                 outage_suffix(e.outage),
                 fault_suffix(e.fault),
                 shard_suffix(e.shard),
+                repair_suffix(e.repair),
             ),
         }
     }
@@ -515,6 +527,10 @@ pub struct SweepSpec {
     /// *groups*, which only the fortified class deploys as tenants
     /// behind the key-hash directory).
     pub shards: Vec<ShardSpec>,
+    /// Repair axis (S0 cells only — crash schedules routed through the
+    /// SMR view-change path with divergence-priced state transfer; the
+    /// PB classes recover through failover, covered by the outage axis).
+    pub repairs: Vec<RepairSpec>,
     /// Shared experiment template; each cell overrides the swept fields.
     pub base: ProtocolExperiment,
 }
@@ -533,6 +549,7 @@ impl SweepSpec {
             outages: vec![base.outage],
             faults: vec![base.fault],
             shards: vec![base.shard],
+            repairs: vec![base.repair],
             base,
         }
     }
@@ -591,16 +608,24 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the repair axis (the SMR repair-economics dimension).
+    pub fn repairs(mut self, repairs: Vec<RepairSpec>) -> SweepSpec {
+        self.repairs = repairs;
+        self
+    }
+
     /// Compiles the axes to the flat cell list in axis-major order
     /// (class, policy, entropy, suspicion, fleet, strategy, outage,
-    /// fault, shard). The order is presentation only — every cell's
-    /// seed derives from its content, so reordering or subsetting axes
-    /// changes no cell's trials. Vacuous axes collapse: 1-tier classes
-    /// skip suspicion / fleet / strategy **and the shard axis** (only
-    /// the fortified class deploys fleet tenants), and S0 additionally
-    /// skips the outage axis (no PB tier to take down). The fault axis
-    /// applies to every class — network faults live at the transport
-    /// layer, below the replication scheme.
+    /// fault, shard, repair). The order is presentation only — every
+    /// cell's seed derives from its content, so reordering or subsetting
+    /// axes changes no cell's trials. Vacuous axes collapse: 1-tier
+    /// classes skip suspicion / fleet / strategy **and the shard axis**
+    /// (only the fortified class deploys fleet tenants), S0 skips the
+    /// outage axis (its crash story is the repair axis, routed through
+    /// the view-change protocol), and the repair axis applies to S0
+    /// only (PB-tier recovery is failover, already the outage axis's
+    /// subject). The fault axis applies to every class — network faults
+    /// live at the transport layer, below the replication scheme.
     pub fn compile(&self, base_seed: u64) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         for &class in &self.classes {
@@ -622,6 +647,7 @@ impl SweepSpec {
                                                     outage,
                                                     fault,
                                                     shard,
+                                                    repair: RepairSpec::None,
                                                     ..self.base
                                                 };
                                                 cells.push(SweepCell::of(
@@ -643,21 +669,29 @@ impl SweepSpec {
                         } else {
                             &self.outages
                         };
+                        let repairs: &[RepairSpec] = if class == SystemClass::S0Smr {
+                            &self.repairs
+                        } else {
+                            &[RepairSpec::None]
+                        };
                         for &outage in outages {
                             for &fault in &self.faults {
-                                let experiment = ProtocolExperiment {
-                                    class,
-                                    policy,
-                                    entropy_bits,
-                                    outage,
-                                    fault,
-                                    shard: ShardSpec::None,
-                                    ..self.base
-                                };
-                                cells.push(SweepCell::of(
-                                    ScenarioSpec::Protocol(experiment),
-                                    base_seed,
-                                ));
+                                for &repair in repairs {
+                                    let experiment = ProtocolExperiment {
+                                        class,
+                                        policy,
+                                        entropy_bits,
+                                        outage,
+                                        fault,
+                                        shard: ShardSpec::None,
+                                        repair,
+                                        ..self.base
+                                    };
+                                    cells.push(SweepCell::of(
+                                        ScenarioSpec::Protocol(experiment),
+                                        base_seed,
+                                    ));
+                                }
                             }
                         }
                     }
@@ -763,6 +797,7 @@ pub fn fault_sweep(base_seed: u64) -> Vec<SweepCell> {
                 delay_max: 2,
                 dup: 0.0,
                 partition: None,
+                slow: None,
             },
             retry: RetryPolicy::retrying(8, 2, 2),
         },
@@ -773,6 +808,7 @@ pub fn fault_sweep(base_seed: u64) -> Vec<SweepCell> {
                 delay_max: 3,
                 dup: 0.02,
                 partition: None,
+                slow: None,
             },
             retry: RetryPolicy::retrying(8, 3, 2),
         },
@@ -845,6 +881,62 @@ pub fn shard_base() -> ProtocolExperiment {
     }
 }
 
+/// The repair slice the `campaign` bench and CI smoke run, all on the
+/// SMR-quorum S0 under a slow rate-disciplined adversary: a vacuous
+/// coordinate (the exact single-stack pre-axis path, doubling as a
+/// passthrough check), a single leader crash (one full view change),
+/// and a two-crash schedule under both recovery disciplines —
+/// staggered (each machine rejoins `downtime` after its own crash) and
+/// storm (correlated bring-ups contending head-of-line for the
+/// bandwidth budget while the quorum is hostage). The storm cell is
+/// the economics headline: same crashes, same downtime parameter,
+/// strictly more measured downtime.
+pub fn repair_sweep(base_seed: u64) -> Vec<SweepCell> {
+    let repairs = vec![
+        RepairSpec::None,
+        RepairSpec::Smr {
+            crashes: 1,
+            crash_at: 40,
+            stagger: 60,
+            downtime: 30,
+            bandwidth: 1,
+            storm: false,
+        },
+        RepairSpec::Smr {
+            crashes: 2,
+            crash_at: 40,
+            stagger: 60,
+            downtime: 30,
+            bandwidth: 1,
+            storm: false,
+        },
+        RepairSpec::Smr {
+            crashes: 2,
+            crash_at: 40,
+            stagger: 60,
+            downtime: 30,
+            bandwidth: 1,
+            storm: true,
+        },
+    ];
+    SweepSpec::new(repair_base()).repairs(repairs).compile(base_seed)
+}
+
+/// The shared experiment template of the repair slice — one definition,
+/// reused by [`repair_sweep`], the directional storm tests and the CI
+/// smoke. Survival-biased (wide key space, slow attacker) so the
+/// repair signal comes from trials that live through the whole crash
+/// schedule; the 300-step window fits the storm cell's full recovery
+/// (last rejoiner paid off around step 250 at bandwidth 1).
+pub fn repair_base() -> ProtocolExperiment {
+    ProtocolExperiment {
+        entropy_bits: 12,
+        omega: 2.0,
+        max_steps: 300,
+        ..ProtocolExperiment::new(SystemClass::S0Smr, Policy::StartupOnly)
+    }
+}
+
 /// The measured outcome of one sweep cell.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -908,11 +1000,14 @@ impl SweepReport {
     /// retries, duplicate suppression, give-ups) appear only when some
     /// cell ran under a fault plan, and the shard columns (hottest-shard
     /// lifetime/load, moved requests, fallen groups) only when some cell
-    /// ran sharded — sweeps without those axes keep the exact pre-axis
-    /// column set, which the golden files pin.
+    /// ran sharded, and the repair columns (view changes and their
+    /// latency, transfer units, storm queue depth) only when some cell
+    /// armed the SMR repair accounting — sweeps without those axes keep
+    /// the exact pre-axis column set, which the golden files pin.
     pub fn to_table(&self) -> CsvTable {
         let degraded = self.cells.iter().any(|o| o.avail.goodput.n() > 0);
         let sharded = self.cells.iter().any(|o| o.avail.hot_lifetime.n() > 0);
+        let repaired = self.cells.iter().any(|o| o.avail.view_changes.n() > 0);
         let mut headers = vec![
             "cell",
             "kappa",
@@ -931,6 +1026,14 @@ impl SweepReport {
         }
         if sharded {
             headers.extend(["hot_lifetime", "hot_load", "moved_requests", "groups_fallen"]);
+        }
+        if repaired {
+            headers.extend([
+                "view_changes",
+                "view_change_latency",
+                "transfer_units",
+                "storm_queue_depth",
+            ]);
         }
         let mut table = CsvTable::new(&headers);
         for o in &self.cells {
@@ -963,6 +1066,14 @@ impl SweepReport {
                     fmt_avail(&o.avail.groups_fallen),
                 ]);
             }
+            if repaired {
+                row.extend([
+                    fmt_avail(&o.avail.view_changes),
+                    fmt_avail(&o.avail.view_change_latency),
+                    fmt_avail(&o.avail.transfer_units),
+                    fmt_avail(&o.avail.storm_queue),
+                ]);
+            }
             table.push_row(row);
         }
         table
@@ -987,7 +1098,9 @@ impl SweepReport {
                  \"downtime\":{},\"failovers\":{},\"failover_latency\":{},\
                  \"lost_requests\":{},\"goodput\":{},\"retries\":{},\
                  \"dup_suppressed\":{},\"gave_up\":{},\"hot_lifetime\":{},\
-                 \"hot_load\":{},\"moved_requests\":{},\"groups_fallen\":{}}}",
+                 \"hot_load\":{},\"moved_requests\":{},\"groups_fallen\":{},\
+                 \"view_changes\":{},\"view_change_latency\":{},\
+                 \"transfer_units\":{},\"storm_queue_depth\":{}}}",
                 o.cell.label,
                 kappa,
                 o.estimate.mean,
@@ -1005,6 +1118,10 @@ impl SweepReport {
                 avail_json(&o.avail.hot_load),
                 avail_json(&o.avail.moved),
                 avail_json(&o.avail.groups_fallen),
+                avail_json(&o.avail.view_changes),
+                avail_json(&o.avail.view_change_latency),
+                avail_json(&o.avail.transfer_units),
+                avail_json(&o.avail.storm_queue),
             ));
         }
         out.push(']');
@@ -1070,6 +1187,21 @@ impl SweepReport {
         }
         (conc.n() > 0 && spread.n() > 0 && spread.mean() > 0.0)
             .then(|| conc.mean() / spread.mean())
+    }
+
+    /// Mean view-change latency across every cell that completed one
+    /// (`None` when no cell armed the repair axis) — the repair-axis
+    /// headline the campaign bench emits: for a crash-of-the-leader
+    /// schedule it sits at the SMR view timer, not the PB failover
+    /// timeout.
+    pub fn mean_view_change_latency(&self) -> Option<f64> {
+        let mut acc = RunningStats::new();
+        for o in &self.cells {
+            if o.avail.view_change_latency.n() > 0 {
+                acc.push(o.avail.view_change_latency.mean());
+            }
+        }
+        (acc.n() > 0).then(|| acc.mean())
     }
 }
 
@@ -1428,6 +1560,16 @@ fn shard_suffix(shard: ShardSpec) -> String {
     }
 }
 
+/// Repair suffix for cell labels: empty for `None` (legacy labels are
+/// preserved verbatim), ` repair=<schedule>` otherwise.
+fn repair_suffix(repair: RepairSpec) -> String {
+    if repair.is_none() {
+        String::new()
+    } else {
+        format!(" repair={}", repair.label())
+    }
+}
+
 /// Short class label for cell names.
 fn class_label(class: SystemClass) -> &'static str {
     match class {
@@ -1480,7 +1622,8 @@ fn fold_experiment(seed: u64, e: &ProtocolExperiment) -> u64 {
     s = fold(s, e.max_steps);
     s = e.outage.fold_into(s);
     s = e.fault.fold_into(s);
-    e.shard.fold_into(s)
+    s = e.shard.fold_into(s);
+    e.repair.fold_into(s)
 }
 
 /// Stable id of a system class for seeding.

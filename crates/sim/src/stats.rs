@@ -188,6 +188,33 @@ pub struct AvailPoint {
     /// cells (`None` elsewhere, so single-group sweeps accumulate nothing
     /// and report unchanged).
     pub shard: Option<ShardPoint>,
+    /// SMR repair-economics measurements, carried only by trials whose
+    /// repair axis armed the S0 view-change/state-transfer accounting
+    /// (`None` elsewhere, so legacy cells accumulate nothing and report
+    /// unchanged).
+    pub repair: Option<RepairPoint>,
+}
+
+/// One trial's SMR repair-economics measurements, produced by the
+/// repair-axis drive loop (see `fortress_sim::outage::RepairDriver`).
+/// Carried only by cells whose repair axis is non-vacuous. RNG-free by
+/// construction: read off the stack's `Availability` counters and
+/// `TransferScheduler` at trial end.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepairPoint {
+    /// VSR view changes completed during the trial (leader crashes that
+    /// the StartViewChange / DoViewChange / StartView exchange resolved,
+    /// plus any escalations past dead successors).
+    pub view_changes: f64,
+    /// Mean steps from losing the serving leader to a successor serving
+    /// again — `None` when the trial completed no view change.
+    pub view_change_latency: Option<f64>,
+    /// State-transfer units paid by rejoining replicas (each unit is one
+    /// log entry of divergence drained through the bandwidth budget).
+    pub transfer_units: f64,
+    /// Peak depth of the bounded-bandwidth transfer queue — > 1 only
+    /// when a recovery storm made rejoiners contend.
+    pub storm_queue_depth: f64,
 }
 
 /// One trial's fleet-level shard measurements, produced by the sharded
@@ -262,6 +289,15 @@ pub struct AvailStats {
     pub moved: RunningStats,
     /// Per-trial fallen-group count, sharded trials only.
     pub groups_fallen: RunningStats,
+    /// Per-trial completed view changes, repair-axis trials only.
+    pub view_changes: RunningStats,
+    /// Per-trial mean view-change latency (steps), repair-axis trials
+    /// with ≥ 1 completed view change only.
+    pub view_change_latency: RunningStats,
+    /// Per-trial state-transfer units paid, repair-axis trials only.
+    pub transfer_units: RunningStats,
+    /// Per-trial peak transfer-queue depth, repair-axis trials only.
+    pub storm_queue: RunningStats,
 }
 
 impl Default for AvailStats {
@@ -288,6 +324,10 @@ impl AvailStats {
             hot_load: RunningStats::new(),
             moved: RunningStats::new(),
             groups_fallen: RunningStats::new(),
+            view_changes: RunningStats::new(),
+            view_change_latency: RunningStats::new(),
+            transfer_units: RunningStats::new(),
+            storm_queue: RunningStats::new(),
         }
     }
 
@@ -311,6 +351,14 @@ impl AvailStats {
             self.moved.push(s.moved_requests);
             self.groups_fallen.push(s.groups_fallen);
         }
+        if let Some(r) = point.repair {
+            self.view_changes.push(r.view_changes);
+            if let Some(latency) = r.view_change_latency {
+                self.view_change_latency.push(latency);
+            }
+            self.transfer_units.push(r.transfer_units);
+            self.storm_queue.push(r.storm_queue_depth);
+        }
     }
 
     /// Merges another accumulator into this one, metric by metric (the
@@ -328,6 +376,10 @@ impl AvailStats {
         self.hot_load.merge(&other.hot_load);
         self.moved.merge(&other.moved);
         self.groups_fallen.merge(&other.groups_fallen);
+        self.view_changes.merge(&other.view_changes);
+        self.view_change_latency.merge(&other.view_change_latency);
+        self.transfer_units.merge(&other.transfer_units);
+        self.storm_queue.merge(&other.storm_queue);
     }
 
     /// Whether no trial contributed availability measurements (cells of

@@ -1,0 +1,203 @@
+//! The SMR repair-economics axis, asserted end-to-end:
+//!
+//! 1. **Golden pin** — the repair slice (a vacuous coordinate, a single
+//!    leader crash, and a two-crash schedule under both the staggered
+//!    and the storm recovery disciplines) reproduces a committed golden
+//!    CSV bit-for-bit through the cell-parallel scheduler, at 1 and 8
+//!    runner threads. Regenerate with
+//!    `UPDATE_GOLDEN=1 cargo test -p fortress-sim --test repair`.
+//! 2. **Passthrough** — an explicit `.repairs(vec![None])` axis compiles
+//!    to the same labels and content seeds as a sweep that never
+//!    mentions the axis, and the campaign golden (whose cells all carry
+//!    `RepairSpec::None`) reproduces byte-for-byte through today's
+//!    scheduler: adding the axis changed no legacy bits.
+//! 3. **Directionality** — a crashed S0 leader recovers through the
+//!    VSR view-change protocol, so the measured view-change latency
+//!    sits at the SMR view timer (30 steps), not the PB failover
+//!    timeout (20); and correlated bring-ups (a recovery storm) cost
+//!    strictly more downtime than staggered recoveries of the *same*
+//!    crash schedule on paired trial seeds — divergence-priced state
+//!    transfer is what makes the difference.
+
+mod common;
+
+use common::{small_grid, GOLDEN_PATH as CAMPAIGN_GOLDEN, GOLDEN_SEED as CAMPAIGN_SEED};
+use fortress_sim::outage::RepairSpec;
+use fortress_sim::protocol_mc::ProtocolExperiment;
+use fortress_sim::runner::{trial_seed, Runner, TrialBudget};
+use fortress_sim::scenario::{repair_base, repair_sweep, Scenario, ScenarioSpec, SweepScheduler, SweepSpec};
+
+/// Seed of the pinned repair sweep.
+const GOLDEN_SEED: u64 = 0x0005_AA2E;
+
+/// Path of the committed golden CSV.
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/repair_small.csv");
+
+/// Contract 1: the repair slice is bit-identical serial vs cell-parallel
+/// and pinned by a committed golden file.
+#[test]
+fn repair_sweep_matches_golden_file_at_any_thread_count() {
+    let cells = repair_sweep(GOLDEN_SEED);
+    assert!(
+        cells.iter().any(|c| c.label.contains("repair=smr-stag:1"))
+            && cells.iter().any(|c| c.label.contains("repair=smr-stag:2"))
+            && cells.iter().any(|c| c.label.contains("repair=smr-storm:2")),
+        "the slice must carry one-crash, staggered and storm schedules: {:?}",
+        cells.iter().map(|c| c.label.clone()).collect::<Vec<_>>()
+    );
+    assert!(
+        cells.iter().any(|c| !c.label.contains("repair=")),
+        "the slice must keep a vacuous coordinate as its passthrough control"
+    );
+    let budget = TrialBudget::Fixed(16);
+    let serial = SweepScheduler::new(&Runner::with_threads(1), budget).run(&cells);
+    let pooled = SweepScheduler::new(&Runner::with_threads(8), budget).run(&cells);
+    assert_eq!(
+        serial.to_json(),
+        pooled.to_json(),
+        "repair sweep diverged between 1 and 8 threads"
+    );
+    // Repair-bearing cells armed the SMR accounting, so the repair
+    // columns are in; the vacuous cell shows `-` there.
+    let csv = serial.to_table().to_csv();
+    let header = csv.lines().next().unwrap();
+    assert!(
+        header.contains("view_changes") && header.contains("storm_queue_depth"),
+        "repair columns must surface in a repair-bearing sweep: {header}"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_PATH, &csv).unwrap();
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        csv, golden,
+        "repair sweep drifted from the golden pin; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Contract 2a: an explicit `.repairs(vec![None])` axis is vacuous — the
+/// compiled cells carry the same labels and content seeds as a sweep
+/// that never mentions the axis.
+#[test]
+fn explicit_none_repair_axis_is_vacuous() {
+    let base = repair_base();
+    let implicit = SweepSpec::new(base).compile(0xFACE);
+    let explicit = SweepSpec::new(base)
+        .repairs(vec![RepairSpec::None])
+        .compile(0xFACE);
+    assert_eq!(implicit.len(), explicit.len());
+    for (a, b) in implicit.iter().zip(&explicit) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.seed, b.seed);
+        assert!(!a.label.contains("repair="), "None must not label cells");
+    }
+}
+
+/// Contract 2b: the campaign golden's cells all sit on the vacuous
+/// repair coordinate, and re-running them through today's scheduler —
+/// repair axis compiled in — reproduces the pre-axis golden
+/// byte-for-byte.
+#[test]
+fn none_repair_cells_reproduce_the_campaign_golden() {
+    let grid = small_grid();
+    assert!(
+        grid.base.repair.is_none(),
+        "the pinned grid must run on the no-repair coordinate"
+    );
+    let report = grid.run(&Runner::with_threads(2), TrialBudget::Fixed(16), CAMPAIGN_SEED);
+    let golden = std::fs::read_to_string(CAMPAIGN_GOLDEN)
+        .expect("campaign golden missing — regenerate via the campaign suite");
+    assert_eq!(
+        report.to_table().to_csv(),
+        golden,
+        "RepairSpec::None cells must reproduce the pre-axis campaign golden"
+    );
+}
+
+/// Contract 3a (the acceptance directional test on latency): an S0
+/// leader crash recovers through the view-change protocol, whose
+/// detection window is the SMR `leader_timeout` (30 steps) — measurably
+/// distinct from the PB failover timeout (20 steps). If crash handling
+/// ever regressed to the PB path, this latency would land near 20.
+#[test]
+fn view_change_latency_tracks_the_view_timer_not_the_pb_timeout() {
+    let exp = ProtocolExperiment {
+        repair: RepairSpec::Smr {
+            crashes: 1,
+            crash_at: 40,
+            stagger: 60,
+            downtime: 30,
+            bandwidth: 1,
+            storm: false,
+        },
+        ..repair_base()
+    };
+    let trials = 16;
+    let (mut latency_sum, mut latency_n) = (0.0, 0u32);
+    for i in 0..trials {
+        let m = ScenarioSpec::Protocol(exp).run_measured(trial_seed(0x4E9A_0001, i));
+        let repair = m.avail.unwrap().repair.expect("repair cells carry a point");
+        if let Some(latency) = repair.view_change_latency {
+            latency_sum += latency;
+            latency_n += 1;
+        }
+    }
+    assert!(latency_n >= trials as u32 / 2, "most trials complete a view change");
+    let mean = latency_sum / f64::from(latency_n);
+    assert!(
+        mean > 25.0,
+        "view-change latency must track leader_timeout = 30, not the \
+         20-step PB failover timeout: got {mean:.1}"
+    );
+    assert!(
+        mean < 45.0,
+        "view-change latency should sit near leader_timeout = 30: got {mean:.1}"
+    );
+}
+
+/// Contract 3b (the acceptance directional test on storm economics): the
+/// same two-crash schedule costs strictly more downtime when every
+/// bring-up lands together (recovery storm) than when each machine
+/// rejoins on its own clock — the aligned rejoiners hold the quorum
+/// hostage while their accumulated divergence drains through the shared
+/// bandwidth budget head-of-line.
+#[test]
+fn recovery_storm_downtime_strictly_exceeds_staggered_recovery() {
+    let schedule = |storm| RepairSpec::Smr {
+        crashes: 2,
+        crash_at: 40,
+        stagger: 60,
+        downtime: 30,
+        bandwidth: 1,
+        storm,
+    };
+    let base = repair_base();
+    let staggered = ProtocolExperiment { repair: schedule(false), ..base };
+    let storm = ProtocolExperiment { repair: schedule(true), ..base };
+    let trials = 16;
+    let (mut down_stag, mut down_storm) = (0.0, 0.0);
+    let (mut queue_stag, mut queue_storm) = (0.0f64, 0.0f64);
+    for i in 0..trials {
+        let seed = trial_seed(0x4E9A_0002, i);
+        let s = ScenarioSpec::Protocol(staggered).run_measured(seed).avail.unwrap();
+        let w = ScenarioSpec::Protocol(storm).run_measured(seed).avail.unwrap();
+        down_stag += s.downtime_fraction;
+        down_storm += w.downtime_fraction;
+        queue_stag = queue_stag.max(s.repair.unwrap().storm_queue_depth);
+        queue_storm = queue_storm.max(w.repair.unwrap().storm_queue_depth);
+    }
+    let (down_stag, down_storm) = (down_stag / trials as f64, down_storm / trials as f64);
+    assert!(
+        down_storm > down_stag,
+        "correlated bring-ups must cost strictly more downtime than \
+         staggered recovery: storm {down_storm:.3} vs staggered {down_stag:.3}"
+    );
+    assert!(
+        queue_storm > queue_stag,
+        "only the storm contends for transfer bandwidth: storm peak queue \
+         {queue_storm} vs staggered {queue_stag}"
+    );
+}
